@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness (see conftest for fixtures).
+
+Each ``test_*`` module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index) and prints the reproduced
+rows; ``pytest benchmarks/ --benchmark-only -s`` shows them.  The
+pytest-benchmark timings measure the *harness* (simulator wall time);
+the scientific quantities — GCUPS, speedups, overhead fractions — are
+virtual-clock results printed in the tables and asserted as shape checks.
+"""
+
+from __future__ import annotations
+
+from repro.multigpu import ChainConfig
+
+#: Block-row height used by the paper-scale timing runs.
+PAPER_BLOCK_ROWS = 8192
+
+#: Circular-buffer capacity used unless an experiment sweeps it.
+PAPER_BUFFER = 8
+
+
+def paper_config(**overrides) -> ChainConfig:
+    base = dict(block_rows=PAPER_BLOCK_ROWS, channel_capacity=PAPER_BUFFER)
+    base.update(overrides)
+    return ChainConfig(**base)
+
+
+def print_header(experiment: str, claim: str) -> None:
+    print()
+    print(f"=== {experiment} ===")
+    print(f"paper claim: {claim}")

@@ -1,0 +1,17 @@
+"""Fixtures for the benchmark harness (helpers live in bench_helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import ENV1_HETEROGENEOUS, ENV2_HOMOGENEOUS
+
+
+@pytest.fixture(scope="session")
+def env1():
+    return ENV1_HETEROGENEOUS
+
+
+@pytest.fixture(scope="session")
+def env2():
+    return ENV2_HOMOGENEOUS

@@ -1,0 +1,39 @@
+"""F1 — scaling figure: GCUPS and speedup vs number of GPUs.
+
+Paper: the strategy spreads one matrix over multiple GPUs with hidden
+communication, so throughput scales with the number of devices while the
+slabs stay wide.  The harness sweeps 1..8 homogeneous devices at a fixed
+megabase matrix and prints the GCUPS / speedup / efficiency series
+(the figure's data), asserting ≥90% parallel efficiency at 8 GPUs.
+"""
+
+from __future__ import annotations
+
+from repro.device import TESLA_M2090, homogeneous
+from repro.multigpu import time_multi_gpu
+from repro.perf import efficiency, format_table, speedup
+
+from bench_helpers import paper_config, print_header
+
+ROWS = COLS = 20_000_000
+
+
+def run(k: int):
+    return time_multi_gpu(ROWS, COLS, homogeneous(TESLA_M2090, k),
+                          config=paper_config())
+
+
+def test_f1_gpu_scaling(benchmark):
+    print_header("F1 scaling", "near-linear GCUPS growth with GPU count")
+    base = run(1)
+    rows = []
+    for k in (1, 2, 3, 4, 6, 8):
+        res = run(k)
+        s = speedup(base.total_time_s, res.total_time_s)
+        e = efficiency(s, k)
+        rows.append([str(k), f"{res.gcups:.2f}", f"{s:.2f}x", f"{e:.1%}"])
+        if k == 8:
+            assert e > 0.9
+    print(format_table(["GPUs", "GCUPS", "speedup", "efficiency"], rows))
+
+    benchmark(run, 4)

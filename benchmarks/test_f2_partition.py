@@ -1,0 +1,50 @@
+"""F2 — heterogeneous load balance: proportional vs equal slabs.
+
+Paper: slab widths are proportional to each GPU's compute power so a
+heterogeneous chain advances at the aggregate rate; an equal split is
+gated by the slowest device.  The harness compares the two partitions on
+ENV1 at paper scale and prints the per-device utilisation, asserting that
+the proportional split wins by at least the heterogeneity ratio implies.
+"""
+
+from __future__ import annotations
+
+from repro.multigpu import explicit_partition, imbalance, time_multi_gpu
+from repro.perf import format_table
+
+from bench_helpers import paper_config, print_header
+
+ROWS = COLS = 20_000_000
+
+
+def run_proportional(env1):
+    return time_multi_gpu(ROWS, COLS, env1, config=paper_config())
+
+
+def run_equal(env1):
+    k = len(env1)
+    widths = [COLS // k] * (k - 1) + [COLS - (k - 1) * (COLS // k)]
+    return time_multi_gpu(ROWS, COLS, env1, config=paper_config(),
+                          partition=explicit_partition(COLS, widths))
+
+
+def test_f2_partition_strategies(benchmark, env1):
+    print_header("F2 partitioning", "proportional slabs balance heterogeneous GPUs")
+    prop = run_proportional(env1)
+    equal = run_equal(env1)
+
+    rows = []
+    for label, res in (("proportional", prop), ("equal", equal)):
+        imb = imbalance(res.partition, [d.gcups for d in env1])
+        idle = max(bd["idle"] + bd["wait"] for bd in res.breakdown())
+        rows.append([label, f"{res.gcups:.2f}", f"{imb:.2f}", f"{idle:.1%}"])
+    print(format_table(["partition", "GCUPS", "imbalance", "worst idle+wait"], rows))
+
+    # The equal split is gated by the slowest device: aggregate ≈ k * slowest.
+    slowest = min(d.gcups for d in env1)
+    assert equal.gcups < len(env1) * slowest * 1.05
+    # Proportional recovers the aggregate rate.
+    assert prop.gcups > 0.95 * sum(d.gcups for d in env1)
+    assert prop.gcups > 1.25 * equal.gcups
+
+    benchmark(run_proportional, env1)

@@ -1,0 +1,66 @@
+"""F3 — communication hiding: overhead vs slab width, and the crossover.
+
+Paper: border elements are communicated "using a circular buffer mechanism
+that hides the communication overhead".  Hiding requires each device's
+block-row compute time to exceed the channel's per-segment cost; below a
+minimum slab width the chain becomes channel-bound.  The harness sweeps
+the matrix width (hence slab width) on a deliberately slow PCIe variant of
+ENV2, prints measured efficiency vs the analytic prediction, and asserts
+the crossover sits where :func:`repro.multigpu.min_overlap_width` says.
+"""
+
+from __future__ import annotations
+
+from repro.device import DeviceSpec
+from repro.multigpu import (
+    ChainConfig,
+    min_overlap_width,
+    proportional_partition,
+    predict_chain,
+    time_multi_gpu,
+)
+from repro.perf import format_table
+
+from bench_helpers import print_header
+
+#: A slow-link device so the crossover happens at modest widths.
+SLOW = DeviceSpec("SlowLink", gcups=30.0, pcie_gbps=0.01, pcie_latency_s=50e-6,
+                  saturation_cols=0)
+DEVICES = (SLOW, SLOW)
+BLOCK_ROWS = 1024
+ROWS = 2_000_000
+
+
+def run(cols: int):
+    return time_multi_gpu(ROWS, cols, DEVICES,
+                          config=ChainConfig(block_rows=BLOCK_ROWS,
+                                             channel_capacity=8))
+
+
+def test_f3_overlap_crossover(benchmark):
+    print_header("F3 overlap", "circular buffer hides communication above a minimum slab width")
+    w_min = min_overlap_width(SLOW, SLOW, BLOCK_ROWS)
+    print(f"analytic minimum slab width for full overlap: {w_min} cols")
+
+    aggregate = sum(d.gcups for d in DEVICES)
+    rows = []
+    for factor in (0.1, 0.25, 0.5, 1.0, 2.0, 8.0):
+        cols = max(len(DEVICES), int(2 * w_min * factor))  # 2 slabs
+        res = run(cols)
+        slabs = proportional_partition(cols, [d.gcups for d in DEVICES])
+        pred = predict_chain(DEVICES, slabs, ROWS,
+                             ChainConfig(block_rows=BLOCK_ROWS, channel_capacity=8))
+        eff = res.gcups / aggregate
+        rows.append([
+            f"{cols:,}", f"{cols // 2:,}", f"{res.gcups:.2f}", f"{eff:.1%}",
+            f"{pred.gcups(ROWS * cols):.2f}", pred.bottleneck,
+        ])
+        if factor >= 2.0:
+            assert eff > 0.9, f"overlap should hold at {factor}x the minimum width"
+        if factor <= 0.25:
+            assert eff < 0.8, f"chain should be channel-bound at {factor}x"
+    print(format_table(
+        ["matrix cols", "slab cols", "GCUPS", "efficiency", "predicted", "bottleneck"],
+        rows))
+
+    benchmark(run, int(2 * w_min))

@@ -1,0 +1,51 @@
+"""F6 — wavefront fill/drain cost vs matrix aspect ratio.
+
+The chain is a pipeline over block rows: the last device starts only after
+the first border marches down the chain (fill), and efficiency depends on
+the number of block rows amortising that stagger.  The harness fixes the
+cell count and sweeps the aspect ratio, printing efficiency; squat
+matrices (few block rows) lose throughput exactly as the pipeline model
+predicts.
+"""
+
+from __future__ import annotations
+
+from repro.device import TESLA_M2090, homogeneous
+from repro.multigpu import ChainConfig, time_multi_gpu
+from repro.perf import format_table
+
+from bench_helpers import print_header
+
+CELLS = 4 * 10**12
+DEVICES = homogeneous(TESLA_M2090, 4)
+BLOCK_ROWS = 8192
+
+
+def run(rows: int):
+    cols = CELLS // rows
+    return time_multi_gpu(rows, cols, DEVICES,
+                          config=ChainConfig(block_rows=BLOCK_ROWS,
+                                             channel_capacity=8))
+
+
+def test_f6_aspect_ratio(benchmark):
+    print_header("F6 wavefront", "fill/drain cost shrinks as block rows amortise the pipeline")
+    aggregate = sum(d.gcups for d in DEVICES)
+    effs = []
+    rows_out = []
+    for rows in (BLOCK_ROWS * 4, BLOCK_ROWS * 16, BLOCK_ROWS * 64, BLOCK_ROWS * 256):
+        res = run(rows)
+        eff = res.gcups / aggregate
+        effs.append(eff)
+        n_block_rows = rows // BLOCK_ROWS
+        rows_out.append([f"{rows:,}", f"{CELLS // rows:,}", str(n_block_rows),
+                         f"{res.gcups:.2f}", f"{eff:.1%}"])
+    print(format_table(["rows", "cols", "block rows", "GCUPS", "efficiency"], rows_out))
+
+    # Efficiency increases monotonically with the number of block rows and
+    # approaches the aggregate rate.
+    assert all(b > a for a, b in zip(effs, effs[1:]))
+    assert effs[-1] > 0.95
+    assert effs[0] < 0.93  # squat matrix pays visible fill/drain
+
+    benchmark(run, BLOCK_ROWS * 16)

@@ -1,0 +1,64 @@
+"""F7 — intra-GPU execution: GCUPS vs block height and slab width.
+
+The single-GPU generation of this system family shows its throughput
+climbing with the external-diagonal height (the internal thread-block
+wavefront amortises its fill) and collapsing when the slab is too narrow
+to occupy every SM.  With the :class:`~repro.device.smmodel.SMModel`
+attached, the simulator reproduces both curves; this is also why the
+multi-GPU partition keeps slabs wide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.device import GTX_680, calibrated
+from repro.multigpu import ChainConfig, time_multi_gpu
+from repro.perf import format_table
+
+from bench_helpers import print_header
+
+SM = calibrated(GTX_680.gcups, sm_count=8, min_block_cols=2048, rows_per_step=8)
+DEVICE = replace(GTX_680, sm_model=SM)
+
+
+def run_height(block_rows: int):
+    return time_multi_gpu(2_000_000, 2_000_000, [DEVICE],
+                          config=ChainConfig(block_rows=block_rows))
+
+
+def run_width(cols: int):
+    return time_multi_gpu(2_000_000, cols, [DEVICE],
+                          config=ChainConfig(block_rows=4096))
+
+
+def test_f7_intra_gpu_curves(benchmark):
+    print_header("F7 intra-GPU", "tall block rows + wide slabs fill the device")
+    peak = SM.peak_gcups
+
+    rows = []
+    heights = (64, 256, 1024, 4096, 16384)
+    gcups_h = []
+    for r in heights:
+        res = run_height(r)
+        gcups_h.append(res.gcups)
+        rows.append([f"R={r}", f"{res.gcups:.2f}", f"{res.gcups / peak:.1%}"])
+    print(format_table(["block height", "GCUPS", "of peak"], rows))
+    assert all(b > a for a, b in zip(gcups_h, gcups_h[1:]))  # monotone climb
+    assert gcups_h[0] < 0.6 * peak       # short diagonals starve the pipeline
+    assert gcups_h[-1] > 0.97 * peak     # tall ones saturate it
+
+    rows = []
+    widths = (2048, 4096, 8192, 16384, 262144)
+    gcups_w = []
+    for w in widths:
+        res = run_width(w)
+        gcups_w.append(res.gcups)
+        rows.append([f"W={w}", f"{res.gcups:.2f}", f"{res.gcups / peak:.1%}"])
+    print()
+    print(format_table(["slab width", "GCUPS", "of peak"], rows))
+    assert gcups_w[0] < 0.2 * peak       # 1 of 8 thread blocks busy
+    assert gcups_w[-1] > 0.95 * peak
+    assert all(b >= a for a, b in zip(gcups_w, gcups_w[1:]))
+
+    benchmark(run_height, 4096)

@@ -1,0 +1,35 @@
+"""T1 — the dataset table: 4 human-chimpanzee homologous chromosome pairs.
+
+Paper: the evaluation compares 4 pairs of human-chimpanzee homologous
+chromosomes (abstract).  This harness regenerates the dataset table
+(names, lengths, matrix cells) and, for the compute-mode stand-ins,
+measures the synthesis cost.
+"""
+
+from __future__ import annotations
+
+from repro.perf import format_table, humanize_cells
+from repro.workloads import PAPER_PAIRS, synthesize_pair
+
+from bench_helpers import print_header
+
+
+def test_t1_dataset_table(benchmark):
+    print_header("T1 dataset", "4 human-chimp homologous chromosome pairs")
+    rows = []
+    for pair in PAPER_PAIRS:
+        rows.append([
+            pair.name,
+            f"{pair.human_len:,}",
+            f"{pair.chimp_len:,}",
+            humanize_cells(pair.cells),
+        ])
+    print(format_table(["pair", "human (bp)", "chimp (bp)", "matrix cells"], rows))
+
+    # All four pairs are megabase-scale with >10^15 cells each.
+    assert all(p.cells > 1e15 for p in PAPER_PAIRS)
+    assert len(PAPER_PAIRS) == 4
+
+    # Benchmark: synthesising one compute-mode stand-in pair.
+    human, chimp = benchmark(synthesize_pair, PAPER_PAIRS[0], scale=3e-4, seed=0)
+    assert human.size > 0 and chimp.size > 0

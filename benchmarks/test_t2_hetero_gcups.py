@@ -1,0 +1,48 @@
+"""T2 — GCUPS on environment 1 (3 heterogeneous GPUs), per chromosome pair.
+
+Paper claim (abstract): "obtaining a performance of up to 140.36 GCUPS
+with 3 heterogeneous GPUs".  This harness runs every chromosome pair at
+paper scale in timing mode on ENV1 with 1, 2 and 3 devices and prints the
+GCUPS table; the shape checks assert the headline (~140.3 with all three)
+and that adding devices monotonically increases throughput.
+"""
+
+from __future__ import annotations
+
+from repro.multigpu import time_multi_gpu
+from repro.perf import format_table, humanize_time
+from repro.workloads import PAPER_PAIRS
+
+from bench_helpers import paper_config, print_header
+
+
+def run_pair(pair, devices):
+    return time_multi_gpu(pair.human_len, pair.chimp_len, devices,
+                          config=paper_config())
+
+
+def test_t2_heterogeneous_gcups(benchmark, env1):
+    print_header("T2 ENV1 GCUPS", "up to 140.36 GCUPS with 3 heterogeneous GPUs")
+    rows = []
+    best_overall = 0.0
+    for pair in PAPER_PAIRS:
+        cells = []
+        for k in (1, 2, 3):
+            res = run_pair(pair, env1[:k])
+            cells.append(res)
+        best_overall = max(best_overall, cells[-1].gcups)
+        rows.append([
+            pair.name,
+            humanize_time(cells[-1].total_time_s),
+            *(f"{r.gcups:.2f}" for r in cells),
+        ])
+        # Monotone in device count for every pair.
+        assert cells[0].gcups < cells[1].gcups < cells[2].gcups
+    print(format_table(
+        ["pair", "time (3 GPUs)", "1 GPU", "2 GPUs", "3 GPUs (GCUPS)"], rows))
+    print(f"best observed: {best_overall:.2f} GCUPS (paper: 140.36)")
+
+    # The headline: within 1 GCUPS of the paper's 140.36.
+    assert abs(best_overall - 140.36) < 1.0
+
+    benchmark(run_pair, PAPER_PAIRS[0], env1)

@@ -1,0 +1,35 @@
+"""T3 — GCUPS on environment 2 (homogeneous Tesla pair), per chromosome pair.
+
+Paper: the strategy was evaluated on "2 different GPU environments"
+(abstract); ENV2 models the homogeneous compute-node configuration.  The
+harness prints per-pair GCUPS for 1 and 2 devices and asserts near-2x
+scaling (homogeneous slabs are balanced, so the chain's steady state is
+device-bound).
+"""
+
+from __future__ import annotations
+
+from repro.multigpu import time_multi_gpu
+from repro.perf import format_table
+from repro.workloads import PAPER_PAIRS
+
+from bench_helpers import paper_config, print_header
+
+
+def run_pair(pair, devices):
+    return time_multi_gpu(pair.human_len, pair.chimp_len, devices,
+                          config=paper_config())
+
+
+def test_t3_homogeneous_gcups(benchmark, env2):
+    print_header("T3 ENV2 GCUPS", "homogeneous pair scales the single-device rate")
+    rows = []
+    for pair in PAPER_PAIRS:
+        one = run_pair(pair, env2[:1])
+        two = run_pair(pair, env2)
+        ratio = two.gcups / one.gcups
+        rows.append([pair.name, f"{one.gcups:.2f}", f"{two.gcups:.2f}", f"{ratio:.3f}x"])
+        assert ratio > 1.9  # near-linear at megabase scale
+    print(format_table(["pair", "1 GPU", "2 GPUs", "scaling"], rows))
+
+    benchmark(run_pair, PAPER_PAIRS[0], env2)

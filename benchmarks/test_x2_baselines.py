@@ -1,0 +1,55 @@
+"""X2 — baseline comparison: multi-GPU chain vs single GPU vs inter-task vs CPU.
+
+The paper's motivation experiment: for ONE huge comparison, inter-task
+(database-search style) parallelism is bounded by the fastest single
+device, while the fine-grain chain uses all of them.  The CPU row anchors
+the simulated figures with a real wall-clock measurement of the NumPy
+kernel on this machine.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import Task, run_cpu, single_task_best_device, time_single_gpu
+from repro.multigpu import time_multi_gpu
+from repro.perf import format_table, humanize_time
+from repro.workloads import get_pair, synthesize_pair
+from repro.seq import DNA_DEFAULT
+
+from bench_helpers import paper_config, print_header
+
+PAIR = get_pair("chr22")
+
+
+def run_chain(env1):
+    return time_multi_gpu(PAIR.human_len, PAIR.chimp_len, env1,
+                          config=paper_config())
+
+
+def test_x2_baseline_comparison(benchmark, env1):
+    print_header("X2 baselines", "fine-grain chain beats any single device on one huge comparison")
+    chain = run_chain(env1)
+    fastest = max(env1, key=lambda d: d.gcups)
+    single = time_single_gpu(PAIR.human_len, PAIR.chimp_len, fastest,
+                             block_rows=8192)
+    intertask = single_task_best_device(Task(PAIR.human_len, PAIR.chimp_len), env1)
+
+    # CPU anchor: real wall time on a small compute-mode stand-in.
+    a, b = synthesize_pair(PAIR, scale=2e-4, seed=0)
+    cpu = run_cpu(a, b, DNA_DEFAULT)
+
+    rows = [
+        ["3-GPU chain (virtual)", f"{chain.gcups:.2f}", humanize_time(chain.total_time_s)],
+        [f"best single GPU: {fastest.name} (virtual)", f"{single.gcups:.2f}",
+         humanize_time(single.total_time_s)],
+        ["inter-task on 3 GPUs (virtual)", f"{intertask.gcups:.2f}",
+         humanize_time(intertask.makespan_s)],
+        ["CPU NumPy kernel (wall, small stand-in)", f"{cpu.gcups:.3f}", "-"],
+    ]
+    print(format_table(["configuration", "GCUPS", "chr22 time"], rows))
+
+    # Shape claims: the chain wins by roughly the aggregate/fastest ratio.
+    assert chain.gcups > 2.3 * single.gcups
+    assert abs(intertask.gcups - single.gcups) / single.gcups < 0.05
+    assert cpu.gcups < single.gcups  # a host kernel is no GPU
+
+    benchmark(run_chain, env1)

@@ -1,0 +1,50 @@
+"""X3 — ablation: block-row height and the autotuner's choice.
+
+The block-row height is the chain's main hand-tuned knob (border
+granularity vs pipeline fill).  The harness sweeps it on ENV1 at paper
+scale, prints the GCUPS curve, and checks that the analytic autotuner's
+pick is within 1% of the best swept configuration.
+"""
+
+from __future__ import annotations
+
+from repro.multigpu import ChainConfig, autotune, time_multi_gpu
+from repro.perf import format_table
+from repro.workloads import get_pair
+
+from bench_helpers import print_header
+
+PAIR = get_pair("chr22")
+SWEEP = (256, 1024, 4096, 16384, 65536)
+
+
+def run(block_rows: int):
+    return time_multi_gpu(PAIR.human_len, PAIR.chimp_len, _ENV,
+                          config=ChainConfig(block_rows=block_rows,
+                                             channel_capacity=8))
+
+
+_ENV = None  # bound in the test for fixture access
+
+
+def test_x3_autotune(benchmark, env1):
+    global _ENV
+    _ENV = env1
+    print_header("X3 autotune", "analytic model picks a near-optimal block height")
+    rows = []
+    best_swept = 0.0
+    for br in SWEEP:
+        res = run(br)
+        best_swept = max(best_swept, res.gcups)
+        rows.append([str(br), f"{res.gcups:.2f}"])
+    tuned = autotune(env1, PAIR.human_len, PAIR.chimp_len)
+    tuned_sim = time_multi_gpu(PAIR.human_len, PAIR.chimp_len, env1,
+                               config=tuned.config)
+    rows.append([f"autotuned ({tuned.config.block_rows})", f"{tuned_sim.gcups:.2f}"])
+    print(format_table(["block rows", "GCUPS"], rows))
+    print(f"model predicted {tuned.predicted_gcups:.2f} GCUPS "
+          f"over {tuned.evaluated} candidates")
+
+    assert tuned_sim.gcups >= best_swept * 0.99
+
+    benchmark(run, 4096)

@@ -1,0 +1,55 @@
+"""X4 — extension: the chain across nodes (interconnect sensitivity).
+
+The paper's strategy confined the chain to one host; extending it across
+nodes adds a network hop to boundary channels.  The harness compares a
+4-GPU single-host chain against 2+2 across two hosts for a range of
+interconnects, printing where the network starts to gate the wavefront.
+"""
+
+from __future__ import annotations
+
+from repro.comm import NetworkLink
+from repro.device import TESLA_M2090, homogeneous
+from repro.multigpu import ChainConfig, ClusterChain, MultiGpuChain, Node, PhantomWorkload
+from repro.perf import format_table
+
+from bench_helpers import print_header
+
+ROWS = COLS = 20_000_000
+CFG = ChainConfig(block_rows=8192, channel_capacity=8)
+
+LINKS = (
+    NetworkLink(gbps=7.0, latency_s=2e-6, name="InfiniBand FDR"),
+    NetworkLink(gbps=1.25, latency_s=20e-6, name="10 GbE"),
+    NetworkLink(gbps=0.125, latency_s=50e-6, name="1 GbE"),
+    # Slow enough that one 64 KiB border segment outlasts a block-row
+    # compute at this slab width — the link becomes the pipeline period.
+    NetworkLink(gbps=1e-5, latency_s=2e-4, name="80 kbps WAN"),
+)
+
+
+def run_cluster(link: NetworkLink):
+    nodes = [Node("n0", homogeneous(TESLA_M2090, 2), uplink=link),
+             Node("n1", homogeneous(TESLA_M2090, 2))]
+    return ClusterChain(nodes, config=CFG).run(PhantomWorkload(ROWS, COLS))
+
+
+def test_x4_cluster_interconnects(benchmark):
+    print_header("X4 cluster", "the chain extends across nodes until the link gates it")
+    single = MultiGpuChain(homogeneous(TESLA_M2090, 4), config=CFG).run(
+        PhantomWorkload(ROWS, COLS))
+    rows = [["single host (4 GPUs)", f"{single.gcups:.2f}", "-"]]
+    results = {}
+    for link in LINKS:
+        res = run_cluster(link)
+        results[link.name] = res
+        rows.append([f"2+2 over {link.name}", f"{res.gcups:.2f}",
+                     f"{res.gcups / single.gcups:.1%}"])
+    print(format_table(["configuration", "GCUPS", "vs single host"], rows))
+
+    # Fast links preserve the single-host rate; the WAN link gates it.
+    assert results["InfiniBand FDR"].gcups > 0.99 * single.gcups
+    assert results["10 GbE"].gcups > 0.97 * single.gcups
+    assert results["80 kbps WAN"].gcups < 0.6 * single.gcups
+
+    benchmark(run_cluster, LINKS[1])

@@ -1,0 +1,48 @@
+"""X5 — campaign strategies: fine-grain chaining vs per-pair placement.
+
+The paper's full evaluation is a campaign over four chromosome pairs.
+This harness runs the whole campaign both ways on ENV1: ``chained`` (each
+pair over all GPUs via the paper's strategy, sequentially) and ``split``
+(each pair on its own device, concurrently).  On a heterogeneous machine
+with unequal pairs, chaining wins BOTH makespan and mean per-comparison
+latency — fine-grain parallelism subsumes the inter-task alternative even
+for multi-pair workloads.
+"""
+
+from __future__ import annotations
+
+from repro.multigpu import run_campaign_chained, run_campaign_split
+from repro.perf import format_table, humanize_time
+from repro.workloads import PAPER_PAIRS
+
+from bench_helpers import paper_config, print_header
+
+
+def run_both(env1):
+    cfg = paper_config()
+    return (run_campaign_chained(PAPER_PAIRS, env1, config=cfg),
+            run_campaign_split(PAPER_PAIRS, env1, config=cfg))
+
+
+def test_x5_campaign_strategies(benchmark, env1):
+    print_header("X5 campaign", "chaining beats per-pair placement on makespan AND latency")
+    chained, split = run_both(env1)
+    rows = []
+    for res in (chained, split):
+        rows.append([
+            res.strategy,
+            humanize_time(res.makespan_s),
+            f"{res.aggregate_gcups:.2f}",
+            humanize_time(res.mean_latency_s),
+        ])
+    print(format_table(["strategy", "makespan", "aggregate GCUPS", "mean latency"], rows))
+    per_pair = [[i.pair.name, humanize_time(i.end_s), f"{i.gcups:.2f}"]
+                for i in chained.items]
+    print("\nchained per-pair completion:")
+    print(format_table(["pair", "done at", "GCUPS"], per_pair))
+
+    assert chained.makespan_s < split.makespan_s
+    assert chained.mean_latency_s < split.mean_latency_s
+    assert chained.aggregate_gcups > 1.15 * split.aggregate_gcups
+
+    benchmark(run_both, env1)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Planning a heterogeneous GPU mix for megabase comparison.
+
+Given a box of mismatched GPUs, how should the matrix be split, and what
+does each choice cost?  Sweeps partition strategies on a custom four-device
+mix at paper scale (timing mode — no cells computed) and prints the
+utilisation story, then shows what the analytic model predicts for an
+upgrade (swapping the slowest card).
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from repro.device import GTX_560_TI, GTX_580, GTX_680, TESLA_K20
+from repro.multigpu import (
+    ChainConfig,
+    explicit_partition,
+    imbalance,
+    proportional_partition,
+    predict_chain,
+    time_multi_gpu,
+)
+from repro.perf import format_table, humanize_time
+from repro.workloads import get_pair
+
+PAIR = get_pair("chr19")
+CFG = ChainConfig(block_rows=8192, channel_capacity=8)
+
+
+def report(label, devices, partition=None):
+    res = time_multi_gpu(PAIR.human_len, PAIR.chimp_len, devices,
+                         config=CFG, partition=partition)
+    worst_wait = max(bd["wait"] + bd["idle"] for bd in res.breakdown())
+    return res, [label, f"{res.gcups:.2f}", humanize_time(res.total_time_s),
+                 f"{worst_wait:.1%}"]
+
+
+def main() -> None:
+    devices = (GTX_560_TI, GTX_580, GTX_680, TESLA_K20)
+    print(f"device mix: {', '.join(d.name for d in devices)}")
+    print(f"aggregate peak: {sum(d.gcups for d in devices):.1f} GCUPS")
+    print(f"workload: {PAIR.name} at paper scale "
+          f"({PAIR.human_len:,} x {PAIR.chimp_len:,})\n")
+
+    n = PAIR.chimp_len
+    k = len(devices)
+    eq = explicit_partition(n, [n // k] * (k - 1) + [n - (k - 1) * (n // k)])
+
+    rows = []
+    _, row = report("proportional (the paper's)", devices)
+    rows.append(row)
+    _, row = report("equal slabs", devices, partition=eq)
+    rows.append(row)
+    print(format_table(["partition", "GCUPS", "chr19 time", "worst wait+idle"], rows))
+
+    prop = proportional_partition(n, [d.gcups for d in devices])
+    print(f"\nproportional slab widths: {[s.cols for s in prop]}")
+    print(f"equal-split imbalance vs weights: {imbalance(eq, [d.gcups for d in devices]):.2f}")
+
+    # What-if: replace the GTX 560 Ti with a second K20 (model only, instant).
+    upgraded = (TESLA_K20, GTX_580, GTX_680, TESLA_K20)
+    slabs = proportional_partition(n, [d.gcups for d in upgraded])
+    pred = predict_chain(upgraded, slabs, PAIR.human_len, CFG)
+    print(f"\nupgrade what-if (560 Ti -> K20, analytic model): "
+          f"{pred.gcups(PAIR.cells):.2f} GCUPS, "
+          f"{humanize_time(pred.total_s)} total, bottleneck: {pred.bottleneck}")
+
+
+if __name__ == "__main__":
+    main()

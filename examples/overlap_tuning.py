@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Tuning the circular buffer: when is communication actually hidden?
+
+Uses the analytic overlap model to find, for a given device pair and block
+height, the minimum slab width at which border transfers hide behind
+compute — then verifies the prediction with the event simulator on both
+sides of the crossover and sweeps the buffer capacity.
+
+Run:  python examples/overlap_tuning.py
+"""
+
+from repro.device import DeviceSpec
+from repro.multigpu import (
+    ChainConfig,
+    block_row_time,
+    channel_segment_cost,
+    min_overlap_width,
+    time_multi_gpu,
+)
+from repro.perf import format_table
+
+
+def main() -> None:
+    # A device with a deliberately slow link so the effect is visible.
+    dev = DeviceSpec("DemoGPU", gcups=40.0, pcie_gbps=0.01,
+                     pcie_latency_s=100e-6, saturation_cols=0)
+    block_rows = 2048
+
+    x = channel_segment_cost(dev, dev, block_rows, pipelined=True)
+    w_min = min_overlap_width(dev, dev, block_rows)
+    print(f"per-segment channel cost : {x * 1e3:.2f} ms")
+    print(f"block-row compute at w_min: "
+          f"{block_row_time(dev, w_min, block_rows) * 1e3:.2f} ms")
+    print(f"minimum slab width for full overlap: {w_min:,} columns\n")
+
+    rows = []
+    for factor, label in ((0.25, "starved"), (1.0, "crossover"), (4.0, "hidden")):
+        cols = 2 * int(w_min * factor)
+        res = time_multi_gpu(1_000_000, cols, (dev, dev),
+                             config=ChainConfig(block_rows=block_rows,
+                                                channel_capacity=8))
+        eff = res.gcups / (2 * dev.gcups)
+        rows.append([label, f"{cols // 2:,}", f"{res.gcups:.2f}", f"{eff:.1%}"])
+    print(format_table(["regime", "slab cols", "GCUPS", "efficiency"], rows))
+
+    print("\nbuffer capacity sweep at the crossover width:")
+    cols = 2 * w_min
+    rows = []
+    for cap in (1, 2, 4, 16):
+        res = time_multi_gpu(1_000_000, cols, (dev, dev),
+                             config=ChainConfig(block_rows=block_rows,
+                                                channel_capacity=cap,
+                                                device_slots=1 if cap == 1 else 2))
+        rows.append([str(cap), f"{res.gcups:.2f}",
+                     f"{res.channels[0].producer_blocked_s:.2f}s"])
+    print(format_table(["slots", "GCUPS", "producer blocked"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Baselines the paper compares against (single GPU, CPU, inter-task)."""
+
+from .cpu import CpuResult, run_cpu
+from .intertask import ScheduleResult, Task, schedule_intertask, single_task_best_device, task_time
+from .single_gpu import SingleGpuResult, run_single_gpu, time_single_gpu
+
+__all__ = [
+    "CpuResult",
+    "run_cpu",
+    "ScheduleResult",
+    "Task",
+    "schedule_intertask",
+    "single_task_best_device",
+    "task_time",
+    "SingleGpuResult",
+    "run_single_gpu",
+    "time_single_gpu",
+]

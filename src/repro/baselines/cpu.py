@@ -1,0 +1,44 @@
+"""CPU baseline: the vectorised kernel on the host, wall-clock timed.
+
+This is the only component of the library measured in *wall* time — it
+answers "what does a plain NumPy host implementation sustain on this
+machine" and anchors the simulated GCUPS figures (every simulated result
+is labelled as virtual-clock; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..seq.scoring import Scoring
+from ..sw.kernel import BestCell, sw_score
+
+
+@dataclass
+class CpuResult:
+    """Wall-clock outcome of a host-kernel run."""
+
+    best: BestCell
+    wall_time_s: float
+    cells: int
+
+    @property
+    def gcups(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.cells / self.wall_time_s / 1e9
+
+    @property
+    def score(self) -> int:
+        return self.best.score if self.best.row >= 0 else 0
+
+
+def run_cpu(a_codes: np.ndarray, b_codes: np.ndarray, scoring: Scoring) -> CpuResult:
+    """Sweep the whole matrix on the host and measure wall time."""
+    t0 = time.perf_counter()
+    best = sw_score(a_codes, b_codes, scoring)
+    elapsed = time.perf_counter() - t0
+    return CpuResult(best=best, wall_time_s=elapsed, cells=int(a_codes.size) * int(b_codes.size))

@@ -1,0 +1,103 @@
+"""Inter-task baseline: the CUDASW++-shaped comparator.
+
+Database-search aligners (CUDASW++ and kin) exploit **inter-task**
+parallelism: many independent small comparisons, each computed whole on
+one device.  That strategy cannot accelerate a *single* huge comparison —
+the situation the paper targets — because one task cannot be split across
+devices.  This baseline makes that contrast measurable:
+
+* given K independent (rows, cols) tasks, greedily schedule each whole
+  task onto the device that becomes free first (longest-processing-time
+  order), and report the makespan;
+* given ONE huge task, the makespan is simply the fastest single device's
+  time — the paper's fine-grain chain is the only way the extra devices
+  contribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..device.spec import DeviceSpec
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent comparison of an (rows x cols) matrix."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigError("task dimensions must be positive")
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of inter-task scheduling."""
+
+    makespan_s: float
+    per_device_busy_s: list[float]
+    assignments: list[int]  #: task index -> device index
+    cells: int
+
+    @property
+    def gcups(self) -> float:
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.cells / self.makespan_s / 1e9
+
+
+def task_time(task: Task, spec: DeviceSpec) -> float:
+    """Virtual time for one whole task on one device."""
+    return task.cells / spec.effective_rate(task.cols)
+
+
+def schedule_intertask(tasks: Sequence[Task], devices: Sequence[DeviceSpec]) -> ScheduleResult:
+    """LPT greedy scheduling of whole tasks onto devices.
+
+    Longest task first, always onto the device with the least accumulated
+    busy time (weighted by device speed).  Returns the makespan — the
+    inter-task strategy's best case for the given task mix.
+    """
+    if not tasks:
+        raise ConfigError("need at least one task")
+    if not devices:
+        raise ConfigError("need at least one device")
+    order = sorted(range(len(tasks)), key=lambda i: tasks[i].cells, reverse=True)
+    busy = [0.0] * len(devices)
+    assignments = [-1] * len(tasks)
+    for i in order:
+        # Device that would finish this task earliest.
+        finish = [busy[d] + task_time(tasks[i], devices[d]) for d in range(len(devices))]
+        d = finish.index(min(finish))
+        busy[d] = finish[d]
+        assignments[i] = d
+    return ScheduleResult(
+        makespan_s=max(busy),
+        per_device_busy_s=busy,
+        assignments=assignments,
+        cells=sum(t.cells for t in tasks),
+    )
+
+
+def single_task_best_device(task: Task, devices: Sequence[DeviceSpec]) -> ScheduleResult:
+    """What inter-task parallelism achieves on ONE huge comparison: the
+    fastest device works alone, the rest idle."""
+    times = [task_time(task, d) for d in devices]
+    d = times.index(min(times))
+    busy = [0.0] * len(devices)
+    busy[d] = times[d]
+    return ScheduleResult(
+        makespan_s=times[d],
+        per_device_busy_s=busy,
+        assignments=[d],
+        cells=task.cells,
+    )

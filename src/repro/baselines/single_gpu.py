@@ -1,0 +1,135 @@
+"""Single-GPU baseline (the CUDAlign-2.1-shaped comparator).
+
+One simulated device sweeps the whole matrix in block rows — no
+partitioning, no border channels.  Optionally applies block pruning
+(the single-GPU optimisation the multi-GPU chain forgoes, because a
+pruning decision on device *g* would need the running best score from
+every other device).
+
+Like the chain, it runs in compute mode (real cells, exact score) or
+timing mode (virtual clock only, any scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.engine import Engine
+from ..device.gpu import SimulatedGPU
+from ..device.spec import DeviceSpec
+from ..errors import ConfigError
+from ..seq.scoring import Scoring
+from ..sw.blocks import BlockedOutcome, compute_blocked
+from ..sw.kernel import BestCell
+from ..sw.pruning import BlockPruner
+
+
+@dataclass
+class SingleGpuResult:
+    """Outcome of a single-device run (virtual-clock timing)."""
+
+    best: BestCell
+    total_time_s: float
+    cells: int
+    cells_computed: int
+    pruned_fraction: float
+
+    @property
+    def gcups(self) -> float:
+        """Matrix cells over virtual time — comparable to the chain's
+        figure (pruning raises it by skipping cells)."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.cells / self.total_time_s / 1e9
+
+    @property
+    def score(self) -> int:
+        return self.best.score if self.best.row >= 0 else 0
+
+
+def run_single_gpu(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    spec: DeviceSpec,
+    *,
+    block_rows: int = 512,
+    block_cols: int | None = None,
+    prune: bool = False,
+) -> SingleGpuResult:
+    """Compute-mode single-GPU run: exact score, virtual-clock timing.
+
+    ``block_cols`` defaults to ``block_rows``; pruning operates per block,
+    so 2-D blocking (not full-width stripes) is what lets similar-sequence
+    runs skip off-diagonal work.
+    """
+    m, n = int(a_codes.size), int(b_codes.size)
+    if block_cols is None:
+        block_cols = block_rows
+    pruner = BlockPruner(match=scoring.match) if prune else None
+    outcome: BlockedOutcome = compute_blocked(
+        a_codes, b_codes, scoring,
+        block_rows=block_rows, block_cols=block_cols, pruner=pruner,
+    )
+    computed = outcome.cells_total - outcome.cells_pruned
+    engine = Engine()
+    gpu = SimulatedGPU(engine, spec)
+
+    def proc():
+        # One compute charge per block row over the full width; pruned
+        # cells are charged nothing (the device skips those blocks).
+        rows_done = 0
+        remaining = computed
+        while rows_done < m:
+            rows = min(block_rows, m - rows_done)
+            cells = min(remaining, rows * n)
+            if cells > 0:
+                yield from gpu.compute(cells, n, block_rows=rows)
+                remaining -= cells
+            rows_done += rows
+
+    engine.process(proc(), "single-gpu")
+    total = engine.run()
+    return SingleGpuResult(
+        best=outcome.best,
+        total_time_s=total,
+        cells=m * n,
+        cells_computed=computed,
+        pruned_fraction=outcome.pruned_fraction,
+    )
+
+
+def time_single_gpu(
+    rows: int,
+    cols: int,
+    spec: DeviceSpec,
+    *,
+    block_rows: int = 512,
+    pruned_fraction: float = 0.0,
+) -> SingleGpuResult:
+    """Timing-mode single-GPU run at arbitrary scale.
+
+    *pruned_fraction* models block pruning's effect without computing
+    cells (use a measured fraction from a compute-mode run).
+    """
+    if not 0.0 <= pruned_fraction < 1.0:
+        raise ConfigError("pruned_fraction must be in [0, 1)")
+    cells = rows * cols
+    computed = int(cells * (1.0 - pruned_fraction))
+    engine = Engine()
+    gpu = SimulatedGPU(engine, spec)
+
+    def proc():
+        yield from gpu.compute(max(1, computed), cols)
+
+    engine.process(proc(), "single-gpu")
+    total = engine.run()
+    return SingleGpuResult(
+        best=BestCell.none(),
+        total_time_s=total,
+        cells=cells,
+        cells_computed=computed,
+        pruned_fraction=pruned_fraction,
+    )

@@ -1,0 +1,258 @@
+"""Command-line interface: the ``mgsw`` tool.
+
+Subcommands:
+
+* ``mgsw generate`` — write a synthetic homologous chromosome pair as FASTA;
+* ``mgsw align A.fa B.fa`` — exact multi-GPU comparison (score, end point,
+  virtual GCUPS; ``--trace`` also reconstructs the alignment);
+* ``mgsw time ROWS COLS`` — timing-mode run at arbitrary (paper) scale;
+* ``mgsw tune ROWS COLS`` — autotune block height + buffer capacity;
+* ``mgsw campaign`` — the 4-pair paper campaign, both strategies;
+* ``mgsw stats`` — Karlin-Altschul significance thresholds;
+* ``mgsw dotplot A.fa B.fa`` — coarse text dotplot;
+* ``mgsw devices`` — list the built-in device presets and environments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import seq, workloads
+from .device import spec as device_spec
+from .device.spec import DeviceSpec
+from .errors import ReproError
+from .multigpu import (
+    ChainConfig,
+    align_multi_gpu,
+    autotune,
+    run_campaign_chained,
+    run_campaign_split,
+    time_multi_gpu,
+)
+from .perf import format_table, humanize_cells, humanize_time
+from .sw import align_local
+
+#: Name -> preset mapping for --gpu flags.
+PRESETS: dict[str, DeviceSpec] = {
+    "gtx560ti": device_spec.GTX_560_TI,
+    "gtx580": device_spec.GTX_580,
+    "gtx680": device_spec.GTX_680,
+    "k20": device_spec.TESLA_K20,
+    "m2090": device_spec.TESLA_M2090,
+}
+
+ENVIRONMENTS: dict[str, tuple[DeviceSpec, ...]] = {
+    "env1": device_spec.ENV1_HETEROGENEOUS,
+    "env2": device_spec.ENV2_HOMOGENEOUS,
+}
+
+
+def _devices_from_args(args: argparse.Namespace) -> tuple[DeviceSpec, ...]:
+    if args.env:
+        return ENVIRONMENTS[args.env]
+    if args.gpu:
+        return tuple(PRESETS[name] for name in args.gpu)
+    return ENVIRONMENTS["env1"]
+
+
+def _add_device_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--env", choices=sorted(ENVIRONMENTS), default=None,
+                   help="named GPU environment (default: env1)")
+    p.add_argument("--gpu", action="append", choices=sorted(PRESETS), default=None,
+                   help="add one device by preset name (repeatable)")
+    p.add_argument("--block-rows", type=int, default=512,
+                   help="block row height (border segment granularity)")
+    p.add_argument("--buffer", type=int, default=4,
+                   help="circular-buffer capacity in segments")
+
+
+def cmd_align(args: argparse.Namespace) -> int:
+    a = seq.read_single(args.seq_a).codes
+    b = seq.read_single(args.seq_b).codes
+    devices = _devices_from_args(args)
+    cfg = ChainConfig(block_rows=args.block_rows, channel_capacity=args.buffer)
+    res = align_multi_gpu(a, b, seq.DNA_DEFAULT, devices, config=cfg)
+    from .perf.report import chain_report
+
+    print(chain_report(res, title=f"{args.seq_a} vs {args.seq_b}"))
+    if args.trace and res.score > 0:
+        aln = align_local(a, b, seq.DNA_DEFAULT)
+        print(aln.pretty(a, b))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    pair = workloads.get_pair(args.pair)
+    human, chimp = workloads.synthesize_pair(pair, scale=args.scale, seed=args.seed)
+    seq.write_fasta(args.out_a, seq.FastaRecord(
+        name=f"human_{pair.name}", description=f"synthetic {pair.human_label} scale={args.scale}",
+        codes=human))
+    seq.write_fasta(args.out_b, seq.FastaRecord(
+        name=f"chimp_{pair.name}", description=f"synthetic {pair.chimp_label} scale={args.scale}",
+        codes=chimp))
+    print(f"wrote {args.out_a} ({len(human)} bp) and {args.out_b} ({len(chimp)} bp)")
+    return 0
+
+
+def cmd_time(args: argparse.Namespace) -> int:
+    devices = _devices_from_args(args)
+    cfg = ChainConfig(block_rows=args.block_rows, channel_capacity=args.buffer)
+    res = time_multi_gpu(args.rows, args.cols, devices, config=cfg)
+    print(f"matrix: {args.rows} x {args.cols} = {humanize_cells(args.rows * args.cols)}")
+    print(f"virtual time: {humanize_time(res.total_time_s)}  ->  {res.gcups:.2f} GCUPS")
+    for g, bd in zip(res.gpus, res.breakdown()):
+        print(f"  {g.name}: {g.slab.cols} cols  compute={bd['compute']:.1%} "
+              f"wait={bd['wait']:.1%} idle={bd['idle']:.1%}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    devices = _devices_from_args(args)
+    result = autotune(devices, args.rows, args.cols)
+    print(f"devices: {', '.join(d.name for d in devices)}")
+    print(f"matrix : {args.rows:,} x {args.cols:,}")
+    print(f"choice : block_rows={result.config.block_rows} "
+          f"buffer={result.config.channel_capacity}")
+    print(f"model  : {result.predicted_gcups:.2f} GCUPS predicted "
+          f"({humanize_time(result.predicted_total_s)}), "
+          f"{result.evaluated} candidates evaluated")
+    if args.verify:
+        sim = time_multi_gpu(args.rows, args.cols, devices, config=result.config)
+        print(f"simulated: {sim.gcups:.2f} GCUPS ({humanize_time(sim.total_time_s)})")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    devices = _devices_from_args(args)
+    cfg = ChainConfig(block_rows=args.block_rows, channel_capacity=args.buffer)
+    pairs = list(workloads.PAPER_PAIRS)
+    for strategy, runner in (("chained", run_campaign_chained),
+                             ("split", run_campaign_split)):
+        res = runner(pairs, devices, config=cfg)
+        print(f"\n{strategy}: makespan {humanize_time(res.makespan_s)}, "
+              f"aggregate {res.aggregate_gcups:.2f} GCUPS, "
+              f"mean latency {humanize_time(res.mean_latency_s)}")
+        rows = [
+            [item.pair.name, humanize_time(item.start_s), humanize_time(item.end_s),
+             f"{item.gcups:.2f}"]
+            for item in res.items
+        ]
+        print(format_table(["pair", "start", "end", "GCUPS"], rows))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .stats import dna_statistics
+
+    st = dna_statistics(seq.DNA_DEFAULT, k_samples=args.samples, seed=args.seed)
+    print(f"scheme: match={seq.DNA_DEFAULT.match} mismatch={seq.DNA_DEFAULT.mismatch} "
+          f"gap {seq.DNA_DEFAULT.gap_open}/{seq.DNA_DEFAULT.gap_extend}")
+    print(f"lambda = {st.lam:.4f} (exact)   K = {st.k:.3f} (Monte-Carlo, "
+          f"{args.samples} samples)")
+    m, n = args.rows, args.cols
+    print(f"\nfor an {m:,} x {n:,} comparison:")
+    rows = []
+    for e in (10.0, 1.0, 1e-3, 1e-10):
+        s = st.score_for_evalue(e, m, n)
+        rows.append([f"{e:g}", str(s), f"{st.bit_score(s):.1f}"])
+    print(format_table(["E-value", "min score", "bits"], rows))
+    return 0
+
+
+def cmd_dotplot(args: argparse.Namespace) -> int:
+    from .perf.dotplot import dotplot as make_dotplot
+
+    a = seq.read_single(args.seq_a).codes
+    b = seq.read_single(args.seq_b).codes
+    plot = make_dotplot(a, b, seq.DNA_DEFAULT, tiles=args.tiles)
+    print(f"dotplot of {len(a):,} bp vs {len(b):,} bp "
+          f"({plot.tile_rows} x {plot.tile_cols} bp tiles)")
+    print(plot.render(threshold=args.threshold))
+    print(f"diagonal fraction: {plot.diagonal_fraction():.1%}")
+    return 0
+
+
+def cmd_devices(_args: argparse.Namespace) -> int:
+    rows = [
+        [name, d.name, f"{d.gcups:.1f}", f"{d.pcie_gbps:.1f}", str(d.copy_engines)]
+        for name, d in sorted(PRESETS.items())
+    ]
+    print(format_table(["preset", "device", "GCUPS", "PCIe GB/s", "copy engines"], rows))
+    print()
+    for name, env in ENVIRONMENTS.items():
+        total = sum(d.gcups for d in env)
+        print(f"{name}: {', '.join(d.name for d in env)}  (aggregate {total:.1f} GCUPS)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="mgsw", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("align", help="exact multi-GPU comparison of two FASTA files")
+    p.add_argument("seq_a")
+    p.add_argument("seq_b")
+    p.add_argument("--trace", action="store_true", help="also reconstruct the alignment")
+    _add_device_args(p)
+    p.set_defaults(func=cmd_align)
+
+    p = sub.add_parser("generate", help="write a synthetic homolog pair as FASTA")
+    p.add_argument("pair", choices=[c.name for c in workloads.PAPER_PAIRS])
+    p.add_argument("out_a")
+    p.add_argument("out_b")
+    p.add_argument("--scale", type=float, default=1e-3,
+                   help="fraction of the real chromosome length (default 1e-3)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("time", help="timing-mode run at arbitrary scale")
+    p.add_argument("rows", type=int)
+    p.add_argument("cols", type=int)
+    _add_device_args(p)
+    p.set_defaults(func=cmd_time)
+
+    p = sub.add_parser("tune", help="autotune block height and buffer capacity")
+    p.add_argument("rows", type=int)
+    p.add_argument("cols", type=int)
+    p.add_argument("--verify", action="store_true",
+                   help="also run the event simulator on the chosen config")
+    _add_device_args(p)
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("campaign", help="run the 4-pair paper campaign, both strategies")
+    _add_device_args(p)
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("stats", help="Karlin-Altschul significance thresholds")
+    p.add_argument("rows", type=int, nargs="?", default=35_194_566)
+    p.add_argument("cols", type=int, nargs="?", default=35_083_970)
+    p.add_argument("--samples", type=int, default=120)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("dotplot", help="coarse text dotplot of two FASTA files")
+    p.add_argument("seq_a")
+    p.add_argument("seq_b")
+    p.add_argument("--tiles", type=int, default=24)
+    p.add_argument("--threshold", type=float, default=0.15)
+    p.set_defaults(func=cmd_dotplot)
+
+    p = sub.add_parser("devices", help="list device presets and environments")
+    p.set_defaults(func=cmd_devices)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

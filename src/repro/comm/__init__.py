@@ -1,0 +1,15 @@
+"""Communication substrate: circular buffers and border channels."""
+
+from .channel import BorderChannel, BorderSegment
+from .network import InterNodeChannel, NetworkLink
+from .ringbuf import RingBuffer, RingStats, SimRingBuffer
+
+__all__ = [
+    "BorderChannel",
+    "BorderSegment",
+    "InterNodeChannel",
+    "NetworkLink",
+    "RingBuffer",
+    "RingStats",
+    "SimRingBuffer",
+]

@@ -1,0 +1,133 @@
+"""Border channel between neighbouring GPUs: D2H → host ring → H2D.
+
+The paper's communication path for one border segment is:
+
+1. the producer GPU's async copy engine moves the segment to a free slot
+   of a **host circular buffer** (D2H over the producer's PCIe link);
+2. a CPU thread hands the slot to the consumer side;
+3. the consumer GPU's copy engine pulls it in (H2D over its own link),
+   freeing the slot.
+
+:class:`BorderChannel` models exactly that: a slot semaphore (the circular
+buffer's capacity), the two PCIe hops charged to each GPU's copy engines,
+and a small device-side ring on each end so transfers overlap compute
+(double buffering).  Setting ``capacity=1`` and/or using the synchronous
+send/recv paths degenerates to rendezvous communication — the ablations.
+
+Segments are opaque to the channel except for their byte size; in
+compute mode they carry real ``(h_right, e_right, corner)`` arrays, in
+timing mode just metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..device.engine import Engine, Semaphore
+from ..device.gpu import SimulatedGPU
+from ..errors import CommError
+from .ringbuf import SimRingBuffer
+
+
+@dataclass(frozen=True)
+class BorderSegment:
+    """One block row's border: payload plus transfer-size accounting."""
+
+    index: int          #: block-row index this border belongs to
+    nbytes: int         #: transfer size (H + E columns, plus the corner)
+    payload: Any = None  #: real border arrays in compute mode, None in timing mode
+
+
+class BorderChannel:
+    """One directed link from GPU ``src`` to GPU ``dst`` (see module doc)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        src: SimulatedGPU,
+        dst: SimulatedGPU,
+        *,
+        capacity: int = 4,
+        device_slots: int = 2,
+        label: str = "",
+    ) -> None:
+        if capacity <= 0:
+            raise CommError("channel capacity must be positive")
+        if device_slots <= 0:
+            raise CommError("device_slots must be positive")
+        self.engine = engine
+        self.src = src
+        self.dst = dst
+        self.label = label or f"ch{src.index}->{dst.index}"
+        self.host_slots = Semaphore(engine, capacity, f"{self.label}.slots")
+        self.host_ring = SimRingBuffer(engine, capacity, f"{self.label}.host")
+        # Device-side staging: producer output slots and consumer input ring.
+        self.src_out_slots = Semaphore(engine, device_slots, f"{self.label}.srcout")
+        self.dst_in_ring = SimRingBuffer(engine, device_slots, f"{self.label}.dstin")
+        self.segments_sent = 0
+        self.segments_received = 0
+
+    # -- asynchronous path (the paper's mechanism) ---------------------------
+    def reserve_out_slot(self):
+        """Process step for the producer: wait for a device output slot.
+
+        The producer GPU acquires a slot *before* computing a block row so
+        its compute stalls only when the whole buffering chain (device
+        slots + host circular buffer) is full — exactly the backpressure
+        the real system has.
+        """
+        return self.src_out_slots.acquire()
+
+    def sender(self, segment: BorderSegment):
+        """Process: stage one segment out (D2H, then into the host ring).
+
+        Spawn one per block row; FIFO order is preserved by the engine's
+        deterministic scheduling plus the copy-engine lock.
+        """
+        yield self.host_slots.acquire()
+        yield from self.src.copy_to_host(segment.nbytes)
+        self.src_out_slots.release()
+        yield self.host_ring.put(segment)
+        self.segments_sent += 1
+
+    def receiver_pump(self, total_segments: int):
+        """Process: continuously pull segments to the consumer's device.
+
+        Runs for the lifetime of the transfer (one per channel): host ring
+        → H2D on the destination GPU → device input ring.  The consumer's
+        compute loop takes from :attr:`dst_in_ring`.
+        """
+        for _ in range(total_segments):
+            segment = yield self.host_ring.get()
+            yield from self.dst.copy_to_device(segment.nbytes)
+            self.host_slots.release()
+            yield self.dst_in_ring.put(segment)
+            self.segments_received += 1
+
+    def consume(self):
+        """Event for the consumer's compute loop: the next border segment."""
+        return self.dst_in_ring.get()
+
+    def aux_processes(self, total_segments: int):
+        """Extra processes a channel variant needs (none for intra-node);
+        the chain engine spawns everything this yields."""
+        return iter(())
+
+    # -- synchronous path (ablation) ----------------------------------------
+    def send_sync(self, segment: BorderSegment):
+        """Process: blocking send — the producer stalls through D2H and
+        until the host slot is free (no overlap)."""
+        yield self.host_slots.acquire()
+        yield from self.src.copy_to_host(segment.nbytes)
+        self.src_out_slots.release()
+        yield self.host_ring.put(segment)
+        self.segments_sent += 1
+
+    def recv_sync(self):
+        """Process: blocking receive — the consumer stalls through H2D."""
+        segment = yield self.host_ring.get()
+        yield from self.dst.copy_to_device(segment.nbytes)
+        self.host_slots.release()
+        self.segments_received += 1
+        return segment

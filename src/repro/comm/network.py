@@ -1,0 +1,117 @@
+"""Inter-node border channel: D2H → NIC → NIC → H2D.
+
+The paper runs its chain inside one host; its natural extension (and the
+direction the system family later took) is a chain spanning *nodes*, where
+a border segment crossing a host boundary additionally traverses the
+network.  :class:`InterNodeChannel` models that path:
+
+1. producer GPU D2H into the sender-side host ring (as intra-node),
+2. a relay process moves the segment across a shared :class:`NetworkLink`
+   (bandwidth + latency, serialised per link),
+3. the segment lands in the receiver-side host ring,
+4. the consumer GPU's pump performs the H2D (as intra-node).
+
+The interface matches :class:`~repro.comm.channel.BorderChannel`, so the
+chain engine treats both identically; the extra hop simply raises the
+channel's per-segment cost — and therefore the minimum slab width at which
+communication still hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device.engine import Engine, Semaphore
+from ..device.gpu import SimulatedGPU
+from ..errors import CommError
+from .channel import BorderChannel
+from .ringbuf import SimRingBuffer
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """One NIC-to-NIC link shared by every channel crossing it."""
+
+    gbps: float
+    latency_s: float = 20e-6
+    name: str = "net"
+
+    def __post_init__(self) -> None:
+        if self.gbps <= 0:
+            raise CommError("network bandwidth must be positive")
+        if self.latency_s < 0:
+            raise CommError("network latency must be >= 0")
+
+    def transfer_time(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise CommError("nbytes must be >= 0")
+        return self.latency_s + nbytes / (self.gbps * 1e9)
+
+
+class InterNodeChannel(BorderChannel):
+    """A border channel whose segments additionally cross a network link."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        src: SimulatedGPU,
+        dst: SimulatedGPU,
+        link: NetworkLink,
+        *,
+        capacity: int = 4,
+        device_slots: int = 2,
+        label: str = "",
+    ) -> None:
+        super().__init__(engine, src, dst, capacity=capacity,
+                         device_slots=device_slots, label=label)
+        self.link = link
+        # Receiver-side host ring; the base class's host_ring is the
+        # sender-side staging area.
+        self.recv_ring = SimRingBuffer(engine, capacity, f"{self.label}.recv")
+        self.recv_slots = Semaphore(engine, capacity, f"{self.label}.recvslots")
+        self._net_lock = Semaphore(engine, 1, f"{self.label}.netlock")
+        self.net_busy_s = 0.0
+
+    def relay(self, total_segments: int):
+        """Process: move segments across the network link (spawn one)."""
+        for _ in range(total_segments):
+            segment = yield self.host_ring.get()
+            yield self.recv_slots.acquire()
+            yield self._net_lock.acquire()
+            duration = self.link.transfer_time(segment.nbytes)
+            start = self.engine.now
+            yield self.engine.timeout(duration, f"{self.label} net {segment.nbytes}B")
+            self.net_busy_s += self.engine.now - start
+            self._net_lock.release()
+            self.host_slots.release()
+            yield self.recv_ring.put(segment)
+
+    def receiver_pump(self, total_segments: int):
+        """Process: receiver-side H2D from the receive ring."""
+        for _ in range(total_segments):
+            segment = yield self.recv_ring.get()
+            yield from self.dst.copy_to_device(segment.nbytes)
+            self.recv_slots.release()
+            yield self.dst_in_ring.put(segment)
+            self.segments_received += 1
+
+    def aux_processes(self, total_segments: int):
+        """Extra processes this channel needs (the network relay)."""
+        yield self.relay(total_segments)
+
+    def recv_sync(self):
+        """Synchronous receive across the network (ablation path)."""
+        segment = yield self.host_ring.get()
+        duration = self.link.transfer_time(segment.nbytes)
+        yield self.engine.timeout(duration)
+        self.host_slots.release()
+        yield from self.dst.copy_to_device(segment.nbytes)
+        self.segments_received += 1
+        return segment
+
+    def segment_cost(self, nbytes: int, *, pipelined: bool = True) -> float:
+        """Per-segment steady-state cost including the network hop."""
+        d2h = self.src.spec.transfer_time(nbytes)
+        h2d = self.dst.spec.transfer_time(nbytes)
+        net = self.link.transfer_time(nbytes)
+        return max(d2h, net, h2d) if pipelined else d2h + net + h2d

@@ -1,0 +1,177 @@
+"""Circular buffer — the paper's mechanism for hiding communication.
+
+Border columns produced by GPU *g* are consumed by GPU *g+1* at a
+(generally different) rate.  A bounded circular buffer between them lets
+the producer run ahead by up to ``capacity`` segments, absorbing rate
+jitter; a capacity of 1 degenerates to synchronous rendezvous (every
+border handoff stalls one side), which is exactly the ablation experiment
+X1 measures.
+
+Two implementations share the FIFO semantics:
+
+* :class:`RingBuffer` — a plain in-memory circular buffer (fixed-size
+  slot array, head/tail indices), used directly by unit and property
+  tests and anywhere no virtual time is involved.
+* :class:`SimRingBuffer` — the same discipline on the virtual clock:
+  ``put``/``get`` return engine events that block while the buffer is
+  full/empty, and the time each side spends blocked is recorded — the
+  overlap experiments read precisely these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import BufferClosed, CommError
+from ..device.engine import Engine, Event
+
+
+class RingBuffer:
+    """Bounded FIFO over a fixed slot array (no simulation semantics).
+
+    ``push`` raises when full and ``pop`` when empty — callers own the
+    flow control.  This mirrors how the real system lays out host memory:
+    segments are written in place into pre-allocated slots.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise CommError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._slots: list[Any] = [None] * capacity
+        self._head = 0  # next slot to pop
+        self._size = 0
+        self.pushed = 0
+        self.popped = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size == self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return self._size == 0
+
+    def push(self, item: Any) -> None:
+        if self.full:
+            raise CommError("push into full ring buffer")
+        self._slots[(self._head + self._size) % self.capacity] = item
+        self._size += 1
+        self.pushed += 1
+        self.peak_occupancy = max(self.peak_occupancy, self._size)
+
+    def pop(self) -> Any:
+        if self.empty:
+            raise CommError("pop from empty ring buffer")
+        item = self._slots[self._head]
+        self._slots[self._head] = None
+        self._head = (self._head + 1) % self.capacity
+        self._size -= 1
+        self.popped += 1
+        return item
+
+
+@dataclass
+class RingStats:
+    """Blocking accounting for one simulated ring buffer."""
+
+    producer_blocked_s: float = 0.0
+    consumer_blocked_s: float = 0.0
+    puts: int = 0
+    gets: int = 0
+    peak_occupancy: int = 0
+
+
+class SimRingBuffer:
+    """Blocking circular buffer on the virtual clock.
+
+    Usage from engine processes::
+
+        yield ring.put(segment)     # blocks while full
+        segment = yield ring.get()  # blocks while empty
+
+    ``close()`` wakes every waiting getter with :class:`BufferClosed` once
+    the buffer drains; a closed buffer rejects further puts.
+    """
+
+    def __init__(self, engine: Engine, capacity: int, label: str = "ring") -> None:
+        if capacity <= 0:
+            raise CommError("ring buffer capacity must be positive")
+        self.engine = engine
+        self.capacity = capacity
+        self.label = label
+        self._ring = RingBuffer(capacity)
+        self._put_waiters: list[tuple[Event, Any, float]] = []
+        self._get_waiters: list[tuple[Event, float]] = []
+        self._closed = False
+        self.stats = RingStats()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- producer side -----------------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Event that fires when *item* has entered the buffer."""
+        if self._closed:
+            raise BufferClosed(f"{self.label}: put after close")
+        evt = self.engine.event(f"{self.label}.put")
+        if not self._ring.full:
+            self._deliver(item)
+            evt.succeed()
+        else:
+            self._put_waiters.append((evt, item, self.engine.now))
+        return evt
+
+    # -- consumer side -------------------------------------------------------
+    def get(self) -> Event:
+        """Event carrying the next item; blocks (virtually) while empty."""
+        evt = self.engine.event(f"{self.label}.get")
+        if not self._ring.empty:
+            evt.succeed(self._take())
+        elif self._closed:
+            evt.fail(BufferClosed(f"{self.label}: closed and drained"))
+        else:
+            self._get_waiters.append((evt, self.engine.now))
+        return evt
+
+    def close(self) -> None:
+        """No more puts; waiting getters fail once the buffer is drained."""
+        self._closed = True
+        if self._ring.empty:
+            for evt, _t0 in self._get_waiters:
+                evt.fail(BufferClosed(f"{self.label}: closed and drained"))
+            self._get_waiters.clear()
+
+    # -- internals -----------------------------------------------------------
+    def _deliver(self, item: Any) -> None:
+        if self._get_waiters:
+            evt, t0 = self._get_waiters.pop(0)
+            self.stats.consumer_blocked_s += self.engine.now - t0
+            self.stats.puts += 1
+            self.stats.gets += 1
+            evt.succeed(item)
+        else:
+            self._ring.push(item)
+            self.stats.puts += 1
+            self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._ring))
+
+    def _take(self) -> Any:
+        item = self._ring.pop()
+        self.stats.gets += 1
+        if self._put_waiters:
+            evt, pending, t0 = self._put_waiters.pop(0)
+            self.stats.producer_blocked_s += self.engine.now - t0
+            self._ring.push(pending)
+            self.stats.puts += 1
+            self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._ring))
+            evt.succeed()
+        elif self._closed and self._ring.empty:
+            for evt, _t0 in self._get_waiters:
+                evt.fail(BufferClosed(f"{self.label}: closed and drained"))
+            self._get_waiters.clear()
+        return item

@@ -1,0 +1,41 @@
+"""Simulated GPU substrate: virtual-time engine, device specs, devices."""
+
+from .engine import Engine, Event, Process, Semaphore, Timeout
+from .gpu import GpuCounters, SimulatedGPU
+from .smmodel import SMModel, calibrated
+from .trace import Interval, Tracer, render_gantt
+from .spec import (
+    ENV1_HETEROGENEOUS,
+    ENV2_HOMOGENEOUS,
+    GTX_560_TI,
+    GTX_580,
+    GTX_680,
+    TESLA_K20,
+    TESLA_M2090,
+    DeviceSpec,
+    homogeneous,
+)
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "Semaphore",
+    "Timeout",
+    "Interval",
+    "Tracer",
+    "render_gantt",
+    "SMModel",
+    "calibrated",
+    "GpuCounters",
+    "SimulatedGPU",
+    "DeviceSpec",
+    "homogeneous",
+    "ENV1_HETEROGENEOUS",
+    "ENV2_HOMOGENEOUS",
+    "GTX_560_TI",
+    "GTX_580",
+    "GTX_680",
+    "TESLA_K20",
+    "TESLA_M2090",
+]

@@ -1,0 +1,254 @@
+"""Minimal discrete-event simulation engine (virtual time).
+
+The paper's system is a pipeline of asynchronous actors: GPUs computing
+block rows, copy engines moving border columns over PCIe, CPU threads
+relaying them between devices, and circular buffers absorbing rate
+mismatches.  Real wall-clock threads would make the reproduction
+nondeterministic and would not scale past one core; instead, every actor
+is a *process* (a Python generator) driven by this engine on a shared
+virtual clock.  The performance claims (GCUPS, overlap, crossover points)
+are read off the virtual clock, so they are exactly reproducible.
+
+The API is a deliberately small subset of the SimPy style:
+
+* ``engine.process(gen)`` registers a generator as a process.
+* A process yields :class:`Timeout` to advance time, another process's
+  :class:`Event` to wait for it, or an event obtained from a synchronised
+  object (e.g. :meth:`repro.comm.ringbuf.SimRingBuffer.put`).
+* ``engine.run()`` drives everything to completion and raises
+  :class:`~repro.errors.DeadlockError` if processes remain blocked with no
+  scheduled events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from ..errors import DeadlockError, SimulationError
+
+ProcessGen = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* with :meth:`succeed` (optionally carrying a
+    value) or :meth:`fail` (carrying an exception).  Every waiting process
+    is resumed at the engine's current virtual time.
+    """
+
+    __slots__ = ("engine", "value", "exc", "_callbacks", "triggered", "dispatched", "label")
+
+    def __init__(self, engine: "Engine", label: str = "") -> None:
+        self.engine = engine
+        self.value: Any = None
+        self.exc: BaseException | None = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.dispatched = False
+        self.label = label
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"event {self.label or id(self)} already triggered")
+        self.value = value
+        self.triggered = True
+        self.engine._schedule(0.0, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"event {self.label or id(self)} already triggered")
+        self.exc = exc
+        self.triggered = True
+        self.engine._schedule(0.0, self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.dispatched:
+            # Late waiter on an already-dispatched event: resume it via the
+            # queue so ordering semantics stay consistent.
+            self._callbacks.append(fn)
+            self.engine._schedule(0.0, self)
+        else:
+            self._callbacks.append(fn)
+
+    def _dispatch(self) -> None:
+        self.dispatched = True
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, label: str = "") -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        super().__init__(engine, label or f"timeout({delay:g})")
+        self.delay = delay
+        self.triggered = True
+        engine._schedule(delay, self)
+
+
+class Process(Event):
+    """A running generator; as an Event it fires when the generator ends,
+    carrying its return value."""
+
+    __slots__ = ("gen", "name", "waiting_on")
+
+    def __init__(self, engine: "Engine", gen: ProcessGen, name: str = "") -> None:
+        super().__init__(engine, name or getattr(gen, "__name__", "process"))
+        self.gen = gen
+        self.name = self.label
+        self.waiting_on: Event | None = None
+        boot = Event(engine, f"start:{self.name}")
+        boot.add_callback(self._resume)
+        boot.succeed()
+
+    def _resume(self, evt: Event) -> None:
+        self.waiting_on = None
+        try:
+            if evt.exc is not None:
+                target = self.gen.throw(evt.exc)
+            else:
+                target = self.gen.send(evt.value)
+        except StopIteration as stop:
+            self.value = stop.value
+            self.triggered = True
+            self.engine._schedule(0.0, self)
+            self.engine._active.discard(self)
+            return
+        except BaseException as exc:
+            self.engine._active.discard(self)
+            self.exc = exc
+            self.triggered = True
+            self.engine._schedule(0.0, self)
+            self.engine._crashed.append((self, exc))
+            return
+        if not isinstance(target, Event):
+            self.engine._active.discard(self)
+            raise SimulationError(
+                f"process {self.name} yielded {type(target).__name__}, expected an Event"
+            )
+        self.waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup on the virtual clock.
+
+    Used to model bounded buffer slots (host circular-buffer slots,
+    device-side staging slots): ``yield sem.acquire()`` blocks while the
+    count is zero; ``sem.release()`` wakes the longest-waiting acquirer.
+    """
+
+    def __init__(self, engine: "Engine", count: int, label: str = "sem") -> None:
+        if count <= 0:
+            raise SimulationError(f"{label}: semaphore count must be positive")
+        self.engine = engine
+        self.label = label
+        self.count = count
+        self.capacity = count
+        self._waiters: list[Event] = []
+
+    def acquire(self) -> Event:
+        evt = self.engine.event(f"{self.label}.acquire")
+        if self.count > 0:
+            self.count -= 1
+            evt.succeed()
+        else:
+            self._waiters.append(evt)
+        return evt
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+        else:
+            if self.count >= self.capacity:
+                raise SimulationError(f"{self.label}: release beyond capacity")
+            self.count += 1
+
+
+class Engine:
+    """The event loop: a priority queue of (time, tiebreak, event)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._active: set[Process] = set()
+        self._crashed: list[tuple[Process, BaseException]] = []
+
+    # -- construction ------------------------------------------------------
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        proc = Process(self, gen, name)
+        self._active.add(proc)
+        return proc
+
+    def event(self, label: str = "") -> Event:
+        return Event(self, label)
+
+    def timeout(self, delay: float, label: str = "") -> Timeout:
+        return Timeout(self, delay, label)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event firing once every input event has fired."""
+        events = list(events)
+        gate = Event(self, "all_of")
+        remaining = len(events)
+        if remaining == 0:
+            return gate.succeed([])
+
+        def on_fire(_evt: Event) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                gate.succeed([e.value for e in events])
+
+        for e in events:
+            e.add_callback(on_fire)
+        return gate
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, delay: float, event: Event) -> None:
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), event))
+
+    def step(self) -> bool:
+        """Dispatch the next event; False when the queue is empty."""
+        if not self._queue:
+            return False
+        t, _seq, event = heapq.heappop(self._queue)
+        if t < self.now:
+            raise SimulationError("time went backwards")
+        self.now = t
+        event._dispatch()
+        if self._crashed:
+            proc, exc = self._crashed[0]
+            raise SimulationError(f"process {proc.name} crashed: {exc!r}") from exc
+        return True
+
+    def run(self, until: float | None = None) -> float:
+        """Run to completion (or to virtual time *until*); returns ``now``.
+
+        Raises :class:`DeadlockError` if processes are still blocked when
+        the event queue drains.
+        """
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return self.now
+            self.step()
+        blocked = [p for p in self._active if not p.triggered]
+        if blocked:
+            detail = ", ".join(
+                f"{p.name} waiting on {p.waiting_on.label if p.waiting_on else '?'}"
+                for p in sorted(blocked, key=lambda p: p.name)
+            )
+            raise DeadlockError(f"simulation deadlocked with {len(blocked)} blocked processes: {detail}")
+        return self.now

@@ -1,0 +1,105 @@
+"""Intra-device execution model: SMs, thread blocks, internal wavefront.
+
+The coarse occupancy curve in :class:`~repro.device.spec.DeviceSpec`
+(``saturation_cols``) hides how a real GPU executes a slab.  The paper's
+kernel family works like this: the slab's columns are divided among ``T``
+concurrent thread blocks; within one *block row* (height ``R``) the thread
+blocks form an internal wavefront — block ``t`` can process a row-step
+only after block ``t-1`` finished the same step — so the block row is a
+pipeline with ``T`` stages and ``K = R / rows_per_step`` steps.
+
+This yields two first-order effects the experiments care about:
+
+* **Occupancy**: a slab narrower than ``T_max * min_block_cols`` cannot
+  fill every SM — ``T = min(sm_count, W // min_block_cols)``.
+* **Internal fill/drain**: per block row, useful-step fraction is
+  ``K / (K + T - 1)`` — small block heights starve the internal pipeline,
+  the reason the kernel family prefers tall external diagonals.
+
+``SMModel.effective_rate(W, R)`` combines both with the per-SM sustained
+rate; :class:`~repro.device.spec.DeviceSpec` uses it when attached, and
+falls back to the coarse curve otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+
+
+@dataclass(frozen=True)
+class SMModel:
+    """Intra-device wavefront/occupancy model (see module docstring).
+
+    Attributes
+    ----------
+    sm_count:
+        Concurrent thread blocks the device sustains (SMs x blocks/SM).
+    per_sm_gcups:
+        Sustained rate of one thread block at full occupancy, in GCUPS.
+        Peak device rate is ``sm_count * per_sm_gcups``.
+    min_block_cols:
+        Columns one thread block needs to keep its threads busy (thread
+        count x unroll width).
+    rows_per_step:
+        Rows one internal wavefront step advances (the height of the
+        registers-resident strip).
+    """
+
+    sm_count: int
+    per_sm_gcups: float
+    min_block_cols: int = 1024
+    rows_per_step: int = 4
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0:
+            raise DeviceError("sm_count must be positive")
+        if self.per_sm_gcups <= 0:
+            raise DeviceError("per_sm_gcups must be positive")
+        if self.min_block_cols <= 0:
+            raise DeviceError("min_block_cols must be positive")
+        if self.rows_per_step <= 0:
+            raise DeviceError("rows_per_step must be positive")
+
+    @property
+    def peak_gcups(self) -> float:
+        return self.sm_count * self.per_sm_gcups
+
+    def concurrent_blocks(self, slab_cols: int) -> int:
+        """Thread blocks a slab of *slab_cols* can keep busy."""
+        if slab_cols <= 0:
+            raise DeviceError("slab width must be positive")
+        return max(1, min(self.sm_count, slab_cols // self.min_block_cols))
+
+    def pipeline_efficiency(self, block_rows: int, t: int) -> float:
+        """Useful fraction of the internal wavefront: ``K / (K + T - 1)``."""
+        if block_rows <= 0:
+            raise DeviceError("block_rows must be positive")
+        k = max(1, block_rows // self.rows_per_step)
+        return k / (k + t - 1)
+
+    def effective_rate(self, slab_cols: int, block_rows: int) -> float:
+        """Sustained cells/s for a (slab width, block height) pair."""
+        t = self.concurrent_blocks(slab_cols)
+        occupancy = t / self.sm_count
+        eff = self.pipeline_efficiency(block_rows, t)
+        return self.peak_gcups * 1e9 * occupancy * eff
+
+
+def calibrated(
+    peak_gcups: float,
+    *,
+    sm_count: int = 14,
+    min_block_cols: int = 1024,
+    rows_per_step: int = 4,
+) -> SMModel:
+    """An :class:`SMModel` whose wide-slab/tall-block asymptote equals
+    *peak_gcups* (how the presets attach models without changing their
+    headline ratings)."""
+    return SMModel(
+        sm_count=sm_count,
+        per_sm_gcups=peak_gcups / sm_count,
+        min_block_cols=min_block_cols,
+        rows_per_step=rows_per_step,
+    )

@@ -1,0 +1,148 @@
+"""Simulated-device specifications and the paper's GPU environments.
+
+A :class:`DeviceSpec` captures what the performance model needs about a
+GPU: its sustained Smith-Waterman throughput (GCUPS), its PCIe transfer
+characteristics, its memory capacity, and an occupancy saturation width
+(narrow matrix slabs under-fill the device's SMs, reducing throughput —
+the reason the paper's partitioning keeps slabs wide).
+
+The GCUPS ratings below are *calibrated*, not measured: the point of the
+reproduction is the behaviour of the multi-GPU strategy (scaling shape,
+heterogeneous balance, overlap crossovers), which depends on the devices'
+relative rates and on transfer costs.  The heterogeneous environment's
+rates are chosen so their sum matches the paper's headline aggregate
+(140.36 GCUPS with 3 heterogeneous GPUs); see DESIGN.md's substitution
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import DeviceError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Performance model of one GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    gcups:
+        Sustained single-device SW throughput, in billions of cells/s,
+        on a wide slab (occupancy-saturated).
+    pcie_gbps:
+        PCIe effective bandwidth in GB/s (each direction; D2H and H2D are
+        modelled as separate engines at this rate).
+    pcie_latency_s:
+        Fixed per-transfer latency (driver + DMA setup), seconds.
+    mem_bytes:
+        Device memory capacity; the footprint model checks slab buffers
+        against it.
+    saturation_cols:
+        Slab width at which the device reaches half of its peak rate; the
+        occupancy model is ``rate = gcups * width / (width + saturation_cols)``.
+        0 disables the occupancy effect.
+    copy_engines:
+        1 = a single copy engine shared by D2H and H2D (transfers
+        serialise); 2 = full-duplex (the paper-era Teslas and GTX-6xx).
+    sm_model:
+        Optional :class:`~repro.device.smmodel.SMModel`; when attached,
+        :meth:`effective_rate` uses the principled intra-device wavefront
+        model (occupancy + internal pipeline fill) instead of the coarse
+        ``saturation_cols`` curve.
+    """
+
+    name: str
+    gcups: float
+    pcie_gbps: float = 6.0
+    pcie_latency_s: float = 10e-6
+    mem_bytes: int = 3 * 1024**3
+    saturation_cols: int = 2048
+    copy_engines: int = 2
+    sm_model: "object | None" = None
+
+    def __post_init__(self) -> None:
+        if self.gcups <= 0:
+            raise DeviceError(f"{self.name}: gcups must be positive")
+        if self.pcie_gbps <= 0:
+            raise DeviceError(f"{self.name}: pcie_gbps must be positive")
+        if self.pcie_latency_s < 0:
+            raise DeviceError(f"{self.name}: latency must be >= 0")
+        if self.mem_bytes <= 0:
+            raise DeviceError(f"{self.name}: mem_bytes must be positive")
+        if self.saturation_cols < 0:
+            raise DeviceError(f"{self.name}: saturation_cols must be >= 0")
+        if self.copy_engines not in (1, 2):
+            raise DeviceError(f"{self.name}: copy_engines must be 1 or 2")
+
+    @property
+    def cells_per_second(self) -> float:
+        """Peak rate in cells/s."""
+        return self.gcups * 1e9
+
+    def effective_rate(self, slab_cols: int, block_rows: int | None = None) -> float:
+        """Occupancy-adjusted rate (cells/s) for a slab of *slab_cols*.
+
+        With an attached :attr:`sm_model` and a known *block_rows*, the
+        intra-device wavefront model is used; otherwise the coarse
+        saturation curve.
+        """
+        if slab_cols <= 0:
+            raise DeviceError("slab width must be positive")
+        if self.sm_model is not None and block_rows is not None:
+            return self.sm_model.effective_rate(slab_cols, block_rows)
+        if self.saturation_cols == 0:
+            return self.cells_per_second
+        return self.cells_per_second * slab_cols / (slab_cols + self.saturation_cols)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Virtual seconds to move *nbytes* over this device's PCIe link."""
+        if nbytes < 0:
+            raise DeviceError("nbytes must be >= 0")
+        return self.pcie_latency_s + nbytes / (self.pcie_gbps * 1e9)
+
+    def with_rate(self, gcups: float) -> "DeviceSpec":
+        """A copy with a different throughput rating (for sweeps)."""
+        return replace(self, gcups=gcups)
+
+
+# --------------------------------------------------------------------------
+# Paper-era presets.  Ratings are calibrated (see module docstring).
+# --------------------------------------------------------------------------
+
+#: Mid-range Fermi card (CUDAlign 2.1-era single-GPU results).
+GTX_560_TI = DeviceSpec("GeForce GTX 560 Ti", gcups=23.0, pcie_gbps=5.0,
+                        mem_bytes=1 * 1024**3, copy_engines=1)
+
+#: High-end Fermi.
+GTX_580 = DeviceSpec("GeForce GTX 580", gcups=32.4, pcie_gbps=5.5,
+                     mem_bytes=int(1.5 * 1024**3), copy_engines=1)
+
+#: Kepler consumer flagship.
+GTX_680 = DeviceSpec("GeForce GTX 680", gcups=50.7, pcie_gbps=6.0,
+                     mem_bytes=2 * 1024**3)
+
+#: Kepler compute card (the fastest of the heterogeneous trio).
+TESLA_K20 = DeviceSpec("Tesla K20", gcups=57.3, pcie_gbps=6.5,
+                       mem_bytes=5 * 1024**3)
+
+#: Fermi compute card (homogeneous cluster nodes).
+TESLA_M2090 = DeviceSpec("Tesla M2090", gcups=28.5, pcie_gbps=6.0,
+                         mem_bytes=6 * 1024**3)
+
+#: Environment 1 of the evaluation: three heterogeneous GPUs in one host.
+#: Aggregate peak = 140.4 GCUPS, matching the paper's 140.36 headline.
+ENV1_HETEROGENEOUS: tuple[DeviceSpec, ...] = (GTX_580, GTX_680, TESLA_K20)
+
+#: Environment 2: a homogeneous pair (cluster-node style).
+ENV2_HOMOGENEOUS: tuple[DeviceSpec, ...] = (TESLA_M2090, TESLA_M2090)
+
+
+def homogeneous(spec: DeviceSpec, count: int) -> tuple[DeviceSpec, ...]:
+    """*count* copies of one device (for scaling sweeps)."""
+    if count <= 0:
+        raise DeviceError("count must be positive")
+    return tuple(spec for _ in range(count))

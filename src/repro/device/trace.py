@@ -1,0 +1,188 @@
+"""Execution tracing: per-actor activity intervals on the virtual clock.
+
+The paper's evaluation reasons about *where time goes* — which device is
+computing, which is stalled on a border, when transfers run.  A
+:class:`Tracer` records labelled intervals as actors report them and can
+answer the questions the figures need:
+
+* per-actor activity totals and utilisation,
+* concurrency profile (how many devices compute at once),
+* overlap between one actor's compute and another's transfers,
+* an ASCII Gantt chart for quick inspection (``render_gantt``).
+
+Tracing is opt-in: the chain engine accepts a tracer and reports compute /
+transfer / wait intervals; nothing is recorded otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+#: Interval kinds the chain engine reports.
+KINDS = ("compute", "d2h", "h2d", "wait")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One labelled activity span of one actor."""
+
+    actor: str
+    kind: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(f"interval ends before it starts: {self!r}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`Interval` records during a simulation run."""
+
+    intervals: list[Interval] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, actor: str, kind: str, start: float, end: float) -> None:
+        """Record one span (no-op when disabled; zero-length spans kept)."""
+        if not self.enabled:
+            return
+        if kind not in KINDS:
+            raise SimulationError(f"unknown interval kind {kind!r}; expected one of {KINDS}")
+        self.intervals.append(Interval(actor, kind, start, end))
+
+    # -- queries ------------------------------------------------------------
+    def actors(self) -> list[str]:
+        return sorted({iv.actor for iv in self.intervals})
+
+    def total(self, actor: str, kind: str | None = None) -> float:
+        """Summed duration for an actor (optionally one kind)."""
+        return sum(
+            iv.duration
+            for iv in self.intervals
+            if iv.actor == actor and (kind is None or iv.kind == kind)
+        )
+
+    def utilisation(self, actor: str, makespan: float, kind: str = "compute") -> float:
+        """Fraction of *makespan* the actor spent in *kind* intervals."""
+        if makespan <= 0:
+            raise SimulationError("makespan must be positive")
+        return self.total(actor, kind) / makespan
+
+    def concurrency_profile(self, kind: str = "compute") -> list[tuple[float, int]]:
+        """Step function of how many actors are simultaneously in *kind*.
+
+        Returns ``[(time, active_count), ...]`` sorted by time; each entry
+        holds until the next one.
+        """
+        events: list[tuple[float, int]] = []
+        for iv in self.intervals:
+            if iv.kind != kind or iv.duration == 0:
+                continue
+            events.append((iv.start, +1))
+            events.append((iv.end, -1))
+        events.sort()
+        profile: list[tuple[float, int]] = []
+        active = 0
+        for t, delta in events:
+            active += delta
+            if profile and profile[-1][0] == t:
+                profile[-1] = (t, active)
+            else:
+                profile.append((t, active))
+        return profile
+
+    def mean_concurrency(self, makespan: float, kind: str = "compute") -> float:
+        """Time-averaged number of actors simultaneously in *kind*."""
+        if makespan <= 0:
+            raise SimulationError("makespan must be positive")
+        profile = self.concurrency_profile(kind)
+        if not profile:
+            return 0.0
+        area = 0.0
+        for (t0, n), (t1, _n2) in zip(profile, profile[1:]):
+            area += n * (t1 - t0)
+        # last step runs to the makespan
+        area += profile[-1][1] * max(0.0, makespan - profile[-1][0])
+        return area / makespan
+
+    def overlap(self, actor_a: str, kind_a: str, actor_b: str, kind_b: str) -> float:
+        """Total time actor_a:kind_a and actor_b:kind_b run simultaneously.
+
+        The quantity behind the paper's hiding claim: communication is
+        hidden exactly when the channel's transfer intervals overlap the
+        producer's compute intervals.
+        """
+        ivs_a = sorted(
+            (iv.start, iv.end) for iv in self.intervals
+            if iv.actor == actor_a and iv.kind == kind_a and iv.duration > 0
+        )
+        ivs_b = sorted(
+            (iv.start, iv.end) for iv in self.intervals
+            if iv.actor == actor_b and iv.kind == kind_b and iv.duration > 0
+        )
+        total = 0.0
+        i = j = 0
+        while i < len(ivs_a) and j < len(ivs_b):
+            lo = max(ivs_a[i][0], ivs_b[j][0])
+            hi = min(ivs_a[i][1], ivs_b[j][1])
+            if hi > lo:
+                total += hi - lo
+            if ivs_a[i][1] <= ivs_b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return total
+
+
+#: Glyph per interval kind in the Gantt rendering.
+_GLYPHS = {"compute": "#", "d2h": ">", "h2d": "<", "wait": "."}
+
+
+def render_gantt(tracer: Tracer, *, width: int = 100, makespan: float | None = None) -> str:
+    """ASCII Gantt chart: one row per actor, *width* time buckets.
+
+    Each bucket shows the kind that dominates it (compute ``#``, D2H ``>``,
+    H2D ``<``, wait ``.``, idle space).  Zero-cost and sub-bucket intervals
+    may be invisible; the chart is for eyeballing, the queries above are
+    for asserting.
+    """
+    if width <= 0:
+        raise SimulationError("width must be positive")
+    if not tracer.intervals:
+        return "(no intervals recorded)"
+    end = makespan if makespan is not None else max(iv.end for iv in tracer.intervals)
+    if end <= 0:
+        return "(zero-length trace)"
+    bucket = end / width
+
+    lines = []
+    label_w = max(len(a) for a in tracer.actors())
+    for actor in tracer.actors():
+        ivs = [iv for iv in tracer.intervals if iv.actor == actor and iv.duration > 0]
+        per_bucket: list[dict[str, float]] = [dict() for _ in range(width)]
+        for iv in ivs:
+            b0 = min(width - 1, int(iv.start / bucket))
+            b1 = min(width - 1, int(iv.end / bucket))
+            for b in range(b0, b1 + 1):
+                lo = max(iv.start, b * bucket)
+                hi = min(iv.end, (b + 1) * bucket)
+                if hi > lo:
+                    per_bucket[b][iv.kind] = per_bucket[b].get(iv.kind, 0.0) + (hi - lo)
+        row = []
+        for b in range(width):
+            if not per_bucket[b]:
+                row.append(" ")
+            else:
+                kind = max(per_bucket[b], key=per_bucket[b].get)  # type: ignore[arg-type]
+                row.append(_GLYPHS[kind])
+        lines.append(f"{actor.ljust(label_w)} |{''.join(row)}|")
+    legend = "legend: # compute   > D2H   < H2D   . wait   (space) idle"
+    scale = f"0 {'-' * (label_w + width - 10)} {end:.3g}s"
+    return "\n".join([*lines, legend, scale])

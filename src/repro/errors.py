@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one type at an API boundary.  Subsystems raise the most specific
+subclass that applies; constructors and validators raise early, at the point
+where the inconsistent input enters the library.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class SequenceError(ReproError):
+    """Invalid sequence data (bad characters, bad encoding, empty input)."""
+
+
+class FastaError(SequenceError):
+    """Malformed FASTA input or output failure."""
+
+
+class ScoringError(ReproError):
+    """Inconsistent scoring parameters (e.g. negative gap penalties)."""
+
+
+class PartitionError(ReproError):
+    """Invalid matrix partition (non-covering, overlapping, or empty slabs)."""
+
+
+class DeviceError(ReproError):
+    """Invalid simulated-device specification or device state misuse."""
+
+
+class CommError(ReproError):
+    """Communication substrate misuse (closed channel, buffer protocol)."""
+
+
+class BufferClosed(CommError):
+    """Operation on a ring buffer / channel after it has been closed."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event engine error (deadlock, negative delay, misuse)."""
+
+
+class DeadlockError(SimulationError):
+    """The event engine ran out of events while processes were still waiting."""
+
+
+class AlignmentError(ReproError):
+    """Traceback/alignment reconstruction failed an internal consistency check."""
+
+
+class ConfigError(ReproError):
+    """Invalid run configuration (block sizes, buffer capacities, etc.)."""

@@ -1,0 +1,84 @@
+"""The paper's contribution: multi-GPU chain execution of one SW matrix."""
+
+from .autotune import TuneResult, autotune, border_footprint_bytes
+from .batch import CampaignItem, CampaignResult, run_campaign_chained, run_campaign_split
+from .chain import (
+    BORDER_BYTES_FIXED,
+    BORDER_BYTES_PER_ROW,
+    ChainConfig,
+    ChainResult,
+    GpuReport,
+    MatrixWorkload,
+    MultiGpuChain,
+    PhantomWorkload,
+    align_multi_gpu,
+    time_multi_gpu,
+)
+from .checkpoint import ChainCheckpoint, load_checkpoint, save_checkpoint
+from .cluster import ClusterChain, Node, min_internode_overlap_width
+from .footprint import DeviceFootprint, plan_memory, validate_memory
+from .overlap import (
+    ChainPrediction,
+    block_row_time,
+    channel_segment_cost,
+    hop_times,
+    min_overlap_width,
+    overlap_satisfied,
+    predict_chain,
+    segment_bytes,
+)
+from .pipeline import TracedResult, align_and_trace
+from .procchain import ProcessChainResult, align_multi_process
+from .partition import (
+    Slab,
+    equal_partition,
+    explicit_partition,
+    imbalance,
+    proportional_partition,
+)
+
+__all__ = [
+    "TuneResult",
+    "autotune",
+    "border_footprint_bytes",
+    "CampaignItem",
+    "CampaignResult",
+    "run_campaign_chained",
+    "run_campaign_split",
+    "ChainCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "ClusterChain",
+    "Node",
+    "min_internode_overlap_width",
+    "DeviceFootprint",
+    "plan_memory",
+    "validate_memory",
+    "ProcessChainResult",
+    "align_multi_process",
+    "TracedResult",
+    "align_and_trace",
+    "BORDER_BYTES_FIXED",
+    "BORDER_BYTES_PER_ROW",
+    "ChainConfig",
+    "ChainResult",
+    "GpuReport",
+    "MatrixWorkload",
+    "MultiGpuChain",
+    "PhantomWorkload",
+    "align_multi_gpu",
+    "time_multi_gpu",
+    "ChainPrediction",
+    "block_row_time",
+    "channel_segment_cost",
+    "hop_times",
+    "min_overlap_width",
+    "overlap_satisfied",
+    "predict_chain",
+    "segment_bytes",
+    "Slab",
+    "equal_partition",
+    "explicit_partition",
+    "imbalance",
+    "proportional_partition",
+]

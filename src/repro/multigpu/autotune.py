@@ -1,0 +1,109 @@
+"""Configuration autotuning from the analytic chain model.
+
+The chain has two tuning knobs the paper's system sets by hand: the block
+row height (border-segment granularity) and the circular-buffer capacity.
+They trade off against each other:
+
+* **Small block rows** → frequent small transfers: per-segment latency
+  dominates, and the pipeline's fill time shrinks (finer stagger).
+* **Large block rows** → few large transfers: bandwidth-efficient, but the
+  fill time grows (each device must finish a taller block row before its
+  neighbour starts) and so does the border memory footprint.
+* **Buffer capacity ≥ 2** pipelines the two PCIe hops; beyond the point
+  where the producer never blocks, more slots only cost host memory.
+
+``autotune`` evaluates the analytic model (``predict_chain``) over a
+candidate grid and returns the configuration minimising predicted total
+time, with the footprint constraint checked against device memory.  The
+benchmark ``X3`` validates the choice against the event simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..device.spec import DeviceSpec
+from ..errors import ConfigError
+from .chain import ChainConfig
+from .overlap import predict_chain, segment_bytes
+from .partition import proportional_partition
+
+#: Candidate block-row heights (powers of two spanning the practical range).
+DEFAULT_BLOCK_ROWS = (256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
+#: Candidate circular-buffer capacities.
+DEFAULT_CAPACITIES = (2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Chosen configuration and the model's forecast for it."""
+
+    config: ChainConfig
+    predicted_total_s: float
+    predicted_gcups: float
+    evaluated: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"block_rows={self.config.block_rows} "
+            f"capacity={self.config.channel_capacity} "
+            f"→ {self.predicted_gcups:.2f} GCUPS predicted"
+        )
+
+
+def border_footprint_bytes(block_rows: int, capacity: int, device_slots: int) -> int:
+    """Host+device bytes one channel needs for its buffering."""
+    return segment_bytes(block_rows) * (capacity + 2 * device_slots)
+
+
+def autotune(
+    devices: Sequence[DeviceSpec],
+    rows: int,
+    cols: int,
+    *,
+    block_rows_candidates: Sequence[int] = DEFAULT_BLOCK_ROWS,
+    capacity_candidates: Sequence[int] = DEFAULT_CAPACITIES,
+    device_slots: int = 2,
+    host_buffer_limit_bytes: int | None = None,
+) -> TuneResult:
+    """Pick ``(block_rows, channel_capacity)`` minimising predicted time.
+
+    Ties break toward smaller memory footprint (fewer slots, then smaller
+    blocks).  Raises :class:`ConfigError` when no candidate fits the
+    constraints (e.g. every block height exceeds the row count).
+    """
+    if not devices:
+        raise ConfigError("need at least one device")
+    if rows <= 0 or cols <= 0:
+        raise ConfigError("matrix dimensions must be positive")
+    slabs = proportional_partition(cols, [d.gcups for d in devices])
+
+    best: TuneResult | None = None
+    evaluated = 0
+    for br in sorted(block_rows_candidates):
+        if br > rows:
+            continue
+        for cap in sorted(capacity_candidates):
+            if host_buffer_limit_bytes is not None:
+                if border_footprint_bytes(br, cap, device_slots) > host_buffer_limit_bytes:
+                    continue
+            cfg = ChainConfig(block_rows=br, channel_capacity=cap,
+                              device_slots=device_slots)
+            pred = predict_chain(devices, slabs, rows, cfg)
+            evaluated += 1
+            if best is None or pred.total_s < best.predicted_total_s * (1 - 1e-12):
+                best = TuneResult(
+                    config=cfg,
+                    predicted_total_s=pred.total_s,
+                    predicted_gcups=rows * cols / pred.total_s / 1e9,
+                    evaluated=0,
+                )
+    if best is None:
+        raise ConfigError("no feasible configuration among the candidates")
+    return TuneResult(
+        config=best.config,
+        predicted_total_s=best.predicted_total_s,
+        predicted_gcups=best.predicted_gcups,
+        evaluated=evaluated,
+    )

@@ -1,0 +1,384 @@
+"""The multi-GPU chain engine — the paper's primary contribution.
+
+One huge Smith-Waterman matrix is computed cooperatively by a **logical
+chain of GPUs**: device *g* owns a vertical slab of columns and sweeps it
+in block rows of height ``block_rows``; after each block row it ships the
+slab's rightmost border column (H and E values, plus the diagonal corner)
+to device *g+1* through a :class:`~repro.comm.channel.BorderChannel`
+(D2H → host circular buffer → H2D).  Device *g+1* can start its block row
+*r* as soon as it has (a) its own block row *r-1* and (b) the border for
+*r* from the left — so the devices form a software pipeline of depth
+``len(devices)`` over the block rows, and with slabs wide enough the
+border transfers hide entirely behind compute (the paper's circular-buffer
+overlap claim).
+
+Two execution modes share this engine:
+
+* **compute mode** (``MatrixWorkload``): every block is *really* computed
+  by the vectorised kernel; borders carry real arrays; the result's score
+  and end point are bit-exact (tested against the single-kernel sweep).
+* **timing mode** (``PhantomWorkload``): blocks carry only their sizes;
+  the virtual clock advances identically, so paper-scale (megabase)
+  configurations can be swept in milliseconds of wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..comm.channel import BorderChannel, BorderSegment
+from ..comm.ringbuf import RingStats
+from ..device.engine import Engine
+from ..device.gpu import GpuCounters, SimulatedGPU
+from ..device.spec import DeviceSpec
+from ..errors import ConfigError
+from ..seq.scoring import Scoring
+from ..sw.constants import DTYPE, NEG_INF
+from ..sw.kernel import BestCell, build_profile, sweep_block
+from .partition import Slab, proportional_partition
+
+#: Bytes per border row: H (int32) + E (int32).
+BORDER_BYTES_PER_ROW = 8
+#: Fixed bytes per segment: the diagonal corner value.
+BORDER_BYTES_FIXED = 4
+
+
+@dataclass(frozen=True)
+class ChainConfig:
+    """Tuning knobs of the chain engine.
+
+    Attributes
+    ----------
+    block_rows:
+        Height of one block row (the paper's external-diagonal step and
+        border-segment granularity).
+    channel_capacity:
+        Slots in each host circular buffer (the paper's mechanism; 1
+        degenerates to rendezvous — ablation X1).
+    device_slots:
+        Device-side staging slots on each end of a channel (double
+        buffering by default).
+    async_transfers:
+        True (default) spawns sender/receiver processes so transfers
+        overlap compute; False runs them inline (ablation: no hiding).
+    """
+
+    block_rows: int = 512
+    channel_capacity: int = 4
+    device_slots: int = 2
+    async_transfers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.block_rows <= 0:
+            raise ConfigError("block_rows must be positive")
+        if self.channel_capacity <= 0:
+            raise ConfigError("channel_capacity must be positive")
+        if self.device_slots <= 0:
+            raise ConfigError("device_slots must be positive")
+
+
+class MatrixWorkload:
+    """Compute-mode workload: real sequences, real DP cells."""
+
+    def __init__(self, a_codes: np.ndarray, b_codes: np.ndarray, scoring: Scoring) -> None:
+        if a_codes.size == 0 or b_codes.size == 0:
+            raise ConfigError("sequences must be non-empty")
+        self.a = a_codes
+        self.b = b_codes
+        self.scoring = scoring
+        self.rows = int(a_codes.size)
+        self.cols = int(b_codes.size)
+        self.phantom = False
+
+
+class PhantomWorkload:
+    """Timing-mode workload: only the matrix dimensions."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigError("matrix dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.scoring: Scoring | None = None
+        self.phantom = True
+
+
+@dataclass
+class GpuReport:
+    """Per-device outcome."""
+
+    name: str
+    slab: Slab
+    counters: GpuCounters
+    finished_at: float
+
+
+@dataclass
+class ChainResult:
+    """Outcome of one chain run.
+
+    ``best`` is meaningful only in compute mode (phantom runs report the
+    empty cell).  ``gcups`` is measured on the virtual clock — the figure
+    the paper reports.
+    """
+
+    best: BestCell
+    total_time_s: float
+    cells: int
+    gpus: list[GpuReport]
+    channels: list[RingStats]
+    config: ChainConfig
+    partition: list[Slab]
+    #: set when the run stopped early (``stop_row``): resume with
+    #: ``chain.run(workload, resume=result.checkpoint)``.
+    checkpoint: "object | None" = None
+
+    @property
+    def gcups(self) -> float:
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.cells / self.total_time_s / 1e9
+
+    @property
+    def score(self) -> int:
+        return self.best.score if self.best.row >= 0 else 0
+
+    def breakdown(self) -> list[dict[str, float]]:
+        """Per-GPU compute/transfer/wait/idle fractions of the makespan."""
+        return [g.counters.breakdown(self.total_time_s) for g in self.gpus]
+
+
+class MultiGpuChain:
+    """Configured chain of simulated devices over one workload."""
+
+    def __init__(
+        self,
+        devices: Sequence[DeviceSpec],
+        *,
+        config: ChainConfig | None = None,
+        partition: list[Slab] | None = None,
+    ) -> None:
+        if not devices:
+            raise ConfigError("need at least one device")
+        self.specs = list(devices)
+        self.config = config or ChainConfig()
+        self._partition = partition
+
+    def _make_channel(self, engine: Engine, gpus: list[SimulatedGPU], g: int) -> BorderChannel:
+        """Channel between devices *g* and *g+1*; cluster variants override
+        this to insert network hops at host boundaries."""
+        return BorderChannel(
+            engine, gpus[g], gpus[g + 1],
+            capacity=self.config.channel_capacity,
+            device_slots=self.config.device_slots,
+        )
+
+    def partition_for(self, n_cols: int) -> list[Slab]:
+        """The slab layout used for *n_cols* columns (proportional by
+        default, or the explicit partition passed at construction)."""
+        if self._partition is not None:
+            if self._partition[-1].col1 != n_cols:
+                raise ConfigError("explicit partition does not match matrix width")
+            return self._partition
+        return proportional_partition(n_cols, [s.gcups for s in self.specs])
+
+    # -- the run -------------------------------------------------------------
+    def run(
+        self,
+        workload: MatrixWorkload | PhantomWorkload,
+        *,
+        tracer=None,
+        resume=None,
+        stop_row: int | None = None,
+    ) -> ChainResult:
+        """Execute the workload; pass a :class:`repro.device.trace.Tracer`
+        to record per-device activity intervals.
+
+        ``resume`` accepts a :class:`~repro.multigpu.checkpoint.ChainCheckpoint`
+        to continue a previous run; ``stop_row`` ends this run exactly at
+        that matrix row (the block row containing it is truncated, and the
+        result carries a ``checkpoint`` to resume from).  Virtual time
+        accumulates across segments.
+        """
+        cfg = self.config
+        m, n = workload.rows, workload.cols
+        slabs = self.partition_for(n)
+        if len(slabs) != len(self.specs):
+            raise ConfigError("partition size != device count")
+
+        start_row = 0
+        elapsed_before = 0.0
+        if resume is not None:
+            if resume.row >= m:
+                raise ConfigError("checkpoint is at or beyond the matrix end")
+            if resume.phantom != workload.phantom:
+                raise ConfigError("checkpoint mode does not match workload mode")
+            if not resume.phantom and resume.h_row.shape != (n,):
+                raise ConfigError("checkpoint width does not match the matrix")
+            start_row = resume.row
+            elapsed_before = resume.elapsed_s
+        end_row = m if stop_row is None else min(m, max(start_row + 1, stop_row))
+
+        engine = Engine()
+        gpus = [SimulatedGPU(engine, spec, i, tracer) for i, spec in enumerate(self.specs)]
+        channels = [self._make_channel(engine, gpus, g) for g in range(len(gpus) - 1)]
+
+        row_edges = list(range(start_row, end_row, cfg.block_rows)) + [end_row]
+        n_block_rows = len(row_edges) - 1
+        bests: list[BestCell] = [BestCell.none() for _ in gpus]
+        if resume is not None and resume.best.row >= 0:
+            bests[0] = resume.best
+        finished_at = [0.0] * len(gpus)
+        final_h: list[np.ndarray | None] = [None] * len(gpus)
+        final_f: list[np.ndarray | None] = [None] * len(gpus)
+
+        profile = None
+        if not workload.phantom:
+            profile = build_profile(workload.b, workload.scoring)
+
+        def gpu_proc(g: int):
+            gpu = gpus[g]
+            slab = slabs[g]
+            w = slab.cols
+            in_ch = channels[g - 1] if g > 0 else None
+            out_ch = channels[g] if g < len(gpus) - 1 else None
+
+            # Rolling top border of this slab (compute mode only).
+            if not workload.phantom:
+                if resume is not None:
+                    h_top = resume.h_row[slab.col0 : slab.col1].astype(DTYPE, copy=True)
+                    f_top = resume.f_row[slab.col0 : slab.col1].astype(DTYPE, copy=True)
+                    prev_right_last = int(resume.h_row[slab.col1 - 1])
+                else:
+                    h_top = np.zeros(w, dtype=DTYPE)
+                    f_top = np.full(w, NEG_INF, dtype=DTYPE)
+                    prev_right_last = 0  # H(r0-1, col1-1): right neighbour's corner
+            scoring = workload.scoring
+
+            for r in range(n_block_rows):
+                r0, r1 = row_edges[r], row_edges[r + 1]
+                rows = r1 - r0
+
+                payload_in = None
+                if in_ch is not None:
+                    t0 = engine.now
+                    payload_in = yield in_ch.consume()
+                    gpu.record_wait(t0)
+                if out_ch is not None:
+                    t0 = engine.now
+                    yield out_ch.reserve_out_slot()
+                    gpu.record_wait(t0)
+
+                work = None
+                if not workload.phantom:
+                    if in_ch is not None:
+                        h_left, e_left, corner = payload_in.payload
+                    else:
+                        h_left = np.zeros(rows, dtype=DTYPE)
+                        e_left = np.full(rows, NEG_INF, dtype=DTYPE)
+                        corner = 0
+                    a_slice = workload.a[r0:r1]
+                    p_slice = profile[:, slab.col0 : slab.col1]
+                    ht, ft = h_top, f_top
+
+                    def work(a=a_slice, p=p_slice, ht=ht, ft=ft,
+                             hl=h_left, el=e_left, c=corner):
+                        return sweep_block(a, p, ht, ft, hl, el, c, scoring, local=True)
+
+                result = yield from gpu.compute(rows * w, w, work, block_rows=rows)
+
+                if not workload.phantom:
+                    h_top = result.h_bottom
+                    f_top = result.f_bottom
+                    cell = result.best.shifted(r0, slab.col0)
+                    if cell.better_than(bests[g]):
+                        bests[g] = cell
+
+                if out_ch is not None:
+                    nbytes = rows * BORDER_BYTES_PER_ROW + BORDER_BYTES_FIXED
+                    if workload.phantom:
+                        payload = None
+                    else:
+                        payload = (result.h_right, result.e_right, prev_right_last)
+                        prev_right_last = int(result.h_right[-1])
+                    segment = BorderSegment(index=r, nbytes=nbytes, payload=payload)
+                    if cfg.async_transfers:
+                        engine.process(out_ch.sender(segment), f"send{g}:{r}")
+                    else:
+                        yield from out_ch.send_sync(segment)
+            finished_at[g] = engine.now
+            if not workload.phantom:
+                final_h[g] = h_top
+                final_f[g] = f_top
+
+        for g in range(len(gpus)):
+            engine.process(gpu_proc(g), f"gpu{g}")
+        for ch in channels:
+            engine.process(ch.receiver_pump(n_block_rows), f"pump:{ch.label}")
+            for i, aux in enumerate(ch.aux_processes(n_block_rows)):
+                engine.process(aux, f"aux{i}:{ch.label}")
+
+        total = elapsed_before + engine.run()
+
+        best = BestCell.none()
+        for cell in bests:
+            if cell.better_than(best):
+                best = cell
+        reports = [
+            GpuReport(name=gpus[g].name, slab=slabs[g], counters=gpus[g].counters,
+                      finished_at=finished_at[g])
+            for g in range(len(gpus))
+        ]
+        checkpoint = None
+        if end_row < m:
+            from .checkpoint import ChainCheckpoint
+
+            if workload.phantom:
+                h_row = f_row = None
+            else:
+                h_row = np.concatenate([h for h in final_h if h is not None])
+                f_row = np.concatenate([f for f in final_f if f is not None])
+            checkpoint = ChainCheckpoint(
+                row=end_row, h_row=h_row, f_row=f_row, best=best, elapsed_s=total
+            )
+        return ChainResult(
+            best=best,
+            total_time_s=total,
+            # Cumulative across resumed segments: rows [0, end_row) over the
+            # accumulated virtual time, so ``gcups`` stays meaningful.
+            cells=end_row * n,
+            gpus=reports,
+            channels=[ch.host_ring.stats for ch in channels],
+            config=cfg,
+            partition=slabs,
+            checkpoint=checkpoint,
+        )
+
+
+def align_multi_gpu(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    devices: Sequence[DeviceSpec],
+    *,
+    config: ChainConfig | None = None,
+) -> ChainResult:
+    """Convenience wrapper: compute-mode chain run over real sequences."""
+    chain = MultiGpuChain(devices, config=config)
+    return chain.run(MatrixWorkload(a_codes, b_codes, scoring))
+
+
+def time_multi_gpu(
+    rows: int,
+    cols: int,
+    devices: Sequence[DeviceSpec],
+    *,
+    config: ChainConfig | None = None,
+    partition: list[Slab] | None = None,
+) -> ChainResult:
+    """Convenience wrapper: timing-mode run at arbitrary (paper) scale."""
+    chain = MultiGpuChain(devices, config=config, partition=partition)
+    return chain.run(PhantomWorkload(rows, cols))

@@ -1,0 +1,80 @@
+"""Checkpoint/restart for chain runs.
+
+Paper-scale comparisons run for hours; the system family supports stopping
+and resuming a comparison at a matrix-row boundary.  A consistent
+checkpoint of the chain is exactly the DP state of one full matrix row:
+
+* the row index,
+* the H and F values of that row across the *whole* width (compute mode),
+* the best cell found so far,
+* the virtual time already spent.
+
+Nothing about in-flight borders needs saving because checkpoints are
+taken with the pipeline drained (the run simply stops after a block-row
+boundary; resuming re-fills the pipeline, whose cost is the fill time the
+overlap model predicts).
+
+:func:`save_checkpoint` / :func:`load_checkpoint` serialise to ``.npz``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..sw.kernel import BestCell
+
+
+@dataclass(frozen=True)
+class ChainCheckpoint:
+    """Resumable state at a matrix-row boundary (see module docstring)."""
+
+    row: int                      #: rows [0, row) are done
+    h_row: np.ndarray | None      #: H of row ``row-1`` across the full width
+    f_row: np.ndarray | None      #: F of row ``row-1``
+    best: BestCell                #: best cell over the completed rows
+    elapsed_s: float              #: virtual time spent so far
+
+    def __post_init__(self) -> None:
+        if self.row <= 0:
+            raise ConfigError("checkpoint row must be positive")
+        if (self.h_row is None) != (self.f_row is None):
+            raise ConfigError("h_row and f_row must both be present or absent")
+        if self.elapsed_s < 0:
+            raise ConfigError("elapsed_s must be >= 0")
+
+    @property
+    def phantom(self) -> bool:
+        """True for timing-mode checkpoints (no DP state carried)."""
+        return self.h_row is None
+
+
+def save_checkpoint(path: str | os.PathLike, ckpt: ChainCheckpoint) -> None:
+    """Serialise a checkpoint to an ``.npz`` file."""
+    arrays = dict(
+        row=np.int64(ckpt.row),
+        elapsed=np.float64(ckpt.elapsed_s),
+        best=np.array([ckpt.best.score, ckpt.best.row, ckpt.best.col], dtype=np.int64),
+        phantom=np.bool_(ckpt.phantom),
+    )
+    if not ckpt.phantom:
+        arrays["h_row"] = ckpt.h_row
+        arrays["f_row"] = ckpt.f_row
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: str | os.PathLike) -> ChainCheckpoint:
+    """Load a checkpoint written by :func:`save_checkpoint`."""
+    with np.load(path) as data:
+        best = BestCell(int(data["best"][0]), int(data["best"][1]), int(data["best"][2]))
+        phantom = bool(data["phantom"])
+        return ChainCheckpoint(
+            row=int(data["row"]),
+            h_row=None if phantom else data["h_row"].copy(),
+            f_row=None if phantom else data["f_row"].copy(),
+            best=best,
+            elapsed_s=float(data["elapsed"]),
+        )

@@ -1,0 +1,116 @@
+"""Multi-node chains: the paper's strategy extended across hosts.
+
+The PPoPP 2014 system chains GPUs inside one host; the same wavefront
+decomposition extends to a *cluster* — the direction this system family
+later took — by letting border segments cross node boundaries over the
+network.  :class:`ClusterChain` arranges the devices of several
+:class:`Node` objects into one logical chain; channels between devices of
+the same node are plain :class:`~repro.comm.channel.BorderChannel`, while
+channels at node boundaries are
+:class:`~repro.comm.network.InterNodeChannel` with a per-boundary
+:class:`~repro.comm.network.NetworkLink`.
+
+Everything else — proportional partitioning over *all* devices, circular
+buffering, compute/timing duality, the exactness guarantees — is inherited
+from :class:`~repro.multigpu.chain.MultiGpuChain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..comm.channel import BorderChannel
+from ..comm.network import InterNodeChannel, NetworkLink
+from ..device.engine import Engine
+from ..device.gpu import SimulatedGPU
+from ..device.spec import DeviceSpec
+from ..errors import ConfigError
+from .chain import ChainConfig, MultiGpuChain
+from .partition import Slab
+
+
+@dataclass(frozen=True)
+class Node:
+    """One host: a name, its devices (in chain order), and its NIC link
+    toward the *next* node in the chain (unused on the last node)."""
+
+    name: str
+    devices: tuple[DeviceSpec, ...]
+    uplink: NetworkLink = field(default_factory=lambda: NetworkLink(gbps=1.25, name="10GbE"))
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ConfigError(f"node {self.name!r} has no devices")
+
+
+class ClusterChain(MultiGpuChain):
+    """A chain whose devices span several nodes (see module docstring)."""
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        *,
+        config: ChainConfig | None = None,
+        partition: list[Slab] | None = None,
+    ) -> None:
+        if not nodes:
+            raise ConfigError("need at least one node")
+        self.nodes = list(nodes)
+        devices: list[DeviceSpec] = []
+        #: node index of each flattened device
+        self._node_of: list[int] = []
+        for ni, node in enumerate(self.nodes):
+            for spec in node.devices:
+                devices.append(spec)
+                self._node_of.append(ni)
+        super().__init__(devices, config=config, partition=partition)
+
+    def boundary_links(self) -> list[NetworkLink | None]:
+        """Per channel g→g+1: the network link crossed, or None (intra-node)."""
+        links: list[NetworkLink | None] = []
+        for g in range(len(self.specs) - 1):
+            a, b = self._node_of[g], self._node_of[g + 1]
+            links.append(self.nodes[a].uplink if a != b else None)
+        return links
+
+    def _make_channel(self, engine: Engine, gpus: list[SimulatedGPU], g: int) -> BorderChannel:
+        link = self.boundary_links()[g]
+        if link is None:
+            return super()._make_channel(engine, gpus, g)
+        return InterNodeChannel(
+            engine, gpus[g], gpus[g + 1], link,
+            capacity=self.config.channel_capacity,
+            device_slots=self.config.device_slots,
+        )
+
+
+def min_internode_overlap_width(
+    src: DeviceSpec,
+    dst: DeviceSpec,
+    link: NetworkLink,
+    block_rows: int,
+) -> int:
+    """Minimum slab width hiding an *inter-node* border exchange.
+
+    Same bisection as :func:`repro.multigpu.overlap.min_overlap_width`, but
+    the per-segment cost includes the network hop (the max of the three
+    pipelined hops).
+    """
+    from .overlap import segment_bytes
+
+    nbytes = segment_bytes(block_rows)
+    cost = max(src.transfer_time(nbytes), link.transfer_time(nbytes),
+               dst.transfer_time(nbytes))
+    lo, hi = 1, 1
+    while block_rows * hi / src.effective_rate(hi) < cost:
+        hi *= 2
+        if hi > 1 << 40:
+            raise ConfigError("no feasible overlap width for this link")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if block_rows * mid / src.effective_rate(mid) >= cost:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

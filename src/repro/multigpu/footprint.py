@@ -1,0 +1,123 @@
+"""Device-memory footprint model for chain runs.
+
+A megabase comparison must fit each GPU's memory — one of the reasons the
+paper splits the matrix by columns (each device only stores *its slab's*
+working set).  This module itemises what a chain run keeps resident per
+device and checks it against the :class:`~repro.device.spec.DeviceSpec`
+capacity:
+
+* the slab's columns of the horizontal sequence, 2-bit packed;
+* the vertical sequence, streamed in block-row chunks (one chunk + one
+  prefetch buffer);
+* the row-sweep working vectors (H and F of one row across the slab,
+  plus kernel scratch);
+* device-side border staging slots on each adjacent channel.
+
+``plan_memory`` reports the breakdown; ``validate_memory`` raises
+:class:`~repro.errors.DeviceError` when a slab does not fit and suggests
+the minimum device count that would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..device.spec import DeviceSpec
+from ..errors import DeviceError
+from .chain import ChainConfig
+from .overlap import segment_bytes
+from .partition import Slab, proportional_partition
+
+#: int32 working vectors the row sweep keeps per slab column (H, F, E,
+#: temp, scan, diag — see repro.sw.kernel.sweep_block).
+_WORK_VECTORS = 6
+_BYTES_PER_INT32 = 4
+
+
+@dataclass(frozen=True)
+class DeviceFootprint:
+    """Itemised resident bytes for one device in a chain run."""
+
+    device: DeviceSpec
+    slab: Slab
+    seq_bytes: int
+    chunk_bytes: int
+    work_bytes: int
+    border_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.seq_bytes + self.chunk_bytes + self.work_bytes + self.border_bytes
+
+    @property
+    def fits(self) -> bool:
+        return self.total_bytes <= self.device.mem_bytes
+
+    @property
+    def utilisation(self) -> float:
+        return self.total_bytes / self.device.mem_bytes
+
+
+def plan_memory(
+    devices: Sequence[DeviceSpec],
+    rows: int,
+    cols: int,
+    config: ChainConfig,
+    *,
+    partition: Sequence[Slab] | None = None,
+) -> list[DeviceFootprint]:
+    """Per-device footprint of a chain run (see module docstring)."""
+    if rows <= 0 or cols <= 0:
+        raise DeviceError("matrix dimensions must be positive")
+    slabs = list(partition) if partition is not None else proportional_partition(
+        cols, [d.gcups for d in devices]
+    )
+    if len(slabs) != len(devices):
+        raise DeviceError("partition size != device count")
+
+    out: list[DeviceFootprint] = []
+    for idx, (spec, slab) in enumerate(zip(devices, slabs)):
+        seq = (slab.cols + 3) // 4  # 2-bit packed slab columns
+        # Vertical sequence streamed per block row: current + prefetch.
+        chunk = 2 * ((min(config.block_rows, rows) + 3) // 4)
+        work = _WORK_VECTORS * slab.cols * _BYTES_PER_INT32
+        borders = 0
+        seg = segment_bytes(min(config.block_rows, rows))
+        if idx > 0:  # incoming device ring
+            borders += config.device_slots * seg
+        if idx < len(devices) - 1:  # outgoing staging slots
+            borders += config.device_slots * seg
+        out.append(DeviceFootprint(
+            device=spec, slab=slab, seq_bytes=seq, chunk_bytes=chunk,
+            work_bytes=work, border_bytes=borders,
+        ))
+    return out
+
+
+def validate_memory(
+    devices: Sequence[DeviceSpec],
+    rows: int,
+    cols: int,
+    config: ChainConfig,
+    *,
+    partition: Sequence[Slab] | None = None,
+) -> list[DeviceFootprint]:
+    """Raise :class:`DeviceError` when any slab exceeds its device memory.
+
+    The error names the offending device and estimates how many devices of
+    that capacity the matrix would need.
+    """
+    plans = plan_memory(devices, rows, cols, config, partition=partition)
+    for fp in plans:
+        if not fp.fits:
+            per_col = fp.total_bytes / fp.slab.cols
+            feasible_cols = int(fp.device.mem_bytes / per_col)
+            needed = -(-cols // max(1, feasible_cols))
+            raise DeviceError(
+                f"{fp.device.name}: slab of {fp.slab.cols:,} columns needs "
+                f"{fp.total_bytes / 1e9:.2f} GB but the device has "
+                f"{fp.device.mem_bytes / 1e9:.2f} GB; "
+                f"~{needed} such devices would fit this matrix"
+            )
+    return plans

@@ -1,0 +1,94 @@
+"""End-to-end convenience: distributed score pass + exact traceback.
+
+The paper's system runs stage 1 (the score pass, >99% of the work at
+megabase scale) across the GPU chain, then retrieves the alignment with
+the cheaper host-side stages.  :func:`align_and_trace` packages that flow:
+
+1. stage 1 on the simulated multi-GPU chain (exact score + end point,
+   virtual-clock GCUPS),
+2. stage 2's anchored reverse pass for the start point,
+3. stage 3's Myers-Miller (optionally crossing-point partitioned)
+   reconstruction, validated by re-scoring,
+4. a consistency check that the chain and the host stages agree on the
+   score and end point — any divergence raises, because it would mean a
+   border-exchange bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..device.spec import DeviceSpec
+from ..errors import AlignmentError
+from ..seq.scoring import Scoring
+from ..sw.alignment import Alignment
+from ..sw.stages import align_local, align_local_partitioned, stage1_score
+from .chain import ChainConfig, ChainResult, MatrixWorkload, MultiGpuChain
+
+
+@dataclass(frozen=True)
+class TracedResult:
+    """Distributed score run plus the reconstructed alignment."""
+
+    chain: ChainResult
+    alignment: Alignment
+
+    @property
+    def score(self) -> int:
+        return self.chain.score
+
+    @property
+    def gcups(self) -> float:
+        return self.chain.gcups
+
+
+def align_and_trace(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    devices: Sequence[DeviceSpec],
+    *,
+    config: ChainConfig | None = None,
+    partitioned: bool = False,
+    special_interval: int = 512,
+) -> TracedResult:
+    """Run the full pipeline (see module docstring).
+
+    ``partitioned=True`` uses the crossing-point-partitioned traceback
+    (bounded working set); otherwise the monolithic stage-2/3 path.
+    """
+    chain = MultiGpuChain(devices, config=config)
+    chain_result = chain.run(MatrixWorkload(a_codes, b_codes, scoring))
+
+    if chain_result.score <= 0:
+        empty = Alignment(score=0, ops="", start_i=0, end_i=0, start_j=0, end_j=0)
+        return TracedResult(chain=chain_result, alignment=empty)
+
+    # Cross-check the distributed stage 1 against the host sweep before
+    # spending traceback time on it.
+    host = stage1_score(a_codes, b_codes, scoring)
+    if (host.score, host.end_i, host.end_j) != (
+        chain_result.score, chain_result.best.row, chain_result.best.col
+    ):
+        raise AlignmentError(
+            "multi-GPU chain and host stage 1 disagree: "
+            f"chain=({chain_result.score}, {chain_result.best.row}, "
+            f"{chain_result.best.col}) host=({host.score}, {host.end_i}, {host.end_j})"
+        )
+
+    if partitioned:
+        alignment = align_local_partitioned(
+            a_codes, b_codes, scoring, special_interval=special_interval
+        )
+    else:
+        alignment = align_local(a_codes, b_codes, scoring)
+    alignment.validate(a_codes, b_codes, scoring)
+    if alignment.score != chain_result.score:
+        raise AlignmentError(
+            f"traceback produced score {alignment.score}, chain reported "
+            f"{chain_result.score}"
+        )
+    return TracedResult(chain=chain_result, alignment=alignment)

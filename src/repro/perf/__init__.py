@@ -1,0 +1,27 @@
+"""Metrics and reporting helpers."""
+
+from .dotplot import Dotplot, dotplot
+from .report import chain_report, chain_result_dict
+from .metrics import (
+    BreakdownRow,
+    efficiency,
+    format_table,
+    gcups,
+    humanize_cells,
+    humanize_time,
+    speedup,
+)
+
+__all__ = [
+    "Dotplot",
+    "dotplot",
+    "chain_report",
+    "chain_result_dict",
+    "BreakdownRow",
+    "efficiency",
+    "format_table",
+    "gcups",
+    "humanize_cells",
+    "humanize_time",
+    "speedup",
+]

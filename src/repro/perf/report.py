@@ -1,0 +1,102 @@
+"""Formatted run reports: one text block summarising a chain result.
+
+Turns a :class:`~repro.multigpu.chain.ChainResult` into the multi-section
+report the CLI prints and the examples embed — configuration, partition,
+throughput, per-device breakdown, and channel statistics — so every
+front-end renders runs identically.
+"""
+
+from __future__ import annotations
+
+from .metrics import format_table, humanize_cells, humanize_time
+
+
+def chain_result_dict(result) -> dict:
+    """JSON-serialisable summary of a ChainResult (for tooling/dashboards)."""
+    return {
+        "cells": result.cells,
+        "total_time_s": result.total_time_s,
+        "gcups": result.gcups,
+        "score": result.score if result.best.row >= 0 else None,
+        "end": [result.best.row, result.best.col] if result.best.row >= 0 else None,
+        "config": {
+            "block_rows": result.config.block_rows,
+            "channel_capacity": result.config.channel_capacity,
+            "device_slots": result.config.device_slots,
+            "async_transfers": result.config.async_transfers,
+        },
+        "devices": [
+            {
+                "name": gpu.name,
+                "slab_cols": gpu.slab.cols,
+                "compute_s": gpu.counters.compute_s,
+                "transfer_s": gpu.counters.transfer_s,
+                "wait_s": gpu.counters.wait_s,
+                "cells": gpu.counters.cells,
+                "bytes_in": gpu.counters.bytes_in,
+                "bytes_out": gpu.counters.bytes_out,
+            }
+            for gpu in result.gpus
+        ],
+        "channels": [
+            {
+                "puts": st.puts,
+                "gets": st.gets,
+                "peak_occupancy": st.peak_occupancy,
+                "producer_blocked_s": st.producer_blocked_s,
+                "consumer_blocked_s": st.consumer_blocked_s,
+            }
+            for st in result.channels
+        ],
+    }
+
+
+def chain_report(result, *, title: str = "chain run") -> str:
+    """Multi-section text report for a ChainResult."""
+    lines: list[str] = [f"== {title} =="]
+    lines.append(
+        f"matrix: {humanize_cells(result.cells)}   "
+        f"virtual time: {humanize_time(result.total_time_s)}   "
+        f"throughput: {result.gcups:.2f} GCUPS"
+    )
+    if result.best.row >= 0:
+        lines.append(
+            f"best score: {result.score} ending at "
+            f"({result.best.row}, {result.best.col})"
+        )
+    cfg = result.config
+    lines.append(
+        f"config: block_rows={cfg.block_rows} buffer={cfg.channel_capacity} "
+        f"device_slots={cfg.device_slots} "
+        f"transfers={'async' if cfg.async_transfers else 'sync'}"
+    )
+    lines.append("")
+
+    rows = []
+    for gpu, bd in zip(result.gpus, result.breakdown()):
+        rows.append([
+            gpu.name,
+            f"{gpu.slab.cols:,}",
+            f"{bd['compute']:.1%}",
+            f"{bd['transfer']:.1%}",
+            f"{bd['wait']:.1%}",
+            f"{bd['idle']:.1%}",
+        ])
+    lines.append(format_table(
+        ["device", "slab cols", "compute", "transfer", "wait", "idle"], rows))
+
+    if result.channels:
+        lines.append("")
+        rows = []
+        for i, st in enumerate(result.channels):
+            rows.append([
+                f"{i}->{i + 1}",
+                str(st.puts),
+                f"{st.peak_occupancy}",
+                f"{st.producer_blocked_s * 1e3:.2f} ms",
+                f"{st.consumer_blocked_s * 1e3:.2f} ms",
+            ])
+        lines.append(format_table(
+            ["channel", "segments", "peak occupancy", "producer blocked",
+             "consumer blocked"], rows))
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""DNA alphabet definition and character-level utilities.
+
+The library works on nucleotide sequences over ``A C G T`` with ``N`` as the
+single ambiguity symbol (anything that is not one of the four bases is read
+as ``N``, matching what megabase chromosome FASTA files contain after
+repeat-masking).  Sequences are stored as ``numpy.uint8`` code arrays; the
+codes are stable public API:
+
+====  =====
+base  code
+====  =====
+A     0
+C     1
+G     2
+T     3
+N     4
+====  =====
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Canonical base order; index == code.
+BASES: str = "ACGTN"
+
+#: Code assigned to each of the four unambiguous bases.
+A, C, G, T, N = range(5)
+
+#: Number of symbols in the alphabet (including ``N``).
+ALPHABET_SIZE: int = 5
+
+#: Complement code table: ``COMPLEMENT[code]`` is the code of the complement.
+COMPLEMENT: np.ndarray = np.array([T, G, C, A, N], dtype=np.uint8)
+
+# 256-entry lookup: ASCII byte -> code.  Lower/upper case accepted; every
+# other byte maps to N's code + 1 used as a sentinel for *strict* decoding,
+# while the lenient table maps unknown bytes straight to N.
+_STRICT_INVALID = np.uint8(255)
+
+LENIENT_LUT: np.ndarray = np.full(256, N, dtype=np.uint8)
+STRICT_LUT: np.ndarray = np.full(256, _STRICT_INVALID, dtype=np.uint8)
+for _i, _b in enumerate(BASES):
+    LENIENT_LUT[ord(_b)] = _i
+    LENIENT_LUT[ord(_b.lower())] = _i
+    STRICT_LUT[ord(_b)] = _i
+    STRICT_LUT[ord(_b.lower())] = _i
+
+# IUPAC ambiguity codes are accepted leniently and strictly as N (this is
+# what chromosome-scale aligners do: they never reward an ambiguous match).
+for _b in "RYSWKMBDHV":
+    LENIENT_LUT[ord(_b)] = N
+    LENIENT_LUT[ord(_b.lower())] = N
+    STRICT_LUT[ord(_b)] = N
+    STRICT_LUT[ord(_b.lower())] = N
+
+#: Decode table: code -> ASCII byte.
+CODE_TO_ASCII: np.ndarray = np.frombuffer(BASES.encode(), dtype=np.uint8).copy()
+
+
+def is_valid_code_array(codes: np.ndarray) -> bool:
+    """Return True when *codes* is a uint8 array whose values are all < 5."""
+    return (
+        isinstance(codes, np.ndarray)
+        and codes.dtype == np.uint8
+        and codes.ndim == 1
+        and (codes.size == 0 or int(codes.max(initial=0)) < ALPHABET_SIZE)
+    )

@@ -1,0 +1,139 @@
+"""Protein alphabet and substitution-matrix scoring.
+
+The paper's system is DNA-only, but the Smith-Waterman substrate it rests
+on is alphabet-agnostic: the kernels only consume a substitution matrix
+and affine gap penalties.  This module provides the protein side —
+the 20 amino acids plus ``X`` (unknown), the BLOSUM62 matrix, and a
+:class:`CustomScoring` satisfying the same protocol as
+:class:`repro.seq.scoring.Scoring` — so the library doubles as a general
+pairwise aligner (the CUDASW++ lineage's domain).
+
+Protein sequences use their own code space (0..20); do not mix them with
+DNA codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ScoringError, SequenceError
+
+#: Amino acids in BLOSUM order; index == code.  ``X`` is the unknown.
+AMINO_ACIDS: str = "ARNDCQEGHILKMFPSTWYVX"
+
+#: Alphabet size including X.
+PROTEIN_ALPHABET_SIZE: int = len(AMINO_ACIDS)
+
+_LUT = np.full(256, PROTEIN_ALPHABET_SIZE - 1, dtype=np.uint8)  # default X
+for _i, _aa in enumerate(AMINO_ACIDS):
+    _LUT[ord(_aa)] = _i
+    _LUT[ord(_aa.lower())] = _i
+# Common ambiguity codes map to their conventional stand-ins or X.
+_LUT[ord("B")] = AMINO_ACIDS.index("N")
+_LUT[ord("Z")] = AMINO_ACIDS.index("Q")
+_LUT[ord("J")] = AMINO_ACIDS.index("L")
+_LUT[ord("U")] = AMINO_ACIDS.index("C")
+_LUT[ord("O")] = AMINO_ACIDS.index("K")
+for _c in "bzjuo":
+    _LUT[ord(_c)] = _LUT[ord(_c.upper())]
+
+_CODE_TO_ASCII = np.frombuffer(AMINO_ACIDS.encode(), dtype=np.uint8).copy()
+
+
+def encode_protein(text: str | bytes) -> np.ndarray:
+    """Encode an amino-acid string into a uint8 code array (unknown → X)."""
+    if isinstance(text, str):
+        raw = np.frombuffer(text.encode("ascii", errors="replace"), dtype=np.uint8)
+    elif isinstance(text, (bytes, bytearray)):
+        raw = np.frombuffer(bytes(text), dtype=np.uint8)
+    else:
+        raise SequenceError(f"cannot encode object of type {type(text).__name__}")
+    return _LUT[raw]
+
+
+def decode_protein(codes: np.ndarray) -> str:
+    """Decode protein codes back to an amino-acid string."""
+    if codes.dtype != np.uint8 or codes.ndim != 1 or (
+        codes.size and int(codes.max()) >= PROTEIN_ALPHABET_SIZE
+    ):
+        raise SequenceError("decode_protein expects a 1-D uint8 protein code array")
+    return _CODE_TO_ASCII[codes].tobytes().decode("ascii")
+
+
+# BLOSUM62, rows/cols in AMINO_ACIDS order (X row/col uses the standard
+# -1/-4 conventions folded to -1 against everything, -1 with itself).
+_BLOSUM62_ROWS = """
+ 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0 -1
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3 -1
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3 -1
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3 -1
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -1
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2 -1
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2 -1
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3 -1
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3 -1
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3 -1
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1 -1
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2 -1
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1 -1
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1 -1
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2 -1
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2 -1
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0 -1
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3 -1
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1 -1
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4 -1
+-1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1
+"""
+
+BLOSUM62: np.ndarray = np.array(
+    [[int(v) for v in line.split()] for line in _BLOSUM62_ROWS.strip().splitlines()],
+    dtype=np.int32,
+)
+assert BLOSUM62.shape == (PROTEIN_ALPHABET_SIZE, PROTEIN_ALPHABET_SIZE)
+
+
+@dataclass(frozen=True)
+class CustomScoring:
+    """Arbitrary substitution-matrix scoring with affine gaps.
+
+    Satisfies the protocol every kernel in :mod:`repro.sw` consumes
+    (``matrix``, ``gap_open``, ``gap_extend``, ``match`` as the best
+    per-column gain used by pruning bounds).
+    """
+
+    matrix: np.ndarray
+    gap_open: int = 10
+    gap_extend: int = 1
+    match: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.matrix, dtype=np.int32)
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ScoringError("substitution matrix must be square")
+        if not np.array_equal(m, m.T):
+            raise ScoringError("substitution matrix must be symmetric")
+        if self.gap_open < 0:
+            raise ScoringError("gap_open must be >= 0")
+        if self.gap_extend <= 0:
+            raise ScoringError("gap_extend must be positive")
+        best = int(m.max())
+        if best <= 0:
+            raise ScoringError("matrix must reward at least one pairing")
+        object.__setattr__(self, "matrix", m)
+        object.__setattr__(self, "match", best)
+
+    @property
+    def gap_first(self) -> int:
+        return self.gap_open + self.gap_extend
+
+    def gap_cost(self, length: int) -> int:
+        if length < 0:
+            raise ScoringError("gap length must be >= 0")
+        return 0 if length == 0 else self.gap_open + length * self.gap_extend
+
+
+#: The classic protein scheme: BLOSUM62 with gap open 10, extend 1.
+BLOSUM62_SCORING = CustomScoring(matrix=BLOSUM62, gap_open=10, gap_extend=1)

@@ -1,0 +1,65 @@
+"""Persistent 2-bit sequence format (.mg2b).
+
+Chromosome-scale pipelines keep sequences on disk between stages; storing
+them 2-bit packed (plus an N bitmap) quarters the footprint and matches
+the in-memory layout :func:`repro.seq.encoding.pack_2bit` produces, so
+loading is a couple of ``frombuffer`` calls.
+
+Layout (little-endian)::
+
+    offset  size  field
+    0       4     magic  b"MG2B"
+    4       4     version (currently 1)
+    8       8     sequence length in bases (u64)
+    16      8     packed payload size in bytes (u64)
+    24      8     N-mask size in bytes (u64)
+    32      ...   packed bases (4 per byte)
+    ...     ...   N bitmap (1 bit per base)
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+from ..errors import SequenceError
+from .encoding import pack_2bit, unpack_2bit
+
+MAGIC = b"MG2B"
+VERSION = 1
+_HEADER = struct.Struct("<4sIQQQ")
+
+
+def save_2bit(path: str | os.PathLike, codes: np.ndarray) -> int:
+    """Write an encoded sequence as .mg2b; returns bytes written."""
+    packed, mask, length = pack_2bit(codes)
+    header = _HEADER.pack(MAGIC, VERSION, length, packed.nbytes, mask.nbytes)
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(packed.tobytes())
+        fh.write(mask.tobytes())
+    return _HEADER.size + packed.nbytes + mask.nbytes
+
+
+def load_2bit(path: str | os.PathLike) -> np.ndarray:
+    """Read an .mg2b file back into a code array."""
+    with open(path, "rb") as fh:
+        raw = fh.read(_HEADER.size)
+        if len(raw) != _HEADER.size:
+            raise SequenceError(f"{path}: truncated header")
+        magic, version, length, packed_size, mask_size = _HEADER.unpack(raw)
+        if magic != MAGIC:
+            raise SequenceError(f"{path}: not an mg2b file (magic {magic!r})")
+        if version != VERSION:
+            raise SequenceError(f"{path}: unsupported version {version}")
+        expected_packed = (length + 3) // 4
+        expected_mask = (length + 7) // 8 if length else 0
+        if packed_size != expected_packed or mask_size != expected_mask:
+            raise SequenceError(f"{path}: inconsistent section sizes")
+        packed = np.frombuffer(fh.read(packed_size), dtype=np.uint8)
+        mask = np.frombuffer(fh.read(mask_size), dtype=np.uint8)
+        if packed.size != packed_size or mask.size != mask_size:
+            raise SequenceError(f"{path}: truncated payload")
+    return unpack_2bit(packed, mask, int(length))

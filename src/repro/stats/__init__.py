@@ -1,0 +1,19 @@
+"""Alignment score statistics (Karlin-Altschul)."""
+
+from .karlin import (
+    UNIFORM_DNA,
+    ScoreStatistics,
+    dna_statistics,
+    estimate_k,
+    expected_score,
+    solve_lambda,
+)
+
+__all__ = [
+    "UNIFORM_DNA",
+    "ScoreStatistics",
+    "dna_statistics",
+    "estimate_k",
+    "expected_score",
+    "solve_lambda",
+]

@@ -1,0 +1,75 @@
+"""Smith-Waterman substrate: kernels, blocks, pruning, traceback stages.
+
+Layering (bottom up):
+
+* :mod:`repro.sw.kernel` — the vectorised Gotoh row-sweep ("GPU kernel").
+* :mod:`repro.sw.naive` — full-matrix oracle used by the tests.
+* :mod:`repro.sw.blocks` — block grid + single-device blocked executor.
+* :mod:`repro.sw.pruning` — block pruning for similar sequences.
+* :mod:`repro.sw.myers_miller` — linear-space global alignment.
+* :mod:`repro.sw.stages` — the multi-stage local-alignment pipeline.
+* :mod:`repro.sw.banded` — banded screen / cross-check.
+"""
+
+from .alignment import Alignment, from_ops
+from .banded import banded_score
+from .blocks import BlockSpec, BlockedOutcome, compute_blocked, grid_specs, wavefront_order
+from .constants import NEG_INF
+from .diagonal import sw_score_diagonal
+from .kernel import BestCell, BlockResult, build_profile, sw_score, sweep_block
+from .myers_miller import align_global, global_score
+from .naive import align_naive, full_matrices, sw_score_naive
+from .pruning import BlockPruner
+from .rowstore import BudgetedRowStore, StoreStats
+from .semiglobal import SemiGlobalMode, naive_semiglobal, semiglobal_score
+from .stages import (
+    CrossingPoint,
+    SpecialRowStore,
+    Stage1Result,
+    align_local,
+    align_local_partitioned,
+    find_crossings,
+    stage1_score,
+    stage2_start,
+    stage2_with_crossings,
+    stage3_align,
+)
+
+__all__ = [
+    "Alignment",
+    "from_ops",
+    "banded_score",
+    "BlockSpec",
+    "BlockedOutcome",
+    "compute_blocked",
+    "grid_specs",
+    "wavefront_order",
+    "NEG_INF",
+    "BestCell",
+    "BlockResult",
+    "build_profile",
+    "sw_score",
+    "sw_score_diagonal",
+    "sweep_block",
+    "align_global",
+    "global_score",
+    "align_naive",
+    "full_matrices",
+    "sw_score_naive",
+    "BlockPruner",
+    "BudgetedRowStore",
+    "StoreStats",
+    "SemiGlobalMode",
+    "naive_semiglobal",
+    "semiglobal_score",
+    "CrossingPoint",
+    "SpecialRowStore",
+    "Stage1Result",
+    "align_local",
+    "align_local_partitioned",
+    "find_crossings",
+    "stage1_score",
+    "stage2_start",
+    "stage2_with_crossings",
+    "stage3_align",
+]

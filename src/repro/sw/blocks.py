@@ -1,0 +1,243 @@
+"""Block decomposition of the DP matrix and the blocked executor.
+
+The paper's GPUs compute the huge SW matrix as a grid of rectangular
+blocks processed in wavefront order; neighbouring blocks exchange border
+vectors (bottom row downwards, right column rightwards).  This module
+provides the grid geometry, the per-block compute wrapper around
+:func:`repro.sw.kernel.sweep_block`, and a single-device blocked executor
+that the CPU baseline and the tests use.  The multi-GPU engine in
+:mod:`repro.multigpu` reuses the same block contract but distributes block
+columns over devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..seq.scoring import Scoring
+from .constants import DTYPE, NEG_INF
+from .kernel import BestCell, BlockResult, build_profile, sweep_block
+from .pruning import BlockPruner
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One block: rows ``[row0, row1)`` x cols ``[col0, col1)`` (global)."""
+
+    row0: int
+    row1: int
+    col0: int
+    col1: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.row0 < self.row1 and 0 <= self.col0 < self.col1):
+            raise ConfigError(f"degenerate block {self!r}")
+
+    @property
+    def rows(self) -> int:
+        return self.row1 - self.row0
+
+    @property
+    def cols(self) -> int:
+        return self.col1 - self.col0
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+
+def grid_specs(m: int, n: int, block_rows: int, block_cols: int) -> list[list[BlockSpec]]:
+    """Partition an ``m x n`` matrix into a grid of blocks.
+
+    Returns ``specs[br][bc]``; edge blocks absorb the remainder (they are
+    smaller, never larger, than the nominal size).
+    """
+    if m <= 0 or n <= 0:
+        raise ConfigError("matrix dimensions must be positive")
+    if block_rows <= 0 or block_cols <= 0:
+        raise ConfigError("block dimensions must be positive")
+    row_edges = list(range(0, m, block_rows)) + [m]
+    col_edges = list(range(0, n, block_cols)) + [n]
+    return [
+        [BlockSpec(r0, r1, c0, c1) for c0, c1 in zip(col_edges, col_edges[1:])]
+        for r0, r1 in zip(row_edges, row_edges[1:])
+    ]
+
+
+def wavefront_order(n_block_rows: int, n_block_cols: int) -> Iterator[list[tuple[int, int]]]:
+    """Yield anti-diagonals of block indices: every block in one yielded
+    list depends only on blocks of earlier lists (the external diagonals
+    of the paper's wavefront)."""
+    for d in range(n_block_rows + n_block_cols - 1):
+        diag = [
+            (br, d - br)
+            for br in range(max(0, d - n_block_cols + 1), min(n_block_rows, d + 1))
+        ]
+        yield diag
+
+
+@dataclass
+class BlockBoundaries:
+    """Input boundaries of one block (global coordinates irrelevant here)."""
+
+    h_top: np.ndarray
+    f_top: np.ndarray
+    h_left: np.ndarray
+    e_left: np.ndarray
+    h_diag: int
+
+
+def origin_boundaries(spec: BlockSpec, *, local: bool, scoring: Scoring) -> BlockBoundaries:
+    """Boundaries for blocks touching the matrix's top/left edge."""
+    if local:
+        h_top = np.zeros(spec.cols, dtype=DTYPE)
+        h_left = np.zeros(spec.rows, dtype=DTYPE)
+        h_diag = 0
+    else:
+        j = np.arange(spec.col0 + 1, spec.col1 + 1, dtype=DTYPE)
+        i = np.arange(spec.row0 + 1, spec.row1 + 1, dtype=DTYPE)
+        h_top = (-scoring.gap_open - j * scoring.gap_extend).astype(DTYPE)
+        h_left = (-scoring.gap_open - i * scoring.gap_extend).astype(DTYPE)
+        if spec.row0 == 0 and spec.col0 == 0:
+            h_diag = 0
+        elif spec.row0 == 0:
+            h_diag = -scoring.gap_open - spec.col0 * scoring.gap_extend
+        else:
+            h_diag = -scoring.gap_open - spec.row0 * scoring.gap_extend
+    f_top = np.full(spec.cols, NEG_INF, dtype=DTYPE)
+    e_left = np.full(spec.rows, NEG_INF, dtype=DTYPE)
+    return BlockBoundaries(h_top, f_top, h_left, e_left, h_diag)
+
+
+def pruned_border_result(spec: BlockSpec) -> BlockResult:
+    """Borders emitted for a pruned block (local mode only).
+
+    ``H = 0`` is a legal lower bound of every true local-mode cell, and the
+    pruning criterion guarantees the optimal path does not cross the block,
+    so downstream scores computed from these borders never exceed the true
+    optimum and the reported best score is exact.
+    """
+    return BlockResult(
+        h_bottom=np.zeros(spec.cols, dtype=DTYPE),
+        f_bottom=np.full(spec.cols, NEG_INF, dtype=DTYPE),
+        h_right=np.zeros(spec.rows, dtype=DTYPE),
+        e_right=np.full(spec.rows, NEG_INF, dtype=DTYPE),
+        corner=0,
+        best=BestCell.none(),
+    )
+
+
+@dataclass
+class BlockedOutcome:
+    """Result of a blocked single-device run."""
+
+    best: BestCell
+    blocks_total: int
+    blocks_pruned: int
+    cells_total: int
+    cells_pruned: int
+
+    @property
+    def pruned_fraction(self) -> float:
+        return self.cells_pruned / self.cells_total if self.cells_total else 0.0
+
+
+def compute_blocked(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    *,
+    block_rows: int = 512,
+    block_cols: int = 512,
+    local: bool = True,
+    pruner: BlockPruner | None = None,
+) -> BlockedOutcome:
+    """Compute the whole matrix block-by-block on one device.
+
+    Produces exactly the same best cell as a monolithic
+    :func:`repro.sw.kernel.sw_score` sweep (tested cell-exactly); with a
+    *pruner* (local mode only), blocks that provably cannot influence the
+    optimum are skipped and replaced by :func:`pruned_border_result`.
+    """
+    if pruner is not None and not local:
+        raise ConfigError("block pruning applies to local alignment only")
+    m, n = int(a_codes.size), int(b_codes.size)
+    specs = grid_specs(m, n, block_rows, block_cols)
+    n_brows, n_bcols = len(specs), len(specs[0])
+    profile_full = build_profile(b_codes, scoring)
+
+    # Rolling borders: bottom borders of the previous block row (per block
+    # column) and right borders of the previous block column (per block row).
+    bottom: list[tuple[np.ndarray, np.ndarray] | None] = [None] * n_bcols
+    right: tuple[np.ndarray, np.ndarray] | None = None
+    # corner[bc] = H at (row above current block row, last col of block bc-1)
+    corners = [0] * (n_bcols + 1)
+
+    best = BestCell.none()
+    blocks_pruned = 0
+    cells_pruned = 0
+    for br in range(n_brows):
+        right = None
+        row_corner_updates = [0] * (n_bcols + 1)
+        for bc in range(n_bcols):
+            spec = specs[br][bc]
+            bnd = origin_boundaries(spec, local=local, scoring=scoring)
+            if br > 0:
+                h_top, f_top = bottom[bc]  # type: ignore[misc]
+                bnd.h_top, bnd.f_top = h_top, f_top
+            if bc > 0:
+                h_left, e_left = right  # type: ignore[misc]
+                bnd.h_left, bnd.e_left = h_left, e_left
+            if br > 0 and bc > 0:
+                bnd.h_diag = corners[bc]
+            elif br > 0:
+                bnd.h_diag = 0 if local else -scoring.gap_open - spec.row0 * scoring.gap_extend
+            elif bc > 0:
+                bnd.h_diag = 0 if local else -scoring.gap_open - spec.col0 * scoring.gap_extend
+
+            if pruner is not None and pruner.should_prune(
+                spec,
+                m,
+                n,
+                int(bnd.h_top.max(initial=NEG_INF)),
+                int(bnd.h_left.max(initial=NEG_INF)),
+                best.score if best.row >= 0 else 0,
+            ):
+                result = pruned_border_result(spec)
+                blocks_pruned += 1
+                cells_pruned += spec.cells
+            else:
+                result = sweep_block(
+                    a_codes[spec.row0 : spec.row1],
+                    profile_full[:, spec.col0 : spec.col1],
+                    bnd.h_top,
+                    bnd.f_top,
+                    bnd.h_left,
+                    bnd.e_left,
+                    bnd.h_diag,
+                    scoring,
+                    local=local,
+                )
+                cell = result.best.shifted(spec.row0, spec.col0)
+                if cell.better_than(best):
+                    best = cell
+
+            bottom[bc] = (result.h_bottom, result.f_bottom)
+            right = (result.h_right, result.e_right)
+            # The corner for block (br+1, bc+1) is H at (spec.row1-1,
+            # spec.col1-1) == result.corner.
+            row_corner_updates[bc + 1] = result.corner
+        corners = row_corner_updates
+
+    total_blocks = n_brows * n_bcols
+    return BlockedOutcome(
+        best=best,
+        blocks_total=total_blocks,
+        blocks_pruned=blocks_pruned,
+        cells_total=m * n,
+        cells_pruned=cells_pruned,
+    )

@@ -1,0 +1,24 @@
+"""Shared numeric constants for the Smith-Waterman kernels.
+
+All DP values are ``int32``.  ``NEG_INF`` is a large negative sentinel
+standing in for minus infinity; it is chosen so that any realistic sum of
+penalties added to it stays far above the ``int32`` minimum (no wraparound)
+while remaining unreachable by any legal score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: "Minus infinity" for int32 DP cells.  Headroom: int32 min is about
+#: -2.1e9; NEG_INF + (worst-case penalty sums ~ 1e8) stays below any real
+#: score and above the wraparound threshold.
+NEG_INF: int = -(1 << 30)
+
+#: dtype used by every DP vector/matrix.
+DTYPE = np.int32
+
+#: Maximum block width the scan kernel accepts.  ``j * gap_extend`` must not
+#: overflow the headroom above NEG_INF: 2**27 columns * extend<=15 ~ 2e9 is
+#: too much, so cap width well below that.
+MAX_SWEEP_WIDTH: int = 1 << 26

@@ -1,0 +1,117 @@
+"""Anti-diagonal Smith-Waterman kernel — the paper's literal data layout.
+
+GPU SW kernels parallelise over *anti-diagonals*: every cell on diagonal
+``d = i + j`` depends only on diagonals ``d-1`` (gap moves) and ``d-2``
+(the match move), so all its cells compute concurrently.  The production
+kernel in :mod:`repro.sw.kernel` uses an algebraically equivalent row
+sweep (better suited to NumPy); this module implements the genuine
+anti-diagonal schedule as an independent cross-check — two kernels with
+different dependency orders agreeing cell-exactly is strong evidence
+against schedule bugs — and as the reference for what the simulated GPUs
+conceptually execute.
+
+Storage: three rolling diagonal buffers per DP matrix (H, E, F at ``d``,
+``d-1``, ``d-2``), each of length ``min(m, n)``; cells of diagonal ``d``
+occupy rows ``i`` in ``[max(0, d - n + 1), min(m - 1, d)]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..seq.scoring import Scoring
+from .constants import DTYPE, NEG_INF
+from .kernel import BestCell
+
+
+def sw_score_diagonal(a_codes: np.ndarray, b_codes: np.ndarray, scoring: Scoring) -> BestCell:
+    """Local SW score via anti-diagonal sweeps (see module docstring).
+
+    Returns the same :class:`BestCell` (score + 0-based end coordinates,
+    row-major tie-break) as :func:`repro.sw.kernel.sw_score`.
+    """
+    m, n = int(a_codes.size), int(b_codes.size)
+    if m == 0 or n == 0:
+        raise ConfigError("sw_score_diagonal requires non-empty sequences")
+
+    width = min(m, n)
+    sub = scoring.matrix
+    open_ = DTYPE(scoring.gap_open)
+    ext = DTYPE(scoring.gap_extend)
+
+    # Buffers indexed by row i - lo(d), where lo(d) = max(0, d - n + 1).
+    h_prev = np.full(width, 0, dtype=DTYPE)       # H on diagonal d-1
+    h_prev2 = np.full(width, 0, dtype=DTYPE)      # H on diagonal d-2
+    e_prev = np.full(width, NEG_INF, dtype=DTYPE)
+    f_prev = np.full(width, NEG_INF, dtype=DTYPE)
+    lo_prev = 0
+    lo_prev2 = 0
+
+    best_score = 0
+    best = BestCell.none()
+
+    for d in range(m + n - 1):
+        lo = max(0, d - n + 1)
+        hi = min(m - 1, d)
+        size = hi - lo + 1
+        rows = np.arange(lo, hi + 1)
+        cols = d - rows
+
+        subs = sub[a_codes[rows], b_codes[cols]].astype(DTYPE)
+
+        def shifted(buf: np.ndarray, buf_lo: int, want_rows: np.ndarray,
+                    buf_size: int) -> np.ndarray:
+            """Values of *buf* (a previous diagonal) at the given rows,
+            NEG_INF outside the previous diagonal's range."""
+            idx = want_rows - buf_lo
+            ok = (idx >= 0) & (idx < buf_size)
+            out = np.full(want_rows.size, NEG_INF, dtype=DTYPE)
+            out[ok] = buf[idx[ok]]
+            return out
+
+        size_prev = min(m - 1, d - 1) - lo_prev + 1 if d >= 1 else 0
+        size_prev2 = min(m - 1, d - 2) - lo_prev2 + 1 if d >= 2 else 0
+
+        # Vertical gap: cell above is (i-1, j) on diagonal d-1.
+        h_up = shifted(h_prev, lo_prev, rows - 1, size_prev) if d >= 1 else \
+            np.full(size, NEG_INF, dtype=DTYPE)
+        f_up = shifted(f_prev, lo_prev, rows - 1, size_prev) if d >= 1 else \
+            np.full(size, NEG_INF, dtype=DTYPE)
+        f_cur = np.maximum(f_up, h_up - open_) - ext
+
+        # Horizontal gap: cell left is (i, j-1), also on diagonal d-1.
+        h_left = shifted(h_prev, lo_prev, rows, size_prev) if d >= 1 else \
+            np.full(size, NEG_INF, dtype=DTYPE)
+        e_left = shifted(e_prev, lo_prev, rows, size_prev) if d >= 1 else \
+            np.full(size, NEG_INF, dtype=DTYPE)
+        e_cur = np.maximum(e_left, h_left - open_) - ext
+
+        # Diagonal move: (i-1, j-1) on diagonal d-2; the matrix boundary
+        # (i == 0 or j == 0) contributes H = 0.
+        if d >= 2:
+            h_diag = shifted(h_prev2, lo_prev2, rows - 1, size_prev2)
+        else:
+            h_diag = np.full(size, NEG_INF, dtype=DTYPE)
+        boundary = (rows == 0) | (cols == 0)
+        h_diag[boundary] = 0
+
+        h_cur = np.maximum(np.maximum(h_diag + subs, f_cur), e_cur)
+        np.maximum(h_cur, 0, out=h_cur)
+
+        mx = int(h_cur.max())
+        if mx > best_score:
+            # Row-major tie-break: among this diagonal's maxima pick the
+            # smallest row (they share i + j, so smallest i wins row-major).
+            k = int(np.argmax(h_cur))
+            best_score = mx
+            best = BestCell(mx, int(rows[k]), int(cols[k]))
+        elif mx == best_score and best.row >= 0:
+            k = int(np.argmax(h_cur))
+            cand = BestCell(mx, int(rows[k]), int(cols[k]))
+            if cand.better_than(best):
+                best = cand
+
+        h_prev2, lo_prev2 = h_prev, lo_prev
+        h_prev, e_prev, f_prev, lo_prev = h_cur, e_cur, f_cur, lo
+    return best

@@ -1,0 +1,285 @@
+"""Vectorised Gotoh row-sweep kernel — the library's "GPU kernel".
+
+This module computes a rectangular block of the affine-gap Smith-Waterman
+(or Needleman-Wunsch) matrix given its top and left boundaries, producing
+its bottom and right boundaries.  It is the unit of work a simulated GPU
+executes, and it is also what the CPU baseline and the traceback stages are
+built from.
+
+Vectorisation strategy
+----------------------
+The Gotoh recurrences are::
+
+    E[i,j] = max(E[i,j-1], H[i,j-1] - open) - ext       (horizontal gap)
+    F[i,j] = max(F[i-1,j], H[i-1,j] - open) - ext       (vertical gap)
+    H[i,j] = max(E[i,j], F[i,j], H[i-1,j-1] + s(a_i,b_j) [, 0 if local])
+
+``F`` and the diagonal term depend only on row ``i-1`` and vectorise
+directly.  ``E`` carries a dependency *along* the row, but Gotoh's
+simplification (``E[j] = max(E[j-1], tempH[j-1] - open) - ext`` where
+``tempH`` is ``H`` before the ``E`` contribution) turns it into a running
+maximum: with ``Q[j] = tempH[j] - open + j*ext`` and ``e[j] = E[j]+j*ext``,
+
+    e[j] = max(e[j-1], Q[j-1]),
+
+i.e. a single ``np.maximum.accumulate`` per row.  Every row is therefore a
+handful of fused NumPy vector operations — no Python-level loop over cells,
+only over rows (the idiom recommended by the HPC guides: vectorise the
+inner dimension, keep the interpreted loop on the outer one).
+
+Boundary convention
+-------------------
+A block covers rows ``0..R-1`` and columns ``0..W-1`` in local coordinates.
+Inputs are the DP values immediately *outside* the block:
+
+* ``h_top[W]``, ``f_top[W]`` — row above the block,
+* ``h_left[R]``, ``e_left[R]`` — column left of the block,
+* ``h_diag`` — the corner cell above-left of the block.
+
+Outputs mirror them (``h_bottom/f_bottom/h_right/e_right`` plus the new
+corner).  Chaining blocks left-to-right and top-to-bottom with these
+borders reproduces the monolithic DP bit-exactly; the multi-GPU engine
+ships exactly ``(h_right, e_right)`` between devices, as the paper ships
+border columns between neighbouring GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..seq.scoring import Scoring
+from .constants import DTYPE, MAX_SWEEP_WIDTH, NEG_INF
+
+#: Signature of the optional per-row callback: ``(local_row_index, H, E, F)``
+#: with arrays valid only for the duration of the call (copy to keep).
+RowSink = Callable[[int, np.ndarray, np.ndarray, np.ndarray], None]
+
+
+@dataclass(frozen=True)
+class BestCell:
+    """Best DP cell seen: value and local (row, col) inside the block."""
+
+    score: int
+    row: int
+    col: int
+
+    @staticmethod
+    def none() -> "BestCell":
+        return BestCell(NEG_INF, -1, -1)
+
+    def shifted(self, row0: int, col0: int) -> "BestCell":
+        """The same cell in global coordinates (block origin at row0/col0)."""
+        if self.row < 0:
+            return self
+        return BestCell(self.score, self.row + row0, self.col + col0)
+
+    def better_than(self, other: "BestCell") -> bool:
+        """Strictly better, or equal and earlier in row-major order (the
+        deterministic tie-break used across the whole library)."""
+        if self.score != other.score:
+            return self.score > other.score
+        if self.row != other.row:
+            return 0 <= self.row < other.row or other.row < 0 <= self.row
+        return 0 <= self.col < other.col or other.col < 0 <= self.col
+
+
+@dataclass
+class BlockResult:
+    """Boundary outputs of one block sweep (see module docstring)."""
+
+    h_bottom: np.ndarray
+    f_bottom: np.ndarray
+    h_right: np.ndarray
+    e_right: np.ndarray
+    corner: int  #: H at local (R-1, W-1); the diag input for the block below-right
+    best: BestCell
+
+
+def local_boundaries(rows: int, cols: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Boundaries of a block at the matrix origin under *local* (SW) rules:
+    H borders are 0, gap states are -inf."""
+    h_top = np.zeros(cols, dtype=DTYPE)
+    f_top = np.full(cols, NEG_INF, dtype=DTYPE)
+    h_left = np.zeros(rows, dtype=DTYPE)
+    e_left = np.full(rows, NEG_INF, dtype=DTYPE)
+    return h_top, f_top, h_left, e_left, 0
+
+
+def global_boundaries(
+    rows: int, cols: int, scoring: Scoring
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Boundaries at the origin under *global* (NW-Gotoh) rules: leading
+    gaps are charged, so border H values are the gap costs."""
+    j = np.arange(1, cols + 1, dtype=DTYPE)
+    i = np.arange(1, rows + 1, dtype=DTYPE)
+    h_top = (-scoring.gap_open - j * scoring.gap_extend).astype(DTYPE)
+    h_left = (-scoring.gap_open - i * scoring.gap_extend).astype(DTYPE)
+    # A path along the top border is inside a horizontal gap; entering the
+    # matrix vertically from it re-opens, so F on the border is the gap value
+    # minus nothing extra: classic NW-Gotoh uses F_top = -inf unless gaps may
+    # chain; we keep -inf (a vertical gap cannot be a continuation of the
+    # border's horizontal gap).
+    f_top = np.full(cols, NEG_INF, dtype=DTYPE)
+    e_left = np.full(rows, NEG_INF, dtype=DTYPE)
+    return h_top, f_top, h_left, e_left, 0
+
+
+def build_profile(b_codes: np.ndarray, scoring: Scoring) -> np.ndarray:
+    """Per-column substitution profile ``P[x, j] = score(x, b[j])``.
+
+    Row ``x`` is the score vector of every column base against vertical
+    base ``x``; the sweep fetches one contiguous row per DP row.
+    """
+    return scoring.matrix.take(b_codes.astype(np.intp), axis=1).astype(DTYPE)
+
+
+def sweep_block(
+    a_codes: np.ndarray,
+    profile: np.ndarray,
+    h_top: np.ndarray,
+    f_top: np.ndarray,
+    h_left: np.ndarray,
+    e_left: np.ndarray,
+    h_diag: int,
+    scoring: Scoring,
+    *,
+    local: bool = True,
+    track_best: bool = True,
+    row_sink: RowSink | None = None,
+    sink_interval: int = 0,
+) -> BlockResult:
+    """Sweep one block row-by-row (see module docstring for the contract).
+
+    Parameters
+    ----------
+    a_codes:
+        Vertical-sequence codes for the block's rows (length R).
+    profile:
+        ``(5, W)`` profile from :func:`build_profile` for the block's
+        columns.
+    local:
+        True for Smith-Waterman (clamp at 0, track best cell); False for
+        the unclamped global recurrence used by the traceback stages.
+    row_sink / sink_interval:
+        When ``sink_interval > 0``, ``row_sink(i, H, E, F)`` is invoked for
+        every local row ``i`` with ``(i+1) % sink_interval == 0`` — the
+        "special rows" the traceback stages consume.  Arrays must be copied
+        by the sink if kept.
+    """
+    R = int(a_codes.size)
+    W = int(profile.shape[1])
+    if W == 0 or R == 0:
+        raise ConfigError("sweep_block requires a non-empty block")
+    if W > MAX_SWEEP_WIDTH:
+        raise ConfigError(f"block width {W} exceeds MAX_SWEEP_WIDTH={MAX_SWEEP_WIDTH}")
+    if h_top.shape != (W,) or f_top.shape != (W,):
+        raise ConfigError("h_top/f_top must have one entry per block column")
+    if h_left.shape != (R,) or e_left.shape != (R,):
+        raise ConfigError("h_left/e_left must have one entry per block row")
+    if row_sink is not None and sink_interval <= 0:
+        raise ConfigError("row_sink requires a positive sink_interval")
+
+    open_ = DTYPE(scoring.gap_open)
+    ext = DTYPE(scoring.gap_extend)
+
+    h_prev = h_top.astype(DTYPE, copy=True)
+    f_prev = f_top.astype(DTYPE, copy=True)
+    h_right = np.empty(R, dtype=DTYPE)
+    e_right = np.empty(R, dtype=DTYPE)
+
+    # Reusable scratch (one allocation set per block, not per row).
+    j_ext = (np.arange(W, dtype=DTYPE) * ext).astype(DTYPE)
+    diag = np.empty(W, dtype=DTYPE)
+    temp = np.empty(W, dtype=DTYPE)
+    scan = np.empty(W, dtype=DTYPE)
+    e_row = np.empty(W, dtype=DTYPE)
+    f_row = np.empty(W, dtype=DTYPE)
+
+    best = BestCell.none()
+    best_score = NEG_INF if not local else 0  # local never reports < 0 cells
+    corner_prev = DTYPE(h_diag)  # H at (i-1, -1): left border of previous row
+
+    for i in range(R):
+        sub = profile[a_codes[i]]
+
+        # F (vertical gap): depends only on the previous row.
+        np.maximum(f_prev, h_prev - open_, out=f_row)
+        f_row -= ext
+
+        # Diagonal term H[i-1, j-1] + s.
+        diag[0] = corner_prev
+        diag[1:] = h_prev[:-1]
+        np.add(diag, sub, out=temp)
+        np.maximum(temp, f_row, out=temp)
+        if local:
+            np.maximum(temp, 0, out=temp)
+
+        # E (horizontal gap) via running maximum:
+        #   e[j] = E[j] + j*ext;  e[j] = max(e[j-1], Q[j-1]),
+        #   Q[j] = tempH[j] - open + j*ext;
+        #   e[0] = E[0] = max(E_left, H_left - open) - ext.
+        # Q is written pre-shifted (scan[k] = Q[k-1]) to avoid a
+        # full-width copy per row.
+        e0 = max(int(e_left[i]), int(h_left[i]) - int(open_)) - int(ext)
+        np.subtract(temp[:-1], open_, out=scan[1:])
+        scan[1:] += j_ext[:-1]
+        scan[0] = e0
+        np.maximum.accumulate(scan, out=scan)
+        np.subtract(scan, j_ext, out=e_row)
+
+        np.maximum(temp, e_row, out=temp)  # temp is now the final H row
+
+        if track_best and local:
+            m = int(temp.max())
+            if m > best_score:
+                best_score = m
+                best = BestCell(m, i, int(temp.argmax()))
+        elif track_best:
+            m = int(temp.max())
+            if m > best_score:
+                best_score = m
+                best = BestCell(m, i, int(temp.argmax()))
+
+        if row_sink is not None and (i + 1) % sink_interval == 0:
+            row_sink(i, temp, e_row, f_row)
+
+        h_right[i] = temp[-1]
+        e_right[i] = e_row[-1]
+        corner_prev = h_left[i]
+        h_prev, temp = temp, h_prev  # swap buffers; h_prev now holds row i
+        f_prev, f_row = f_row, f_prev
+
+    return BlockResult(
+        h_bottom=h_prev.copy(),
+        f_bottom=f_prev.copy(),
+        h_right=h_right,
+        e_right=e_right,
+        corner=int(h_prev[-1]),
+        best=best,
+    )
+
+
+def sw_score(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    *,
+    row_sink: RowSink | None = None,
+    sink_interval: int = 0,
+) -> BestCell:
+    """Linear-space local (SW) score of the whole matrix in one block.
+
+    Returns the best cell with 0-based *end* coordinates: ``row``/``col``
+    are the indices of the last aligned pair in ``a``/``b``.
+    """
+    h_top, f_top, h_left, e_left, corner = local_boundaries(a_codes.size, b_codes.size)
+    profile = build_profile(b_codes, scoring)
+    result = sweep_block(
+        a_codes, profile, h_top, f_top, h_left, e_left, corner, scoring,
+        local=True, row_sink=row_sink, sink_interval=sink_interval,
+    )
+    return result.best

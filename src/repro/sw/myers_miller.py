@@ -1,0 +1,243 @@
+"""Myers-Miller linear-space global alignment with affine gaps.
+
+Retrieving the actual alignment of megabase sequences cannot afford the
+O(m*n) traceback matrices, so the traceback stages use the classic
+divide-and-conquer of Myers & Miller (1988), adapted to Gotoh's affine-gap
+recurrences:
+
+1. Split the row range at ``mid``.
+2. A forward global sweep of ``a[:mid]`` vs ``b`` yields ``H`` and ``F`` at
+   row ``mid``; a reverse sweep of the reversed suffixes yields the same
+   for the bottom half.
+3. The optimal path crosses row ``mid`` at the column maximising either
+   ``Hf[j] + Hr[j]`` (diagonal crossing) or ``Ff[j] + Fr[j] + gap_open``
+   (a vertical gap spanning the boundary; the add-back compensates the
+   open charged by both halves).
+4. Recurse on the two halves.  A vertical-gap crossing deletes ``a[mid-1]``
+   and ``a[mid]`` at the junction; the halves are then solved with the
+   *boundary gap flags* ``tb``/``te`` set to 0 so a gap touching the
+   junction does not pay its open twice (Myers & Miller's ``tb``/``te``
+   mechanism).
+
+Sub-problems below ``base_cells`` are solved by a full-matrix DP with
+traceback (the matrices are materialised from the vectorised kernel's row
+sink, so even the base case has no per-cell Python loop).
+
+Every public entry point validates the produced ops by re-scoring them, so
+an inconsistency anywhere in this machinery raises
+:class:`~repro.errors.AlignmentError` instead of returning a wrong
+alignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AlignmentError, ConfigError
+from ..seq.scoring import Scoring
+from .alignment import Alignment, from_ops
+from .constants import DTYPE, NEG_INF
+from .kernel import build_profile, sweep_block
+from .naive import FullMatrices, traceback
+
+#: Default full-DP fallback size (cells); ~3 MB of int32 matrices.
+DEFAULT_BASE_CELLS = 256 * 1024
+
+
+def _gap(scoring: Scoring, open_cost: int, length: int) -> int:
+    """Score of a gap of *length* whose open costs *open_cost* (may be 0)."""
+    return 0 if length == 0 else -(open_cost + length * scoring.gap_extend)
+
+
+def _forward_last_rows(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    tb: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Global-sweep ``a`` vs ``b``; return H and F at the last row,
+    *including* the j=0 boundary column (arrays of length ``len(b)+1``).
+
+    ``tb`` is the open cost of a leading vertical gap (column-0 boundary).
+    """
+    m, n = int(a_codes.size), int(b_codes.size)
+    j = np.arange(1, n + 1, dtype=DTYPE)
+    i = np.arange(1, m + 1, dtype=DTYPE)
+    h_top = (-scoring.gap_open - j * scoring.gap_extend).astype(DTYPE)
+    h_left = (-tb - i * scoring.gap_extend).astype(DTYPE)
+    f_top = np.full(n, NEG_INF, dtype=DTYPE)
+    e_left = np.full(m, NEG_INF, dtype=DTYPE)
+    res = sweep_block(
+        a_codes, build_profile(b_codes, scoring),
+        h_top, f_top, h_left, e_left, 0, scoring, local=False, track_best=False,
+    )
+    H = np.empty(n + 1, dtype=DTYPE)
+    F = np.empty(n + 1, dtype=DTYPE)
+    H[0] = -(tb + m * scoring.gap_extend)
+    F[0] = H[0]  # the column-0 boundary path *is* a vertical gap
+    H[1:] = res.h_bottom
+    F[1:] = res.f_bottom
+    return H, F
+
+
+def _full_matrices_with_flags(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    tb: int,
+) -> FullMatrices:
+    """Materialise full global H/E/F matrices with the tb boundary flag,
+    using the vectorised kernel's row sink (no per-cell Python loop)."""
+    m, n = int(a_codes.size), int(b_codes.size)
+    H = np.full((m + 1, n + 1), NEG_INF, dtype=DTYPE)
+    E = np.full((m + 1, n + 1), NEG_INF, dtype=DTYPE)
+    F = np.full((m + 1, n + 1), NEG_INF, dtype=DTYPE)
+    j = np.arange(1, n + 1, dtype=DTYPE)
+    i = np.arange(1, m + 1, dtype=DTYPE)
+    H[0, 0] = 0
+    H[0, 1:] = -scoring.gap_open - j * scoring.gap_extend
+    H[1:, 0] = -tb - i * scoring.gap_extend
+
+    def sink(row: int, h: np.ndarray, e: np.ndarray, f: np.ndarray) -> None:
+        H[row + 1, 1:] = h
+        E[row + 1, 1:] = e
+        F[row + 1, 1:] = f
+
+    sweep_block(
+        a_codes, build_profile(b_codes, scoring),
+        H[0, 1:].copy(), F[0, 1:].copy(), H[1:, 0].copy(), E[1:, 0].copy(),
+        0, scoring, local=False, track_best=False, row_sink=sink, sink_interval=1,
+    )
+    return FullMatrices(H=H, E=E, F=F, local=False)
+
+
+def _base_case(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    tb: int,
+    te: int,
+    out: list[str],
+) -> None:
+    """Solve a small sub-problem exactly and append its ops to *out*.
+
+    Maximises the Myers-Miller objective: alignment score plus a refund of
+    ``gap_open - tb`` for a leading all-column-0 gap and ``gap_open - te``
+    for a trailing last-column gap.
+    """
+    m, n = int(a_codes.size), int(b_codes.size)
+    if m == 0 and n == 0:
+        return
+    if n == 0:
+        out.extend("D" * m)
+        return
+    if m == 0:
+        out.extend("I" * n)
+        return
+
+    mats = _full_matrices_with_flags(a_codes, b_codes, scoring, tb)
+    H = mats.H
+    # Trailing vertical gap with the te discount: end at (i, n) then delete
+    # a[i:] as one gap whose open costs te.
+    best_val = int(H[m, n])
+    best_i = m
+    for i in range(m - 1, -1, -1):
+        val = int(H[i, n]) + _gap(scoring, te, m - i)
+        if val > best_val:
+            best_val = val
+            best_i = i
+    ops = traceback(mats, a_codes, b_codes, scoring, end=(best_i, n))
+    out.extend(ops)
+    out.extend("D" * (m - best_i))
+
+
+def _recurse(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    tb: int,
+    te: int,
+    out: list[str],
+    base_cells: int,
+) -> None:
+    m, n = int(a_codes.size), int(b_codes.size)
+    if n == 0:
+        out.extend("D" * m)
+        return
+    if m == 0:
+        out.extend("I" * n)
+        return
+    if m <= 2 or m * n <= base_cells:
+        _base_case(a_codes, b_codes, scoring, tb, te, out)
+        return
+
+    mid = m // 2
+    Hf, Ff = _forward_last_rows(a_codes[:mid], b_codes, scoring, tb)
+    Hr_rev, Fr_rev = _forward_last_rows(
+        a_codes[mid:][::-1].copy(), b_codes[::-1].copy(), scoring, te
+    )
+    Hr = Hr_rev[::-1]
+    Fr = Fr_rev[::-1]
+
+    h_comb = Hf.astype(np.int64) + Hr.astype(np.int64)
+    f_comb = Ff.astype(np.int64) + Fr.astype(np.int64) + scoring.gap_open
+    jh = int(h_comb.argmax())
+    jf = int(f_comb.argmax())
+    if h_comb[jh] >= f_comb[jf]:
+        j_star = jh
+        _recurse(a_codes[:mid], b_codes[:j_star], scoring, tb, scoring.gap_open, out, base_cells)
+        _recurse(a_codes[mid:], b_codes[j_star:], scoring, scoring.gap_open, te, out, base_cells)
+    else:
+        j_star = jf
+        _recurse(a_codes[: mid - 1], b_codes[:j_star], scoring, tb, 0, out, base_cells)
+        out.append("D")
+        out.append("D")
+        _recurse(a_codes[mid + 1 :], b_codes[j_star:], scoring, 0, te, out, base_cells)
+
+
+def global_score(a_codes: np.ndarray, b_codes: np.ndarray, scoring: Scoring) -> int:
+    """NW-Gotoh global score (linear space, no traceback)."""
+    m, n = int(a_codes.size), int(b_codes.size)
+    if m == 0 and n == 0:
+        return 0
+    if n == 0:
+        return _gap(scoring, scoring.gap_open, m)
+    if m == 0:
+        return _gap(scoring, scoring.gap_open, n)
+    H, _ = _forward_last_rows(a_codes, b_codes, scoring, scoring.gap_open)
+    return int(H[n])
+
+
+def align_global(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    *,
+    base_cells: int = DEFAULT_BASE_CELLS,
+) -> Alignment:
+    """Optimal global (NW-Gotoh) alignment in linear space.
+
+    The result is validated by re-scoring its ops; its ``score`` equals
+    :func:`global_score` exactly or :class:`AlignmentError` is raised.
+    """
+    if base_cells < 4:
+        raise ConfigError("base_cells must be at least 4")
+    ops: list[str] = []
+    _recurse(a_codes, b_codes, scoring, scoring.gap_open, scoring.gap_open, ops, base_cells)
+    aln = from_ops(
+        0, ops, (0, 0), (int(a_codes.size), int(b_codes.size))
+    )
+    actual = aln.rescore(a_codes, b_codes, scoring)
+    expected = global_score(a_codes, b_codes, scoring)
+    if actual != expected:
+        raise AlignmentError(
+            f"Myers-Miller produced score {actual}, linear-space score is {expected}"
+        )
+    return Alignment(
+        score=actual,
+        ops=aln.ops,
+        start_i=0,
+        end_i=int(a_codes.size),
+        start_j=0,
+        end_j=int(b_codes.size),
+    )

@@ -1,0 +1,199 @@
+"""Naive full-matrix Gotoh DP — the correctness oracle.
+
+Everything else in :mod:`repro.sw` (the vectorised kernel, the block
+decomposition, the multi-GPU chain, the linear-space traceback) is tested
+cell-exactly against this module on small inputs.  It is deliberately
+written as a direct transcription of the recurrences — O(m*n) memory, plain
+loops, no cleverness — so that a reviewer can audit it against the paper's
+equations in one sitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AlignmentError
+from ..seq.scoring import Scoring
+from .constants import DTYPE, NEG_INF
+
+
+@dataclass
+class FullMatrices:
+    """The three Gotoh DP matrices, shape ``(m+1, n+1)``, 1-based cells.
+
+    ``H[i, j]`` is the best score of an alignment ending with ``a[i-1]``
+    aligned against ``b[j-1]`` (or a gap state ending there for ``E``/``F``).
+    Row/column 0 are the boundary.
+    """
+
+    H: np.ndarray
+    E: np.ndarray
+    F: np.ndarray
+    local: bool
+
+    @property
+    def score(self) -> int:
+        """Best local score (local mode) or bottom-right H (global mode)."""
+        if self.local:
+            return int(self.H.max())
+        return int(self.H[-1, -1])
+
+    def best_cell(self) -> tuple[int, int, int]:
+        """(score, i, j) of the best cell, 1-based, first in row-major order."""
+        flat = int(self.H.argmax())
+        i, j = divmod(flat, self.H.shape[1])
+        return int(self.H[i, j]), i, j
+
+
+def full_matrices(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    *,
+    local: bool = True,
+) -> FullMatrices:
+    """Compute the full H/E/F matrices (small inputs only)."""
+    m, n = int(a_codes.size), int(b_codes.size)
+    H = np.full((m + 1, n + 1), NEG_INF, dtype=DTYPE)
+    E = np.full((m + 1, n + 1), NEG_INF, dtype=DTYPE)
+    F = np.full((m + 1, n + 1), NEG_INF, dtype=DTYPE)
+    sub = scoring.matrix
+    open_, ext = scoring.gap_open, scoring.gap_extend
+
+    if local:
+        H[0, :] = 0
+        H[:, 0] = 0
+    else:
+        H[0, 0] = 0
+        for j in range(1, n + 1):
+            H[0, j] = -open_ - j * ext
+        for i in range(1, m + 1):
+            H[i, 0] = -open_ - i * ext
+
+    for i in range(1, m + 1):
+        ai = int(a_codes[i - 1])
+        for j in range(1, n + 1):
+            E[i, j] = max(E[i, j - 1], H[i, j - 1] - open_) - ext
+            F[i, j] = max(F[i - 1, j], H[i - 1, j] - open_) - ext
+            h = max(E[i, j], F[i, j], H[i - 1, j - 1] + sub[ai, b_codes[j - 1]])
+            H[i, j] = max(h, 0) if local else h
+    return FullMatrices(H=H, E=E, F=F, local=local)
+
+
+def sw_score_naive(a_codes: np.ndarray, b_codes: np.ndarray, scoring: Scoring) -> tuple[int, int, int]:
+    """Best local score and its 0-based end coordinates ``(score, i, j)``.
+
+    ``(i, j)`` index the last aligned pair; ``(-1, -1)`` for an empty
+    alignment (score 0).
+    """
+    mats = full_matrices(a_codes, b_codes, scoring, local=True)
+    score, i, j = mats.best_cell()
+    if score <= 0:
+        return 0, -1, -1
+    return score, i - 1, j - 1
+
+
+def traceback(
+    mats: FullMatrices,
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    end: tuple[int, int] | None = None,
+) -> list[str]:
+    """Recover one optimal alignment as a list of ops, end to start reversed.
+
+    Ops: ``"M"`` aligned pair (match or mismatch), ``"D"`` gap in *b*
+    (consumes a base of *a*), ``"I"`` gap in *a* (consumes a base of *b*).
+    Local mode stops at the first 0-valued H cell reached in H state;
+    global mode stops at the origin.
+
+    The tie-break prefers ``M`` over ``D`` over ``I`` — the same preference
+    the linear-space traceback uses, so both produce identical alignments.
+    """
+    H, E, F = mats.H, mats.E, mats.F
+    sub = scoring.matrix
+    open_, ext = scoring.gap_open, scoring.gap_extend
+
+    if end is None:
+        if mats.local:
+            _, i, j = mats.best_cell()
+        else:
+            i, j = H.shape[0] - 1, H.shape[1] - 1
+    else:
+        i, j = end
+
+    ops: list[str] = []
+    state = "H"
+    guard = H.shape[0] * H.shape[1] + H.shape[0] + H.shape[1] + 4
+    while guard > 0:
+        guard -= 1
+        if state == "H":
+            if mats.local and H[i, j] == 0:
+                break
+            if not mats.local and i == 0 and j == 0:
+                break
+            if not mats.local and (i == 0 or j == 0):
+                # On the global boundary: remaining moves are pure gap.
+                while i > 0:
+                    ops.append("D")
+                    i -= 1
+                while j > 0:
+                    ops.append("I")
+                    j -= 1
+                break
+            if i > 0 and j > 0 and H[i, j] == H[i - 1, j - 1] + sub[a_codes[i - 1], b_codes[j - 1]]:
+                ops.append("M")
+                i -= 1
+                j -= 1
+            elif H[i, j] == F[i, j]:
+                state = "F"
+            elif H[i, j] == E[i, j]:
+                state = "E"
+            else:
+                raise AlignmentError(f"inconsistent H cell at ({i},{j})")
+        elif state == "F":
+            ops.append("D")
+            if F[i, j] == H[i - 1, j] - open_ - ext:
+                state = "H"
+            elif F[i, j] != F[i - 1, j] - ext:
+                raise AlignmentError(f"inconsistent F cell at ({i},{j})")
+            i -= 1
+        else:  # E
+            ops.append("I")
+            if E[i, j] == H[i, j - 1] - open_ - ext:
+                state = "H"
+            elif E[i, j] != E[i, j - 1] - ext:
+                raise AlignmentError(f"inconsistent E cell at ({i},{j})")
+            j -= 1
+    else:
+        raise AlignmentError("traceback did not terminate")
+    ops.reverse()
+    return ops
+
+
+def align_naive(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    *,
+    local: bool = True,
+) -> tuple[int, list[str], tuple[int, int], tuple[int, int]]:
+    """Full naive alignment.
+
+    Returns ``(score, ops, (start_i, start_j), (end_i, end_j))`` with
+    0-based, end-exclusive coordinates into *a*/*b* (i.e. the aligned
+    regions are ``a[start_i:end_i]`` and ``b[start_j:end_j]``).
+    """
+    mats = full_matrices(a_codes, b_codes, scoring, local=local)
+    if local:
+        score, ei, ej = mats.best_cell()
+        if score <= 0:
+            return 0, [], (0, 0), (0, 0)
+        ops = traceback(mats, a_codes, b_codes, scoring, end=(ei, ej))
+        si = ei - sum(1 for o in ops if o != "I")
+        sj = ej - sum(1 for o in ops if o != "D")
+        return score, ops, (si, sj), (ei, ej)
+    ops = traceback(mats, a_codes, b_codes, scoring)
+    return mats.score, ops, (0, 0), (int(a_codes.size), int(b_codes.size))

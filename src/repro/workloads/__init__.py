@@ -1,0 +1,22 @@
+"""Workload substrate: synthetic chromosome-like sequences and the paper's
+chromosome-pair catalog."""
+
+from .catalog import PAPER_PAIRS, ChromosomePair, get_pair, identity_pair, synthesize_pair
+from .mutate import DIVERGED, HUMAN_CHIMP, MutationProfile, mutate
+from .random_seq import chromosome_like, insert_n_runs, insert_tandem_repeats, random_dna
+
+__all__ = [
+    "PAPER_PAIRS",
+    "ChromosomePair",
+    "get_pair",
+    "identity_pair",
+    "synthesize_pair",
+    "MutationProfile",
+    "HUMAN_CHIMP",
+    "DIVERGED",
+    "mutate",
+    "random_dna",
+    "chromosome_like",
+    "insert_n_runs",
+    "insert_tandem_repeats",
+]

@@ -1,0 +1,113 @@
+"""Catalog of the paper's chromosome-pair workloads, at configurable scale.
+
+The paper compares four pairs of human-chimpanzee homologous chromosomes
+(chr19, chr20, chr21, chr22).  Their megabase lengths are recorded here both
+to parameterise the *timing-mode* simulator (which sweeps the real, paper-
+scale matrix dimensions without computing cells) and to derive scaled-down
+*compute-mode* stand-ins whose cells are actually computed.
+
+The real chromosome lengths (GRCh37 / panTro3-era assemblies, the ones
+contemporary with the paper) are approximate; they set matrix shapes, not
+biology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SequenceError
+from . import mutate as mut
+from . import random_seq
+
+
+@dataclass(frozen=True)
+class ChromosomePair:
+    """One homologous pair: names and (paper-scale) lengths in bases."""
+
+    name: str
+    human_label: str
+    chimp_label: str
+    human_len: int
+    chimp_len: int
+
+    @property
+    def cells(self) -> int:
+        """Number of DP matrix cells at paper scale."""
+        return self.human_len * self.chimp_len
+
+    def scaled(self, scale: float) -> "ChromosomePair":
+        """A proportionally scaled copy (for compute-mode stand-ins)."""
+        if scale <= 0:
+            raise SequenceError("scale must be positive")
+        return ChromosomePair(
+            name=self.name,
+            human_label=self.human_label,
+            chimp_label=self.chimp_label,
+            human_len=max(1, int(self.human_len * scale)),
+            chimp_len=max(1, int(self.chimp_len * scale)),
+        )
+
+
+#: The four homologous pairs the paper's evaluation uses.  Lengths are the
+#: chromosome sizes of the assemblies available at publication time.
+PAPER_PAIRS: tuple[ChromosomePair, ...] = (
+    ChromosomePair("chr22", "human chr22", "chimp chr22", 35_194_566, 35_083_970),
+    ChromosomePair("chr21", "human chr21", "chimp chr21", 46_944_323, 46_489_110),
+    ChromosomePair("chr20", "human chr20", "chimp chr20", 59_505_520, 61_309_027),
+    ChromosomePair("chr19", "human chr19", "chimp chr19", 63_811_651, 64_473_437),
+)
+
+
+def get_pair(name: str) -> ChromosomePair:
+    """Look up a paper pair by name (e.g. ``"chr21"``)."""
+    for pair in PAPER_PAIRS:
+        if pair.name == name:
+            return pair
+    raise SequenceError(f"unknown chromosome pair {name!r}; have {[p.name for p in PAPER_PAIRS]}")
+
+
+def synthesize_pair(
+    pair: ChromosomePair,
+    *,
+    scale: float = 1e-3,
+    profile: mut.MutationProfile = mut.HUMAN_CHIMP,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate a (human, chimp) encoded sequence pair for compute mode.
+
+    The "human" sequence is chromosome-like random DNA of
+    ``pair.human_len * scale`` bases; the "chimp" sequence is derived from
+    it by the mutation *profile* and then trimmed/padded toward the scaled
+    chimp length so the matrix aspect ratio matches the paper's.
+    """
+    scaled = pair.scaled(scale)
+    rng = np.random.default_rng(seed)
+    human = random_seq.chromosome_like(scaled.human_len, rng=rng)
+    chimp = mut.mutate(human, profile, rng=rng)
+    target = scaled.chimp_len
+    if chimp.size > target:
+        chimp = chimp[:target]
+    elif chimp.size < target:
+        pad = random_seq.random_dna(target - chimp.size, rng=rng)
+        chimp = np.concatenate([chimp, pad])
+    return human, chimp
+
+
+def identity_pair(
+    length: int,
+    identity: float,
+    *,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate a pair with a target SNP-only identity level.
+
+    Used by the block-pruning experiment (F4), which sweeps similarity.
+    """
+    if not 0.0 <= identity <= 1.0:
+        raise SequenceError("identity must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    a = random_seq.random_dna(length, rng=rng)
+    b = mut.apply_snps(a, 1.0 - identity, rng)
+    return a, b

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seq.scoring import DNA_DEFAULT, Scoring
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests that need different streams seed their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def scoring() -> Scoring:
+    return DNA_DEFAULT

@@ -1,0 +1,32 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.seq.scoring import Scoring
+
+
+def random_codes(rng: np.random.Generator, n: int, *, with_n: bool = False) -> np.ndarray:
+    """Random encoded DNA of length *n* (optionally including N)."""
+    hi = 5 if with_n else 4
+    return rng.integers(0, hi, n).astype(np.uint8)
+
+
+def random_scoring(rng: np.random.Generator) -> Scoring:
+    """A random but valid affine scheme (exercises non-default penalties)."""
+    return Scoring(
+        match=int(rng.integers(1, 5)),
+        mismatch=-int(rng.integers(0, 5)),
+        gap_open=int(rng.integers(0, 6)),
+        gap_extend=int(rng.integers(1, 4)),
+    )
+
+
+def mutated_copy(rng: np.random.Generator, codes: np.ndarray, snp_rate: float) -> np.ndarray:
+    """SNP-mutated copy (guaranteed base changes at mutated sites)."""
+    out = codes.copy()
+    mask = rng.random(codes.size) < snp_rate
+    shift = rng.integers(1, 4, int(mask.sum()), dtype=np.uint8)
+    out[mask] = (out[mask] + shift) % 4
+    return out

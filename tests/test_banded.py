@@ -1,0 +1,69 @@
+"""Unit tests: repro.sw.banded."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.seq import DNA_DEFAULT, encode
+from repro.sw import sw_score_naive
+from repro.sw.banded import banded_score
+
+from helpers import mutated_copy, random_codes, random_scoring
+
+
+class TestExactWithinFullBand:
+    def test_full_band_equals_oracle(self, rng):
+        for _ in range(40):
+            m = int(rng.integers(1, 30))
+            n = int(rng.integers(1, 30))
+            a = random_codes(rng, m, with_n=True)
+            b = random_codes(rng, n, with_n=True)
+            sc = random_scoring(rng)
+            want, *_ = sw_score_naive(a, b, sc)
+            got = banded_score(a, b, sc, half_width=max(m, n))
+            assert (got.score if got.row >= 0 else 0) == want
+
+
+class TestBandSemantics:
+    def test_never_exceeds_unbanded(self, rng):
+        for hw in (0, 1, 3, 8):
+            a = random_codes(rng, 40)
+            b = random_codes(rng, 40)
+            want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+            got = banded_score(a, b, DNA_DEFAULT, half_width=hw)
+            assert (got.score if got.row >= 0 else 0) <= want
+
+    def test_monotone_in_width(self, rng):
+        a = random_codes(rng, 60)
+        b = mutated_copy(rng, a, 0.2)
+        prev = -1
+        for hw in (0, 2, 4, 8, 16, 32, 64):
+            got = banded_score(a, b, DNA_DEFAULT, half_width=hw)
+            score = got.score if got.row >= 0 else 0
+            assert score >= prev
+            prev = score
+
+    def test_diagonal_homolog_found_with_narrow_band(self, rng):
+        a = random_codes(rng, 300)
+        b = mutated_copy(rng, a, 0.02)
+        want, *_ = sw_score_naive(a[:50], b[:50], DNA_DEFAULT)  # sanity: positive
+        assert want > 0
+        full = banded_score(a, b, DNA_DEFAULT, half_width=300)
+        narrow = banded_score(a, b, DNA_DEFAULT, half_width=8)
+        assert narrow.score == full.score  # SNP-only homolog stays on diagonal
+
+    def test_zero_width_is_diagonal_only(self):
+        a = encode("ACGT")
+        got = banded_score(a, a, DNA_DEFAULT, half_width=0)
+        assert got.score == 4
+
+    def test_empty_inputs(self):
+        import numpy as np
+        empty = np.array([], dtype=np.uint8)
+        assert banded_score(empty, encode("A"), DNA_DEFAULT, 1).row == -1
+
+    def test_negative_width_rejected(self):
+        a = encode("AC")
+        with pytest.raises(ConfigError):
+            banded_score(a, a, DNA_DEFAULT, half_width=-1)

@@ -1,0 +1,150 @@
+"""Unit tests: repro.sw.blocks — grid geometry and the blocked executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.seq import DNA_DEFAULT
+from repro.sw import naive
+from repro.sw.blocks import (
+    BlockSpec,
+    compute_blocked,
+    grid_specs,
+    pruned_border_result,
+    wavefront_order,
+)
+from repro.sw.pruning import BlockPruner
+
+from helpers import mutated_copy, random_codes, random_scoring
+
+
+class TestGridSpecs:
+    def test_covers_matrix_exactly(self):
+        specs = grid_specs(100, 70, 32, 25)
+        assert specs[0][0].row0 == 0 and specs[-1][0].row1 == 100
+        assert specs[0][0].col0 == 0 and specs[0][-1].col1 == 70
+        total = sum(s.cells for row in specs for s in row)
+        assert total == 100 * 70
+
+    def test_edge_blocks_are_smaller(self):
+        specs = grid_specs(100, 100, 30, 30)
+        assert specs[-1][-1].rows == 10
+        assert specs[-1][-1].cols == 10
+
+    def test_single_block(self):
+        specs = grid_specs(5, 5, 100, 100)
+        assert len(specs) == 1 and len(specs[0]) == 1
+        assert specs[0][0].cells == 25
+
+    @pytest.mark.parametrize("m,n,br,bc", [(0, 5, 1, 1), (5, 0, 1, 1), (5, 5, 0, 1), (5, 5, 1, 0)])
+    def test_bad_dimensions_rejected(self, m, n, br, bc):
+        with pytest.raises(ConfigError):
+            grid_specs(m, n, br, bc)
+
+    def test_degenerate_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            BlockSpec(3, 3, 0, 5)
+
+
+class TestWavefrontOrder:
+    def test_dependencies_respected(self):
+        """Every block appears after its up/left/diag neighbours."""
+        seen: set[tuple[int, int]] = set()
+        for diag in wavefront_order(4, 6):
+            for br, bc in diag:
+                if br > 0:
+                    assert (br - 1, bc) in seen
+                if bc > 0:
+                    assert (br, bc - 1) in seen
+                if br > 0 and bc > 0:
+                    assert (br - 1, bc - 1) in seen
+            seen.update(diag)
+        assert len(seen) == 24
+
+    def test_diagonal_count(self):
+        diags = list(wavefront_order(3, 5))
+        assert len(diags) == 3 + 5 - 1
+        assert max(len(d) for d in diags) == 3
+
+
+class TestBlockedExecutor:
+    def test_equals_oracle_random_configs(self, rng):
+        for _ in range(25):
+            m = int(rng.integers(2, 50))
+            n = int(rng.integers(2, 50))
+            a = random_codes(rng, m, with_n=True)
+            b = random_codes(rng, n, with_n=True)
+            sc = random_scoring(rng)
+            want, wi, wj = naive.sw_score_naive(a, b, sc)
+            out = compute_blocked(
+                a, b, sc,
+                block_rows=int(rng.integers(1, m + 1)),
+                block_cols=int(rng.integers(1, n + 1)),
+            )
+            got = out.best.score if out.best.row >= 0 else 0
+            assert got == want
+            if want > 0:
+                assert (out.best.row, out.best.col) == (wi, wj)
+
+    def test_global_mode_equals_oracle(self, rng):
+        for _ in range(10):
+            m = int(rng.integers(2, 30))
+            n = int(rng.integers(2, 30))
+            a = random_codes(rng, m)
+            b = random_codes(rng, n)
+            sc = random_scoring(rng)
+            mats = naive.full_matrices(a, b, sc, local=False)
+            # Global best cell equals oracle's max H (blocked executor
+            # tracks the best cell in both modes).
+            out = compute_blocked(a, b, sc, block_rows=7, block_cols=9, local=False)
+            assert out.best.score == int(mats.H[1:, 1:].max())
+
+    def test_block_accounting(self, rng):
+        a = random_codes(rng, 20)
+        b = random_codes(rng, 30)
+        out = compute_blocked(a, b, DNA_DEFAULT, block_rows=8, block_cols=10)
+        assert out.blocks_total == 3 * 3
+        assert out.cells_total == 600
+        assert out.blocks_pruned == 0
+        assert out.pruned_fraction == 0.0
+
+    def test_pruner_rejected_in_global_mode(self, rng):
+        a = random_codes(rng, 5)
+        b = random_codes(rng, 5)
+        with pytest.raises(ConfigError):
+            compute_blocked(a, b, DNA_DEFAULT, local=False,
+                            pruner=BlockPruner(match=1))
+
+
+class TestPrunedExactness:
+    def test_similar_sequences_prune_and_stay_exact(self, rng):
+        for snp in (0.02, 0.1, 0.3):
+            a = random_codes(rng, 400)
+            b = mutated_copy(rng, a, snp)
+            base = compute_blocked(a, b, DNA_DEFAULT, block_rows=32, block_cols=32)
+            pruner = BlockPruner(match=DNA_DEFAULT.match)
+            pruned = compute_blocked(a, b, DNA_DEFAULT, block_rows=32, block_cols=32,
+                                     pruner=pruner)
+            assert pruned.best.score == base.best.score
+            if snp <= 0.1:
+                assert pruned.cells_pruned > 0
+
+    def test_pruning_increases_with_similarity(self, rng):
+        a = random_codes(rng, 600)
+        fractions = []
+        for snp in (0.02, 0.2, 0.5):
+            b = mutated_copy(rng, a, snp)
+            out = compute_blocked(a, b, DNA_DEFAULT, block_rows=32, block_cols=32,
+                                  pruner=BlockPruner(match=1))
+            fractions.append(out.pruned_fraction)
+        assert fractions[0] > fractions[1] >= fractions[2]
+
+    def test_pruned_border_shape(self):
+        spec = BlockSpec(0, 4, 0, 6)
+        res = pruned_border_result(spec)
+        assert res.h_bottom.shape == (6,)
+        assert res.h_right.shape == (4,)
+        assert (res.h_bottom == 0).all()
+        assert res.best.row == -1

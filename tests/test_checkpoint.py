@@ -1,0 +1,154 @@
+"""Unit tests: repro.multigpu.checkpoint — stop, save, load, resume."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import ENV1_HETEROGENEOUS, ENV2_HOMOGENEOUS
+from repro.errors import ConfigError
+from repro.multigpu import (
+    ChainCheckpoint,
+    ChainConfig,
+    MatrixWorkload,
+    MultiGpuChain,
+    PhantomWorkload,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.seq import DNA_DEFAULT
+from repro.sw import sw_score_naive
+from repro.sw.kernel import BestCell
+
+from helpers import random_codes
+
+
+@pytest.fixture
+def chain():
+    return MultiGpuChain(ENV1_HETEROGENEOUS, config=ChainConfig(block_rows=16))
+
+
+class TestStopResume:
+    def test_resume_is_exact(self, chain, rng):
+        a = random_codes(rng, 200)
+        b = random_codes(rng, 300)
+        want, wi, wj = sw_score_naive(a, b, DNA_DEFAULT)
+        wl = MatrixWorkload(a, b, DNA_DEFAULT)
+        for stop in (16, 64, 199):
+            seg1 = chain.run(wl, stop_row=stop)
+            assert seg1.checkpoint is not None
+            seg2 = chain.run(wl, resume=seg1.checkpoint)
+            assert seg2.score == want
+            if want > 0:
+                assert (seg2.best.row, seg2.best.col) == (wi, wj)
+            assert seg2.checkpoint is None
+
+    def test_multi_segment_resume(self, chain, rng):
+        a = random_codes(rng, 150)
+        b = random_codes(rng, 150)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        wl = MatrixWorkload(a, b, DNA_DEFAULT)
+        ck = None
+        for stop in (40, 80, 120):
+            res = chain.run(wl, resume=ck, stop_row=stop)
+            ck = res.checkpoint
+            assert ck is not None
+            assert ck.row >= stop  # rounded up to a block-row boundary
+        final = chain.run(wl, resume=ck)
+        assert final.score == want
+
+    def test_best_found_in_early_segment_survives(self, chain, rng):
+        """The best cell may lie before the checkpoint row; resuming must
+        keep it."""
+        a = random_codes(rng, 120)
+        b = a[:60].copy()  # perfect alignment ends at row 59
+        wl = MatrixWorkload(a, b, DNA_DEFAULT)
+        seg1 = chain.run(wl, stop_row=80)
+        seg2 = chain.run(wl, resume=seg1.checkpoint)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        assert seg2.score == want
+
+    def test_virtual_time_accumulates(self, chain, rng):
+        a = random_codes(rng, 200)
+        b = random_codes(rng, 200)
+        wl = MatrixWorkload(a, b, DNA_DEFAULT)
+        full = chain.run(wl)
+        seg1 = chain.run(wl, stop_row=100)
+        seg2 = chain.run(wl, resume=seg1.checkpoint)
+        assert seg2.total_time_s > seg1.total_time_s
+        # Resume costs one extra pipeline fill but is close to the
+        # uninterrupted run.
+        assert seg2.total_time_s == pytest.approx(full.total_time_s, rel=0.5)
+        assert seg2.total_time_s >= full.total_time_s
+
+    def test_phantom_checkpoint(self):
+        chain = MultiGpuChain(ENV2_HOMOGENEOUS, config=ChainConfig(block_rows=1024))
+        wl = PhantomWorkload(100_000, 100_000)
+        seg1 = chain.run(wl, stop_row=50_000)
+        assert seg1.checkpoint.phantom
+        seg2 = chain.run(wl, resume=seg1.checkpoint)
+        direct = chain.run(wl)
+        assert seg2.total_time_s == pytest.approx(direct.total_time_s, rel=0.05)
+
+
+class TestSerialisation:
+    def test_roundtrip_compute(self, chain, rng, tmp_path):
+        a = random_codes(rng, 100)
+        b = random_codes(rng, 100)
+        wl = MatrixWorkload(a, b, DNA_DEFAULT)
+        ck = chain.run(wl, stop_row=48).checkpoint
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, ck)
+        back = load_checkpoint(path)
+        assert back.row == ck.row
+        assert back.elapsed_s == ck.elapsed_s
+        assert back.best == ck.best
+        assert np.array_equal(back.h_row, ck.h_row)
+        assert np.array_equal(back.f_row, ck.f_row)
+        res = chain.run(wl, resume=back)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        assert res.score == want
+
+    def test_roundtrip_phantom(self, tmp_path):
+        chain = MultiGpuChain(ENV2_HOMOGENEOUS, config=ChainConfig(block_rows=512))
+        ck = chain.run(PhantomWorkload(10_000, 10_000), stop_row=5000).checkpoint
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, ck)
+        back = load_checkpoint(path)
+        assert back.phantom and back.row == ck.row
+
+
+class TestValidation:
+    def test_bad_checkpoint_fields(self):
+        with pytest.raises(ConfigError):
+            ChainCheckpoint(row=0, h_row=None, f_row=None,
+                            best=BestCell.none(), elapsed_s=0.0)
+        with pytest.raises(ConfigError):
+            ChainCheckpoint(row=5, h_row=np.zeros(3, dtype=np.int32), f_row=None,
+                            best=BestCell.none(), elapsed_s=0.0)
+        with pytest.raises(ConfigError):
+            ChainCheckpoint(row=5, h_row=None, f_row=None,
+                            best=BestCell.none(), elapsed_s=-1.0)
+
+    def test_mode_mismatch_rejected(self, chain, rng):
+        a = random_codes(rng, 64)
+        wl = MatrixWorkload(a, a, DNA_DEFAULT)
+        ck = chain.run(wl, stop_row=32).checkpoint
+        with pytest.raises(ConfigError):
+            chain.run(PhantomWorkload(64, 64), resume=ck)
+
+    def test_width_mismatch_rejected(self, chain, rng):
+        a = random_codes(rng, 64)
+        wl = MatrixWorkload(a, a, DNA_DEFAULT)
+        ck = chain.run(wl, stop_row=32).checkpoint
+        b = random_codes(rng, 80)
+        with pytest.raises(ConfigError):
+            chain.run(MatrixWorkload(a, b, DNA_DEFAULT), resume=ck)
+
+    def test_checkpoint_beyond_end_rejected(self, chain, rng):
+        a = random_codes(rng, 64)
+        wl = MatrixWorkload(a, a, DNA_DEFAULT)
+        ck = chain.run(wl, stop_row=32).checkpoint
+        short = random_codes(rng, 20)
+        with pytest.raises(ConfigError):
+            chain.run(MatrixWorkload(short, a, DNA_DEFAULT), resume=ck)

@@ -1,0 +1,142 @@
+"""Unit tests: repro.comm.network and repro.multigpu.cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm import NetworkLink
+from repro.device import TESLA_M2090, GTX_680
+from repro.errors import CommError, ConfigError
+from repro.multigpu import (
+    ChainConfig,
+    ClusterChain,
+    MatrixWorkload,
+    Node,
+    PhantomWorkload,
+    min_internode_overlap_width,
+)
+from repro.seq import DNA_DEFAULT
+from repro.sw import sw_score_naive
+
+from helpers import mutated_copy, random_codes
+
+
+class TestNetworkLink:
+    def test_transfer_time(self):
+        link = NetworkLink(gbps=1.0, latency_s=1e-3)
+        assert link.transfer_time(1_000_000_000) == pytest.approx(1.0 + 1e-3)
+        assert link.transfer_time(0) == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(CommError):
+            NetworkLink(gbps=0)
+        with pytest.raises(CommError):
+            NetworkLink(gbps=1.0, latency_s=-1)
+        with pytest.raises(CommError):
+            NetworkLink(gbps=1.0).transfer_time(-1)
+
+
+class TestClusterLayout:
+    def test_flattening_and_boundaries(self):
+        nodes = [
+            Node("n0", (TESLA_M2090, GTX_680)),
+            Node("n1", (TESLA_M2090,)),
+            Node("n2", (GTX_680, GTX_680)),
+        ]
+        cc = ClusterChain(nodes)
+        assert len(cc.specs) == 5
+        links = cc.boundary_links()
+        # channels: 0-1 intra, 1-2 inter, 2-3 inter, 3-4 intra
+        assert links[0] is None
+        assert links[1] is not None
+        assert links[2] is not None
+        assert links[3] is None
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(ConfigError):
+            Node("bad", ())
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigError):
+            ClusterChain([])
+
+
+class TestClusterExactness:
+    def test_score_exact_across_node_boundary(self, rng):
+        for _ in range(6):
+            a = random_codes(rng, int(rng.integers(30, 120)))
+            b = random_codes(rng, int(rng.integers(60, 200)))
+            want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+            nodes = [Node("n0", (TESLA_M2090,)), Node("n1", (TESLA_M2090, GTX_680))]
+            cc = ClusterChain(nodes, config=ChainConfig(block_rows=16))
+            res = cc.run(MatrixWorkload(a, b, DNA_DEFAULT))
+            assert res.score == want
+
+    def test_homolog_path_through_network(self, rng):
+        a = random_codes(rng, 150)
+        b = mutated_copy(rng, a, 0.03)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        nodes = [Node("n0", (TESLA_M2090,)), Node("n1", (TESLA_M2090,))]
+        cc = ClusterChain(nodes, config=ChainConfig(block_rows=8,
+                                                    channel_capacity=2))
+        res = cc.run(MatrixWorkload(a, b, DNA_DEFAULT))
+        assert res.score == want
+
+
+class TestClusterTiming:
+    def test_fast_interconnect_near_intranode(self):
+        fast = NetworkLink(gbps=4.0, latency_s=5e-6, name="IB")
+        nodes = [Node("n0", (TESLA_M2090, TESLA_M2090), uplink=fast),
+                 Node("n1", (TESLA_M2090, TESLA_M2090))]
+        cc = ClusterChain(nodes, config=ChainConfig(block_rows=4096,
+                                                    channel_capacity=8))
+        res = cc.run(PhantomWorkload(5_000_000, 5_000_000))
+        aggregate = 4 * TESLA_M2090.gcups
+        assert res.gcups > 0.95 * aggregate
+
+    def test_slow_interconnect_gates_throughput(self):
+        slow = NetworkLink(gbps=1e-5, latency_s=1e-3, name="slow")
+        nodes = [Node("n0", (TESLA_M2090, TESLA_M2090), uplink=slow),
+                 Node("n1", (TESLA_M2090, TESLA_M2090))]
+        cc = ClusterChain(nodes, config=ChainConfig(block_rows=4096,
+                                                    channel_capacity=8))
+        res = cc.run(PhantomWorkload(5_000_000, 5_000_000))
+        aggregate = 4 * TESLA_M2090.gcups
+        assert res.gcups < 0.5 * aggregate
+
+    def test_network_busy_accounted(self):
+        nodes = [Node("n0", (TESLA_M2090,)), Node("n1", (TESLA_M2090,))]
+        cc = ClusterChain(nodes, config=ChainConfig(block_rows=1024))
+        # run and inspect the channel via a fresh engine run: net_busy is
+        # internal to the channel; assert via timing difference instead.
+        res_cluster = cc.run(PhantomWorkload(1_000_000, 1_000_000))
+        from repro.multigpu import MultiGpuChain
+        intra = MultiGpuChain((TESLA_M2090, TESLA_M2090),
+                              config=ChainConfig(block_rows=1024))
+        res_intra = intra.run(PhantomWorkload(1_000_000, 1_000_000))
+        # Default 10GbE is fast enough that both are compute-bound.
+        assert res_cluster.total_time_s == pytest.approx(
+            res_intra.total_time_s, rel=0.02)
+
+
+class TestInterNodeOverlapWidth:
+    def test_crossover_property(self):
+        link = NetworkLink(gbps=0.001, latency_s=1e-4)
+        w = min_internode_overlap_width(TESLA_M2090, TESLA_M2090, link, 1024)
+        assert w >= 1
+        # At the returned width the block-row time covers the worst hop.
+        from repro.multigpu import segment_bytes
+        nbytes = segment_bytes(1024)
+        cost = max(TESLA_M2090.transfer_time(nbytes), link.transfer_time(nbytes))
+        t = 1024 * w / TESLA_M2090.effective_rate(w)
+        assert t >= cost
+        if w > 1:
+            t_prev = 1024 * (w - 1) / TESLA_M2090.effective_rate(w - 1)
+            assert t_prev < cost
+
+    def test_network_hop_raises_minimum_width(self):
+        from repro.multigpu import min_overlap_width
+        slow_net = NetworkLink(gbps=0.0005, latency_s=1e-3)
+        intra = min_overlap_width(TESLA_M2090, TESLA_M2090, 1024)
+        inter = min_internode_overlap_width(TESLA_M2090, TESLA_M2090, slow_net, 1024)
+        assert inter > intra

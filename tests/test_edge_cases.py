@@ -1,0 +1,137 @@
+"""Edge-case battery across the stack (degenerate shapes, extremes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import ENV1_HETEROGENEOUS, ENV2_HOMOGENEOUS
+from repro.multigpu import (
+    ChainConfig,
+    MatrixWorkload,
+    MultiGpuChain,
+    align_multi_gpu,
+    proportional_partition,
+)
+from repro.seq import DNA_DEFAULT, Scoring, encode
+from repro.sw import align_local, compute_blocked, sw_score, sw_score_naive
+from repro.sw.kernel import BestCell
+
+from helpers import random_codes
+
+
+class TestDegenerateShapes:
+    def test_one_by_one_matrix(self):
+        for ca, cb in (("A", "A"), ("A", "C")):
+            want, *_ = sw_score_naive(encode(ca), encode(cb), DNA_DEFAULT)
+            got = sw_score(encode(ca), encode(cb), DNA_DEFAULT)
+            assert (got.score if got.row >= 0 else 0) == want
+
+    def test_single_row_matrix(self, rng):
+        a = random_codes(rng, 1)
+        b = random_codes(rng, 50)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        got = sw_score(a, b, DNA_DEFAULT)
+        assert (got.score if got.row >= 0 else 0) == want
+
+    def test_single_column_matrix(self, rng):
+        a = random_codes(rng, 50)
+        b = random_codes(rng, 1)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        out = compute_blocked(a, b, DNA_DEFAULT, block_rows=7, block_cols=1)
+        assert (out.best.score if out.best.row >= 0 else 0) == want
+
+    def test_chain_with_one_column_per_device(self, rng):
+        a = random_codes(rng, 30)
+        b = random_codes(rng, 3)  # exactly one column per ENV1 device
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        res = align_multi_gpu(a, b, DNA_DEFAULT, ENV1_HETEROGENEOUS,
+                              config=ChainConfig(block_rows=4))
+        assert res.score == want
+
+    def test_chain_block_rows_exceed_matrix(self, rng):
+        a = random_codes(rng, 10)
+        b = random_codes(rng, 40)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        res = align_multi_gpu(a, b, DNA_DEFAULT, ENV2_HOMOGENEOUS,
+                              config=ChainConfig(block_rows=10_000))
+        assert res.score == want
+
+    def test_all_n_sequences(self):
+        a = encode("N" * 30)
+        assert sw_score(a, a, DNA_DEFAULT).row == -1  # N never matches
+
+    def test_homopolymers(self):
+        a = encode("A" * 40)
+        b = encode("A" * 25)
+        got = sw_score(a, b, DNA_DEFAULT)
+        assert got.score == 25  # best is the full shorter homopolymer
+
+
+class TestExtremeScoringSchemes:
+    def test_huge_match_score(self, rng):
+        sc = Scoring(match=10_000, mismatch=-1, gap_open=1, gap_extend=1)
+        a = random_codes(rng, 20)
+        b = random_codes(rng, 20)
+        want, *_ = sw_score_naive(a, b, sc)
+        got = sw_score(a, b, sc)
+        assert (got.score if got.row >= 0 else 0) == want
+
+    def test_huge_gap_penalties(self, rng):
+        sc = Scoring(match=1, mismatch=-1, gap_open=10_000, gap_extend=10_000)
+        a = random_codes(rng, 25)
+        b = random_codes(rng, 25)
+        want, *_ = sw_score_naive(a, b, sc)
+        aln = align_local(a, b, sc, base_cells=32)
+        assert aln.score == want
+        assert "D" not in aln.ops and "I" not in aln.ops  # gaps unaffordable
+
+    def test_zero_gap_open(self, rng):
+        sc = Scoring(match=2, mismatch=-3, gap_open=0, gap_extend=1)
+        a = random_codes(rng, 30)
+        b = random_codes(rng, 30)
+        want, *_ = sw_score_naive(a, b, sc)
+        aln = align_local(a, b, sc, base_cells=32)
+        assert aln.score == want
+        aln.validate(a, b, sc)
+
+    def test_long_sequence_no_overflow(self):
+        """Score near sequence length stays far from int32 limits; the
+        scan's +j*ext offsets must not overflow on wide matrices."""
+        n = 200_000
+        a = np.zeros(16, dtype=np.uint8)
+        b = np.zeros(n, dtype=np.uint8)  # all A: 16 matches anywhere
+        got = sw_score(a, b, DNA_DEFAULT)
+        assert got.score == 16
+
+
+class TestPartitionEdges:
+    def test_two_columns_two_devices(self):
+        slabs = proportional_partition(2, [10.0, 1.0])
+        assert [s.cols for s in slabs] == [1, 1]
+
+    def test_many_devices_few_columns(self):
+        slabs = proportional_partition(8, [1.0] * 8)
+        assert all(s.cols == 1 for s in slabs)
+
+    def test_checkpoint_on_first_block_row(self, rng):
+        a = random_codes(rng, 64)
+        b = random_codes(rng, 64)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        chain = MultiGpuChain(ENV2_HOMOGENEOUS, config=ChainConfig(block_rows=8))
+        wl = MatrixWorkload(a, b, DNA_DEFAULT)
+        seg = chain.run(wl, stop_row=1)  # truncates the first block row
+        assert seg.checkpoint.row == 1
+        assert chain.run(wl, resume=seg.checkpoint).score == want
+
+
+class TestBestCellEdges:
+    def test_none_vs_none(self):
+        assert not BestCell.none().better_than(BestCell.none())
+
+    def test_equal_cells_not_better(self):
+        c = BestCell(5, 2, 3)
+        assert not c.better_than(BestCell(5, 2, 3))
+
+    def test_col_tiebreak(self):
+        assert BestCell(5, 2, 1).better_than(BestCell(5, 2, 3))

@@ -1,0 +1,275 @@
+"""Unit tests: repro.device.engine — the discrete-event core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.engine import Engine, Semaphore
+from repro.errors import DeadlockError, SimulationError
+
+
+class TestTimeAdvance:
+    def test_timeouts_fire_in_order(self):
+        eng = Engine()
+        fired = []
+
+        def proc(delay, tag):
+            yield eng.timeout(delay)
+            fired.append((eng.now, tag))
+
+        eng.process(proc(3.0, "c"))
+        eng.process(proc(1.0, "a"))
+        eng.process(proc(2.0, "b"))
+        eng.run()
+        assert fired == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_same_time_fifo(self):
+        eng = Engine()
+        fired = []
+
+        def proc(tag):
+            yield eng.timeout(1.0)
+            fired.append(tag)
+
+        for tag in "abc":
+            eng.process(proc(tag))
+        eng.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.timeout(-1.0)
+
+    def test_run_until_stops_early(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(10.0)
+
+        eng.process(proc())
+        assert eng.run(until=5.0) == 5.0
+        assert eng.now == 5.0
+
+
+class TestProcesses:
+    def test_return_value_propagates(self):
+        eng = Engine()
+
+        def child():
+            yield eng.timeout(1.0)
+            return 42
+
+        results = []
+
+        def parent():
+            value = yield eng.process(child())
+            results.append(value)
+
+        eng.process(parent())
+        eng.run()
+        assert results == [42]
+
+    def test_waiting_on_finished_process(self):
+        eng = Engine()
+
+        def fast():
+            yield eng.timeout(0.5)
+            return "done"
+
+        fast_proc = eng.process(fast())
+        got = []
+
+        def late():
+            yield eng.timeout(5.0)
+            value = yield fast_proc  # already finished
+            got.append((eng.now, value))
+
+        eng.process(late())
+        eng.run()
+        assert got == [(5.0, "done")]
+
+    def test_subgenerator_delegation(self):
+        eng = Engine()
+
+        def inner():
+            yield eng.timeout(2.0)
+            return "inner-value"
+
+        log = []
+
+        def outer():
+            value = yield from inner()
+            log.append((eng.now, value))
+
+        eng.process(outer())
+        eng.run()
+        assert log == [(2.0, "inner-value")]
+
+    def test_crash_surfaces_as_simulation_error(self):
+        eng = Engine()
+
+        def bad():
+            yield eng.timeout(1.0)
+            raise ValueError("boom")
+
+        eng.process(bad(), "bad-proc")
+        with pytest.raises(SimulationError, match="bad-proc"):
+            eng.run()
+
+    def test_yielding_non_event_rejected(self):
+        eng = Engine()
+
+        def bad():
+            yield 42  # type: ignore[misc]
+
+        eng.process(bad(), "weird")
+        with pytest.raises(SimulationError):
+            eng.run()
+
+
+class TestEventsAndAllOf:
+    def test_event_value(self):
+        eng = Engine()
+        evt = eng.event("sig")
+        got = []
+
+        def waiter():
+            got.append((yield evt))
+
+        def signaller():
+            yield eng.timeout(3.0)
+            evt.succeed("payload")
+
+        eng.process(waiter())
+        eng.process(signaller())
+        eng.run()
+        assert got == ["payload"]
+
+    def test_double_trigger_rejected(self):
+        eng = Engine()
+        evt = eng.event()
+        evt.succeed(1)
+        with pytest.raises(SimulationError):
+            evt.succeed(2)
+
+    def test_all_of(self):
+        eng = Engine()
+
+        def child(d):
+            yield eng.timeout(d)
+            return d
+
+        procs = [eng.process(child(d)) for d in (3.0, 1.0, 2.0)]
+        got = []
+
+        def parent():
+            values = yield eng.all_of(procs)
+            got.append((eng.now, values))
+
+        eng.process(parent())
+        eng.run()
+        assert got == [(3.0, [3.0, 1.0, 2.0])]
+
+    def test_all_of_empty(self):
+        eng = Engine()
+        got = []
+
+        def parent():
+            values = yield eng.all_of([])
+            got.append(values)
+
+        eng.process(parent())
+        eng.run()
+        assert got == [[]]
+
+    def test_event_failure_propagates(self):
+        eng = Engine()
+        evt = eng.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield evt
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        def failer():
+            yield eng.timeout(1.0)
+            evt.fail(RuntimeError("nope"))
+
+        eng.process(waiter())
+        eng.process(failer())
+        eng.run()
+        assert caught == ["nope"]
+
+
+class TestDeadlock:
+    def test_deadlock_detected_with_names(self):
+        eng = Engine()
+
+        def stuck():
+            yield eng.event("never-fires")
+
+        eng.process(stuck(), "stuck-1")
+        with pytest.raises(DeadlockError, match="stuck-1"):
+            eng.run()
+
+    def test_clean_completion_no_deadlock(self):
+        eng = Engine()
+
+        def ok():
+            yield eng.timeout(1.0)
+
+        eng.process(ok())
+        assert eng.run() == 1.0
+
+
+class TestSemaphore:
+    def test_capacity_enforced(self):
+        eng = Engine()
+        sem = Semaphore(eng, 2, "s")
+        order = []
+
+        def worker(tag):
+            yield sem.acquire()
+            order.append(("in", tag, eng.now))
+            yield eng.timeout(1.0)
+            sem.release()
+            order.append(("out", tag, eng.now))
+
+        for tag in "abc":
+            eng.process(worker(tag))
+        eng.run()
+        ins = [o for o in order if o[0] == "in"]
+        assert ins[0][2] == 0.0 and ins[1][2] == 0.0
+        assert ins[2][2] == 1.0  # third waits for a release
+
+    def test_release_beyond_capacity_rejected(self):
+        eng = Engine()
+        sem = Semaphore(eng, 1)
+        with pytest.raises(SimulationError):
+            sem.release()
+
+    def test_zero_capacity_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            Semaphore(eng, 0)
+
+    def test_fifo_wakeup(self):
+        eng = Engine()
+        sem = Semaphore(eng, 1)
+        order = []
+
+        def worker(tag, start):
+            yield eng.timeout(start)
+            yield sem.acquire()
+            order.append(tag)
+            yield eng.timeout(10.0)
+            sem.release()
+
+        eng.process(worker("first", 0.0))
+        eng.process(worker("second", 1.0))
+        eng.process(worker("third", 2.0))
+        eng.run()
+        assert order == ["first", "second", "third"]

@@ -1,0 +1,133 @@
+"""Failure-injection scenarios: device loss, migration, corrupted state.
+
+The checkpoint format is *device-independent* (it is pure DP state), so a
+run interrupted on one machine can resume on a different device set — the
+recovery story a production deployment needs.  These tests simulate the
+failure modes end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import ENV1_HETEROGENEOUS, ENV2_HOMOGENEOUS, TESLA_M2090, homogeneous
+from repro.errors import ConfigError, SimulationError
+from repro.multigpu import (
+    ChainCheckpoint,
+    ChainConfig,
+    MatrixWorkload,
+    MultiGpuChain,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.seq import DNA_DEFAULT
+from repro.sw import sw_score_naive
+from repro.sw.kernel import BestCell
+
+from helpers import random_codes
+
+
+class TestDeviceMigration:
+    def test_resume_on_different_environment(self, rng):
+        """Checkpoint on the heterogeneous trio, resume on the homogeneous
+        pair: the score must be identical (DP state is device-free)."""
+        a = random_codes(rng, 200)
+        b = random_codes(rng, 260)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        wl = MatrixWorkload(a, b, DNA_DEFAULT)
+
+        first = MultiGpuChain(ENV1_HETEROGENEOUS, config=ChainConfig(block_rows=16))
+        ck = first.run(wl, stop_row=96).checkpoint
+        second = MultiGpuChain(ENV2_HOMOGENEOUS, config=ChainConfig(block_rows=16))
+        res = second.run(wl, resume=ck)
+        assert res.score == want
+
+    def test_resume_with_different_block_rows(self, rng):
+        """The checkpoint row is a matrix row, not a block index, so the
+        resuming chain may use a different block height."""
+        a = random_codes(rng, 150)
+        b = random_codes(rng, 150)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        wl = MatrixWorkload(a, b, DNA_DEFAULT)
+        first = MultiGpuChain(ENV2_HOMOGENEOUS, config=ChainConfig(block_rows=32))
+        ck = first.run(wl, stop_row=64).checkpoint
+        second = MultiGpuChain(ENV2_HOMOGENEOUS, config=ChainConfig(block_rows=7))
+        assert second.run(wl, resume=ck).score == want
+
+    def test_degraded_resume_single_gpu(self, rng):
+        """Losing all but one device still completes the comparison."""
+        a = random_codes(rng, 120)
+        b = random_codes(rng, 120)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        wl = MatrixWorkload(a, b, DNA_DEFAULT)
+        full = MultiGpuChain(homogeneous(TESLA_M2090, 4),
+                             config=ChainConfig(block_rows=16))
+        ck = full.run(wl, stop_row=60).checkpoint
+        lone = MultiGpuChain([TESLA_M2090], config=ChainConfig(block_rows=16))
+        assert lone.run(wl, resume=ck).score == want
+
+    def test_repeated_failures(self, rng):
+        """Crash-loop: checkpoint/restore at every quarter, rotating device
+        sets each time."""
+        a = random_codes(rng, 160)
+        b = random_codes(rng, 200)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        wl = MatrixWorkload(a, b, DNA_DEFAULT)
+        environments = [ENV1_HETEROGENEOUS, ENV2_HOMOGENEOUS,
+                        homogeneous(TESLA_M2090, 3)]
+        ck = None
+        for i, stop in enumerate((40, 80, 120)):
+            chain = MultiGpuChain(environments[i % len(environments)],
+                                  config=ChainConfig(block_rows=16))
+            ck = chain.run(wl, resume=ck, stop_row=stop).checkpoint
+        final = MultiGpuChain(ENV1_HETEROGENEOUS, config=ChainConfig(block_rows=16))
+        assert final.run(wl, resume=ck).score == want
+
+
+class TestCorruptedState:
+    def test_truncated_checkpoint_detected(self, rng, tmp_path):
+        a = random_codes(rng, 100)
+        wl = MatrixWorkload(a, a, DNA_DEFAULT)
+        chain = MultiGpuChain(ENV2_HOMOGENEOUS, config=ChainConfig(block_rows=16))
+        ck = chain.run(wl, stop_row=48).checkpoint
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, ck)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(Exception):
+            load_checkpoint(path)
+
+    def test_wrong_width_checkpoint_rejected(self, rng):
+        a = random_codes(rng, 100)
+        chain = MultiGpuChain(ENV2_HOMOGENEOUS, config=ChainConfig(block_rows=16))
+        bad = ChainCheckpoint(
+            row=32,
+            h_row=np.zeros(37, dtype=np.int32),
+            f_row=np.zeros(37, dtype=np.int32),
+            best=BestCell.none(),
+            elapsed_s=0.0,
+        )
+        with pytest.raises(ConfigError):
+            chain.run(MatrixWorkload(a, a, DNA_DEFAULT), resume=bad)
+
+
+class TestEngineFaults:
+    def test_worker_exception_is_reported_not_hung(self):
+        """A crashing process surfaces as SimulationError with its name —
+        the simulation never silently hangs."""
+        from repro.device import Engine
+
+        eng = Engine()
+
+        def healthy():
+            yield eng.timeout(10.0)
+
+        def crashing():
+            yield eng.timeout(1.0)
+            raise RuntimeError("injected device fault")
+
+        eng.process(healthy(), "healthy")
+        eng.process(crashing(), "gpu1-worker")
+        with pytest.raises(SimulationError, match="gpu1-worker"):
+            eng.run()

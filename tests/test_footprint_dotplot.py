@@ -1,0 +1,102 @@
+"""Unit tests: repro.multigpu.footprint and repro.perf.dotplot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import ENV1_HETEROGENEOUS, DeviceSpec
+from repro.errors import ConfigError, DeviceError
+from repro.multigpu import ChainConfig, explicit_partition, plan_memory, validate_memory
+from repro.perf import dotplot
+from repro.seq import DNA_DEFAULT
+from repro.workloads import get_pair
+
+from helpers import mutated_copy, random_codes
+
+
+class TestFootprint:
+    def test_paper_scale_fits_env1(self):
+        pair = get_pair("chr22")
+        plans = validate_memory(ENV1_HETEROGENEOUS, pair.human_len, pair.chimp_len,
+                                ChainConfig(block_rows=8192))
+        assert len(plans) == 3
+        for fp in plans:
+            assert fp.fits
+            assert 0 < fp.utilisation < 1
+
+    def test_breakdown_adds_up(self):
+        plans = plan_memory(ENV1_HETEROGENEOUS, 10**6, 10**6, ChainConfig())
+        for fp in plans:
+            assert fp.total_bytes == (fp.seq_bytes + fp.chunk_bytes
+                                      + fp.work_bytes + fp.border_bytes)
+
+    def test_edge_devices_have_one_channel(self):
+        plans = plan_memory(ENV1_HETEROGENEOUS, 10**6, 10**6, ChainConfig())
+        assert plans[0].border_bytes == plans[2].border_bytes
+        assert plans[1].border_bytes == 2 * plans[0].border_bytes
+
+    def test_slab_scaling(self):
+        """Doubling a slab roughly doubles its sequence+work bytes."""
+        cfg = ChainConfig()
+        devices = (ENV1_HETEROGENEOUS[0], ENV1_HETEROGENEOUS[0])
+        p1 = plan_memory(devices, 10**6, 10**6, cfg,
+                         partition=explicit_partition(10**6, [250_000, 750_000]))
+        assert p1[1].work_bytes == pytest.approx(3 * p1[0].work_bytes, rel=1e-6)
+
+    def test_too_small_device_raises_with_suggestion(self):
+        tiny = DeviceSpec("Tiny", gcups=10.0, mem_bytes=1024 * 1024)
+        with pytest.raises(DeviceError, match="devices would fit"):
+            validate_memory((tiny, tiny), 10**7, 10**7, ChainConfig())
+
+    def test_bad_dims(self):
+        with pytest.raises(DeviceError):
+            plan_memory(ENV1_HETEROGENEOUS, 0, 10, ChainConfig())
+
+
+class TestDotplot:
+    def test_identical_sequences_are_diagonal(self, rng):
+        a = random_codes(rng, 600)
+        dp = dotplot(a, a, DNA_DEFAULT, tiles=12)
+        assert dp.shape == (12, 12)
+        # Diagonal tiles are self-alignments: maximal scores.
+        diag = np.diag(dp.scores)
+        assert (diag >= dp.scores.max() * 0.9).all()
+        assert dp.diagonal_fraction(threshold=0.5) > 0.9
+
+    def test_homologs_stay_diagonal(self, rng):
+        a = random_codes(rng, 600)
+        b = mutated_copy(rng, a, 0.05)
+        dp = dotplot(a, b, DNA_DEFAULT, tiles=10)
+        assert dp.diagonal_fraction(threshold=0.4) > 0.8
+
+    def test_unrelated_sequences_are_flat(self, rng):
+        a = random_codes(rng, 600)
+        b = random_codes(rng, 600)
+        dp = dotplot(a, b, DNA_DEFAULT, tiles=10)
+        # Off-diagonal noise scores are far below a self-alignment tile.
+        self_dp = dotplot(a, a, DNA_DEFAULT, tiles=10)
+        assert dp.scores.max() < 0.5 * self_dp.scores.max()
+
+    def test_translocation_shows_off_diagonal(self, rng):
+        a = random_codes(rng, 800)
+        # b = a with its two halves swapped: homology is anti-ordered.
+        b = np.concatenate([a[400:], a[:400]])
+        dp = dotplot(a, b, DNA_DEFAULT, tiles=8)
+        assert dp.diagonal_fraction(threshold=0.4) < 0.5
+
+    def test_render_shapes(self, rng):
+        a = random_codes(rng, 300)
+        dp = dotplot(a, a, DNA_DEFAULT, tiles=6)
+        art = dp.render()
+        lines = art.splitlines()
+        assert len(lines) == 8  # border + 6 + border
+        assert all(len(line) == 8 for line in lines)
+        assert "@" in art  # strong diagonal shade
+
+    def test_validation(self, rng):
+        a = random_codes(rng, 10)
+        with pytest.raises(ConfigError):
+            dotplot(a, a, DNA_DEFAULT, tiles=0)
+        with pytest.raises(ConfigError):
+            dotplot(a, a, DNA_DEFAULT, tiles=50)

@@ -1,0 +1,84 @@
+"""End-to-end integration tests across the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import run_cpu, run_single_gpu, single_task_best_device, Task
+from repro.device import ENV1_HETEROGENEOUS, ENV2_HOMOGENEOUS
+from repro.multigpu import ChainConfig, align_multi_gpu, time_multi_gpu
+from repro.seq import DNA_DEFAULT
+from repro.sw import align_local, stage1_score
+from repro.workloads import get_pair, synthesize_pair
+
+
+@pytest.fixture(scope="module")
+def chr22_small():
+    """A scaled chr22 stand-in pair (about 3.5 kbp each)."""
+    return synthesize_pair(get_pair("chr22"), scale=1e-4, seed=42)
+
+
+class TestCrossEngineAgreement:
+    def test_all_engines_agree_on_score(self, chr22_small):
+        """CPU kernel, single-GPU baseline, and the 3-GPU chain must report
+        the same exact score and end point on a realistic homolog pair."""
+        a, b = chr22_small
+        cpu = run_cpu(a, b, DNA_DEFAULT)
+        single = run_single_gpu(a, b, DNA_DEFAULT, ENV1_HETEROGENEOUS[0],
+                                block_rows=256)
+        multi = align_multi_gpu(a, b, DNA_DEFAULT, ENV1_HETEROGENEOUS,
+                                config=ChainConfig(block_rows=128))
+        assert cpu.score == single.score == multi.score > 0
+        assert (cpu.best.row, cpu.best.col) == (multi.best.row, multi.best.col)
+
+    def test_stage1_matches_chain(self, chr22_small):
+        a, b = chr22_small
+        s1 = stage1_score(a, b, DNA_DEFAULT)
+        multi = align_multi_gpu(a, b, DNA_DEFAULT, ENV2_HOMOGENEOUS)
+        assert s1.score == multi.score
+        assert (s1.end_i, s1.end_j) == (multi.best.row, multi.best.col)
+
+    def test_full_alignment_on_homologs(self, chr22_small):
+        a, b = chr22_small
+        aln = align_local(a, b, DNA_DEFAULT, special_interval=256)
+        aln.validate(a, b, DNA_DEFAULT)
+        # Human-chimp calibration: identity in the mid-90s, covering most
+        # of both sequences.
+        assert aln.identity(a, b) > 0.9
+        assert aln.a_span > 0.8 * a.size
+        assert aln.b_span > 0.8 * b.size
+
+
+class TestPaperShapeClaims:
+    def test_multi_gpu_beats_best_single_device(self):
+        """The point of the paper: fine-grain chaining makes extra GPUs
+        contribute to ONE comparison, which inter-task parallelism cannot."""
+        rows = cols = 10_000_000
+        chain = time_multi_gpu(rows, cols, ENV1_HETEROGENEOUS,
+                               config=ChainConfig(block_rows=2048))
+        intertask = single_task_best_device(Task(rows, cols), ENV1_HETEROGENEOUS)
+        assert chain.total_time_s < intertask.makespan_s / 2
+
+    def test_aggregate_rate_approached_at_scale(self):
+        """At megabase scale the chain sustains ≈ the sum of device rates."""
+        res = time_multi_gpu(30_000_000, 30_000_000, ENV1_HETEROGENEOUS,
+                             config=ChainConfig(block_rows=4096, channel_capacity=8))
+        aggregate = sum(d.gcups for d in ENV1_HETEROGENEOUS)
+        assert res.gcups > 0.97 * aggregate
+
+    def test_small_matrices_underutilise(self):
+        """Fill/drain and occupancy dominate small matrices — the reason
+        the paper targets megabase sequences."""
+        small = time_multi_gpu(20_000, 20_000, ENV1_HETEROGENEOUS,
+                               config=ChainConfig(block_rows=512))
+        aggregate = sum(d.gcups for d in ENV1_HETEROGENEOUS)
+        assert small.gcups < 0.8 * aggregate
+
+    def test_wait_time_concentrated_downstream(self):
+        """Chain fill makes downstream devices wait at the start; upstream
+        devices never wait on borders."""
+        res = time_multi_gpu(5_000_000, 5_000_000, ENV1_HETEROGENEOUS,
+                             config=ChainConfig(block_rows=2048))
+        waits = [g.counters.wait_s for g in res.gpus]
+        assert waits[0] == 0.0
+        assert waits[-1] > 0.0

@@ -1,0 +1,196 @@
+"""Unit tests: repro.sw.kernel (the vectorised Gotoh sweep) vs the oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.seq import DNA_DEFAULT, encode
+from repro.sw import kernel, naive
+from repro.sw.constants import DTYPE, NEG_INF
+
+from helpers import random_codes, random_scoring
+
+
+class TestLocalVsOracle:
+    def test_randomised_equivalence(self, rng):
+        for _ in range(60):
+            m = int(rng.integers(1, 35))
+            n = int(rng.integers(1, 35))
+            a = random_codes(rng, m, with_n=True)
+            b = random_codes(rng, n, with_n=True)
+            sc = random_scoring(rng)
+            want, wi, wj = naive.sw_score_naive(a, b, sc)
+            got = kernel.sw_score(a, b, sc)
+            got_score = got.score if got.row >= 0 else 0
+            assert got_score == want
+            if want > 0:
+                assert (got.row, got.col) == (wi, wj)
+
+    def test_identical_sequences(self):
+        a = encode("ACGTACGTAC")
+        best = kernel.sw_score(a, a, DNA_DEFAULT)
+        assert best.score == 10 * DNA_DEFAULT.match
+        assert (best.row, best.col) == (9, 9)
+
+    def test_disjoint_alphabets_score_zero(self):
+        a = encode("AAAA")
+        b = encode("TTTT")
+        best = kernel.sw_score(a, b, DNA_DEFAULT)
+        assert best.row == -1  # empty alignment sentinel
+
+    def test_known_small_alignment(self):
+        # One mismatch inside a run of matches.
+        a = encode("AAACAAA")
+        b = encode("AAAGAAA")
+        best = kernel.sw_score(a, b, DNA_DEFAULT)
+        # 7 columns: 6 matches + 1 mismatch = 6 - 3 = 3, or 3 matches = 3.
+        assert best.score == 3
+
+    def test_gap_inside_flanked_matches(self):
+        # Long unique flanks force the indel through the alignment: with a
+        # cheap-enough gap the optimum is all-matches minus one gap_first.
+        cheap = DNA_DEFAULT
+        from repro.seq import Scoring
+        cheap = Scoring(match=1, mismatch=-10, gap_open=1, gap_extend=1)
+        a = encode("CCGCATAGTTTTTTTTGACGTACG")
+        b = encode("CCGCATAGTTTTTTTGACGTACG")  # one T deleted
+        want, *_ = naive.sw_score_naive(a, b, cheap)
+        got = kernel.sw_score(a, b, cheap)
+        assert got.score == want == 23 - cheap.gap_first
+
+
+class TestGlobalMode:
+    def test_randomised_equivalence(self, rng):
+        for _ in range(40):
+            m = int(rng.integers(1, 25))
+            n = int(rng.integers(1, 25))
+            a = random_codes(rng, m)
+            b = random_codes(rng, n)
+            sc = random_scoring(rng)
+            mats = naive.full_matrices(a, b, sc, local=False)
+            ht, ft, hl, el, c = kernel.global_boundaries(m, n, sc)
+            res = kernel.sweep_block(
+                a, kernel.build_profile(b, sc), ht, ft, hl, el, c, sc, local=False
+            )
+            assert int(res.h_bottom[-1]) == mats.score
+
+    def test_full_rows_match_oracle(self, rng):
+        a = random_codes(rng, 12)
+        b = random_codes(rng, 15)
+        sc = DNA_DEFAULT
+        mats = naive.full_matrices(a, b, sc, local=False)
+        ht, ft, hl, el, c = kernel.global_boundaries(12, 15, sc)
+        res = kernel.sweep_block(
+            a, kernel.build_profile(b, sc), ht, ft, hl, el, c, sc, local=False
+        )
+        assert np.array_equal(res.h_bottom, mats.H[-1, 1:])
+        assert np.array_equal(res.f_bottom, mats.F[-1, 1:])
+        assert np.array_equal(res.h_right, mats.H[1:, -1])
+        assert np.array_equal(res.e_right, mats.E[1:, -1])
+
+
+class TestRowSink:
+    def test_sink_rows_match_oracle(self, rng):
+        a = random_codes(rng, 10)
+        b = random_codes(rng, 9)
+        sc = DNA_DEFAULT
+        mats = naive.full_matrices(a, b, sc, local=True)
+        seen = {}
+
+        def sink(i, h, e, f):
+            seen[i] = (h.copy(), e.copy(), f.copy())
+
+        ht = np.zeros(9, dtype=DTYPE)
+        ft = np.full(9, NEG_INF, dtype=DTYPE)
+        hl = np.zeros(10, dtype=DTYPE)
+        el = np.full(10, NEG_INF, dtype=DTYPE)
+        kernel.sweep_block(a, kernel.build_profile(b, sc), ht, ft, hl, el, 0, sc,
+                           local=True, row_sink=sink, sink_interval=3)
+        assert sorted(seen) == [2, 5, 8]
+        for i, (h, e, f) in seen.items():
+            assert np.array_equal(h, mats.H[i + 1, 1:])
+            assert np.array_equal(e, mats.E[i + 1, 1:])
+            assert np.array_equal(f, mats.F[i + 1, 1:])
+
+    def test_sink_without_interval_rejected(self, rng):
+        a = random_codes(rng, 4)
+        b = random_codes(rng, 4)
+        with pytest.raises(ConfigError):
+            kernel.sw_score(a, b, DNA_DEFAULT, row_sink=lambda *args: None, sink_interval=0)
+
+
+class TestBlockChaining:
+    def test_two_horizontal_blocks_equal_one(self, rng):
+        """Splitting columns and feeding (h_right, e_right) across the seam
+        reproduces the monolithic sweep — the multi-GPU border contract."""
+        a = random_codes(rng, 20)
+        b = random_codes(rng, 30)
+        sc = DNA_DEFAULT
+        whole = kernel.sw_score(a, b, sc)
+
+        split = 13
+        prof = kernel.build_profile(b, sc)
+        ht, ft, hl, el, c = kernel.local_boundaries(20, 30)
+        left = kernel.sweep_block(a, prof[:, :split], ht[:split], ft[:split],
+                                  hl, el, c, sc, local=True)
+        right = kernel.sweep_block(a, prof[:, split:], ht[split:], ft[split:],
+                                   left.h_right, left.e_right, 0, sc, local=True)
+        best = left.best if left.best.better_than(right.best.shifted(0, split)) \
+            else right.best.shifted(0, split)
+        assert best.score == (whole.score if whole.row >= 0 else 0)
+
+    def test_two_vertical_blocks_equal_one(self, rng):
+        a = random_codes(rng, 24)
+        b = random_codes(rng, 18)
+        sc = DNA_DEFAULT
+        whole = kernel.sw_score(a, b, sc)
+
+        split = 11
+        prof = kernel.build_profile(b, sc)
+        ht, ft, hl, el, c = kernel.local_boundaries(24, 18)
+        top = kernel.sweep_block(a[:split], prof, ht, ft, hl[:split], el[:split],
+                                 c, sc, local=True)
+        bottom = kernel.sweep_block(a[split:], prof, top.h_bottom, top.f_bottom,
+                                    hl[split:], el[split:], 0, sc, local=True)
+        best = top.best if top.best.better_than(bottom.best.shifted(split, 0)) \
+            else bottom.best.shifted(split, 0)
+        assert best.score == (whole.score if whole.row >= 0 else 0)
+
+
+class TestValidation:
+    def test_empty_block_rejected(self):
+        with pytest.raises(ConfigError):
+            kernel.sw_score(np.array([], dtype=np.uint8), encode("AC"), DNA_DEFAULT)
+
+    def test_wrong_boundary_shapes_rejected(self, rng):
+        a = random_codes(rng, 5)
+        b = random_codes(rng, 5)
+        sc = DNA_DEFAULT
+        prof = kernel.build_profile(b, sc)
+        bad = np.zeros(3, dtype=DTYPE)
+        good5 = np.zeros(5, dtype=DTYPE)
+        with pytest.raises(ConfigError):
+            kernel.sweep_block(a, prof, bad, good5, good5, good5, 0, sc)
+        with pytest.raises(ConfigError):
+            kernel.sweep_block(a, prof, good5, good5, bad, good5, 0, sc)
+
+
+class TestBestCell:
+    def test_tie_break_row_major(self):
+        early = kernel.BestCell(5, 1, 2)
+        later = kernel.BestCell(5, 2, 0)
+        assert early.better_than(later)
+        assert not later.better_than(early)
+
+    def test_score_dominates(self):
+        assert kernel.BestCell(6, 9, 9).better_than(kernel.BestCell(5, 0, 0))
+
+    def test_none_never_better(self):
+        assert not kernel.BestCell.none().better_than(kernel.BestCell(1, 0, 0))
+        assert kernel.BestCell(1, 0, 0).better_than(kernel.BestCell.none())
+
+    def test_shifted(self):
+        assert kernel.BestCell(3, 1, 2).shifted(10, 20) == kernel.BestCell(3, 11, 22)
+        assert kernel.BestCell.none().shifted(10, 20) == kernel.BestCell.none()

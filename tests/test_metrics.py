@@ -1,0 +1,59 @@
+"""Unit tests: repro.perf.metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import (
+    efficiency,
+    format_table,
+    gcups,
+    humanize_cells,
+    humanize_time,
+    speedup,
+)
+
+
+class TestRates:
+    def test_gcups(self):
+        assert gcups(2_000_000_000, 1.0) == pytest.approx(2.0)
+        assert gcups(10**12, 10.0) == pytest.approx(100.0)
+
+    def test_gcups_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            gcups(10, 0.0)
+
+    def test_speedup_and_efficiency(self):
+        assert speedup(10.0, 2.5) == pytest.approx(4.0)
+        assert efficiency(4.0, 4) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            efficiency(1.0, 0)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "v"], [["a", "1"], ["longer", "22"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_humanize_cells(self):
+        assert humanize_cells(1_230_000_000_000) == "1.23 Tcells"
+        assert humanize_cells(5_000_000) == "5.00 Mcells"
+        assert humanize_cells(12) == "12 cells"
+        with pytest.raises(ValueError):
+            humanize_cells(-1)
+
+    def test_humanize_time(self):
+        assert humanize_time(0.0123) == "12.3 ms"
+        assert humanize_time(65) == "1:05"
+        assert humanize_time(3700) == "1:01:40"
+        with pytest.raises(ValueError):
+            humanize_time(-1)

@@ -1,0 +1,100 @@
+"""Unit tests: repro.sw.myers_miller (linear-space global alignment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.seq import DNA_DEFAULT, Scoring, encode
+from repro.sw import naive
+from repro.sw.myers_miller import align_global, global_score
+
+from helpers import mutated_copy, random_codes, random_scoring
+
+
+class TestGlobalScore:
+    def test_equals_oracle(self, rng):
+        for _ in range(40):
+            a = random_codes(rng, int(rng.integers(1, 30)))
+            b = random_codes(rng, int(rng.integers(1, 30)))
+            sc = random_scoring(rng)
+            assert global_score(a, b, sc) == naive.full_matrices(a, b, sc, local=False).score
+
+    def test_empty_cases(self):
+        empty = np.array([], dtype=np.uint8)
+        a = encode("ACGT")
+        assert global_score(empty, empty, DNA_DEFAULT) == 0
+        assert global_score(a, empty, DNA_DEFAULT) == -(3 + 2 * 4)
+        assert global_score(empty, a, DNA_DEFAULT) == -(3 + 2 * 4)
+
+    def test_identical(self):
+        a = encode("ACGTACGT")
+        assert global_score(a, a, DNA_DEFAULT) == 8
+
+
+class TestAlignGlobal:
+    def test_deep_recursion_equals_oracle(self, rng):
+        """base_cells=8 forces the divide-and-conquer through every branch,
+        including the vertical-gap (F) crossing with tb/te flags."""
+        for _ in range(80):
+            m = int(rng.integers(0, 35))
+            n = int(rng.integers(0, 35))
+            a = random_codes(rng, m)
+            b = random_codes(rng, n)
+            sc = random_scoring(rng)
+            aln = align_global(a, b, sc, base_cells=8)
+            aln.validate(a, b, sc)
+            if m and n:
+                assert aln.score == naive.full_matrices(a, b, sc, local=False).score
+
+    def test_alignment_covers_everything(self, rng):
+        a = random_codes(rng, 50)
+        b = random_codes(rng, 40)
+        aln = align_global(a, b, DNA_DEFAULT, base_cells=64)
+        assert (aln.start_i, aln.end_i) == (0, 50)
+        assert (aln.start_j, aln.end_j) == (0, 40)
+        counts = aln.op_counts()
+        assert counts["M"] + counts["D"] == 50
+        assert counts["M"] + counts["I"] == 40
+
+    def test_gap_heavy_case(self):
+        """Sequences engineered so the optimal path has a long vertical gap
+        crossing the midline — the F-crossing recursion path."""
+        sc = Scoring(match=5, mismatch=-4, gap_open=2, gap_extend=1)
+        a = encode("ACGT" + "T" * 30 + "ACGT")
+        b = encode("ACGTACGT")
+        aln = align_global(a, b, sc, base_cells=8)
+        aln.validate(a, b, sc)
+        assert aln.score == naive.full_matrices(a, b, sc, local=False).score
+        assert "D" * 30 in aln.ops  # the long deletion survives intact
+
+    def test_homolog_alignment_identity(self, rng):
+        a = random_codes(rng, 800)
+        b = mutated_copy(rng, a, 0.05)
+        aln = align_global(a, b, DNA_DEFAULT, base_cells=4096)
+        aln.validate(a, b, DNA_DEFAULT)
+        assert aln.identity(a, b) > 0.9
+
+    def test_empty_inputs(self):
+        empty = np.array([], dtype=np.uint8)
+        a = encode("ACG")
+        aln = align_global(a, empty, DNA_DEFAULT)
+        assert aln.ops == "DDD"
+        aln2 = align_global(empty, a, DNA_DEFAULT)
+        assert aln2.ops == "III"
+        aln3 = align_global(empty, empty, DNA_DEFAULT)
+        assert aln3.ops == ""
+
+    def test_bad_base_cells_rejected(self):
+        a = encode("ACG")
+        with pytest.raises(ConfigError):
+            align_global(a, a, DNA_DEFAULT, base_cells=1)
+
+    def test_linear_gap_scheme(self, rng):
+        sc = Scoring(match=1, mismatch=-1, gap_open=0, gap_extend=1)
+        for _ in range(20):
+            a = random_codes(rng, int(rng.integers(1, 25)))
+            b = random_codes(rng, int(rng.integers(1, 25)))
+            aln = align_global(a, b, sc, base_cells=8)
+            assert aln.score == naive.full_matrices(a, b, sc, local=False).score

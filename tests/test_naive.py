@@ -1,0 +1,103 @@
+"""Unit tests: repro.sw.naive (the oracle must itself be trustworthy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seq import DNA_DEFAULT, Scoring, encode
+from repro.sw import naive
+from repro.sw.alignment import from_ops
+
+from helpers import random_codes, random_scoring
+
+
+class TestHandComputedCases:
+    def test_single_match(self):
+        score, i, j = naive.sw_score_naive(encode("A"), encode("A"), DNA_DEFAULT)
+        assert (score, i, j) == (1, 0, 0)
+
+    def test_single_mismatch_is_empty(self):
+        score, i, j = naive.sw_score_naive(encode("A"), encode("C"), DNA_DEFAULT)
+        assert (score, i, j) == (0, -1, -1)
+
+    def test_perfect_match_score(self):
+        s = encode("ACGTACGT")
+        score, i, j = naive.sw_score_naive(s, s, DNA_DEFAULT)
+        assert score == 8
+        assert (i, j) == (7, 7)
+
+    def test_substring_match(self):
+        score, i, j = naive.sw_score_naive(encode("TTACGTT"), encode("GGACGGG"), DNA_DEFAULT)
+        assert score == 3  # "ACG"
+        assert (i, j) == (4, 4)
+
+    def test_affine_gap_cost_manual(self):
+        # Alignment forced through a 2-gap by unique flanks.
+        sc = Scoring(match=2, mismatch=-10, gap_open=2, gap_extend=1)
+        a = encode("CATTACCGGA")
+        b = encode("CATTAGGA")  # "CC" deleted
+        score, *_ = naive.sw_score_naive(a, b, sc)
+        # 8 matches * 2 - (open 2 + 2 * extend 1) = 16 - 4 = 12
+        assert score == 12
+
+    def test_n_blocks_matching(self):
+        a = encode("ACGTNNNNACGT")
+        score, *_ = naive.sw_score_naive(a, a, DNA_DEFAULT)
+        # The N run scores mismatches against itself; two clean 4-mers remain.
+        assert score == max(4, 8 - 4 * 3 + 4)  # either one 4-mer or spanning
+
+
+class TestMatrices:
+    def test_local_matrix_nonnegative(self, rng):
+        a = random_codes(rng, 12)
+        b = random_codes(rng, 12)
+        mats = naive.full_matrices(a, b, DNA_DEFAULT, local=True)
+        assert (mats.H >= 0).all()
+
+    def test_global_corner_value(self):
+        a = encode("ACGT")
+        mats = naive.full_matrices(a, a, DNA_DEFAULT, local=False)
+        assert mats.score == 4
+
+    def test_global_boundary_gaps(self):
+        a = encode("ACGT")
+        b = encode("A")
+        mats = naive.full_matrices(a, b, DNA_DEFAULT, local=False)
+        # H(i, 0) = -(open + i*ext)
+        for i in range(1, 5):
+            assert mats.H[i, 0] == -(3 + 2 * i)
+
+
+class TestTraceback:
+    def test_local_traceback_rescores(self, rng):
+        for _ in range(30):
+            a = random_codes(rng, int(rng.integers(1, 25)))
+            b = random_codes(rng, int(rng.integers(1, 25)))
+            sc = random_scoring(rng)
+            score, ops, start, end = naive.align_naive(a, b, sc, local=True)
+            aln = from_ops(score, ops, start, end)
+            assert aln.rescore(a, b, sc) == score
+
+    def test_global_traceback_rescores(self, rng):
+        for _ in range(30):
+            a = random_codes(rng, int(rng.integers(1, 20)))
+            b = random_codes(rng, int(rng.integers(1, 20)))
+            sc = random_scoring(rng)
+            score, ops, start, end = naive.align_naive(a, b, sc, local=False)
+            aln = from_ops(score, ops, start, end)
+            assert aln.rescore(a, b, sc) == score
+            # global covers everything
+            assert (end[0] - start[0], end[1] - start[1]) == (a.size, b.size)
+
+    def test_empty_alignment(self):
+        score, ops, start, end = naive.align_naive(encode("A"), encode("C"), DNA_DEFAULT)
+        assert score == 0 and ops == []
+
+    def test_local_alignment_starts_and_ends_with_match(self, rng):
+        for _ in range(20):
+            a = random_codes(rng, 20)
+            b = random_codes(rng, 20)
+            score, ops, *_ = naive.align_naive(a, b, DNA_DEFAULT, local=True)
+            if ops:
+                assert ops[0] == "M" and ops[-1] == "M"

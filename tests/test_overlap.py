@@ -1,0 +1,114 @@
+"""Unit tests: repro.multigpu.overlap — analytic model vs simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import ENV1_HETEROGENEOUS, ENV2_HOMOGENEOUS, DeviceSpec, homogeneous
+from repro.errors import ConfigError
+from repro.multigpu import (
+    ChainConfig,
+    block_row_time,
+    channel_segment_cost,
+    hop_times,
+    min_overlap_width,
+    overlap_satisfied,
+    predict_chain,
+    proportional_partition,
+    segment_bytes,
+    time_multi_gpu,
+)
+
+
+class TestSegmentBytes:
+    def test_formula(self):
+        assert segment_bytes(512) == 512 * 8 + 4
+
+    def test_bad_rows(self):
+        with pytest.raises(ConfigError):
+            segment_bytes(0)
+
+
+class TestBlockRowTime:
+    def test_linear_in_rows_and_width(self):
+        spec = DeviceSpec("x", gcups=1.0, saturation_cols=0)
+        assert block_row_time(spec, 1000, 1000) == pytest.approx(1e-3)
+        assert block_row_time(spec, 2000, 1000) == pytest.approx(2e-3)
+
+    def test_occupancy_penalty_for_narrow_slabs(self):
+        spec = DeviceSpec("x", gcups=1.0, saturation_cols=1000)
+        narrow = block_row_time(spec, 100, 100)
+        wide = block_row_time(spec, 100_000, 100)
+        # cells/time ratio: wide slab is much more efficient per cell
+        assert (100 * 100 / narrow) < (100_000 * 100 / wide)
+
+
+class TestOverlapCondition:
+    def test_wide_slab_overlaps(self):
+        a, b = ENV2_HOMOGENEOUS
+        assert overlap_satisfied(a, b, slab_cols=1_000_000, block_rows=512)
+
+    def test_narrow_slab_fails_with_slow_link(self):
+        slow = DeviceSpec("slow", gcups=50.0, pcie_gbps=0.0001, pcie_latency_s=1e-3,
+                          saturation_cols=0)
+        assert not overlap_satisfied(slow, slow, slab_cols=10, block_rows=512)
+
+    def test_min_width_is_the_crossover(self):
+        slow = DeviceSpec("slow", gcups=50.0, pcie_gbps=0.001, pcie_latency_s=1e-4,
+                          saturation_cols=0)
+        w = min_overlap_width(slow, slow, block_rows=512)
+        assert overlap_satisfied(slow, slow, w, 512)
+        if w > 1:
+            assert not overlap_satisfied(slow, slow, w - 1, 512)
+
+    def test_min_width_with_occupancy_model(self):
+        spec = ENV1_HETEROGENEOUS[0]
+        w = min_overlap_width(spec, ENV1_HETEROGENEOUS[1], block_rows=512)
+        assert overlap_satisfied(spec, ENV1_HETEROGENEOUS[1], w, 512)
+
+    def test_pipelined_cheaper_than_rendezvous(self):
+        a, b = ENV2_HOMOGENEOUS
+        assert channel_segment_cost(a, b, 512, pipelined=True) < \
+            channel_segment_cost(a, b, 512, pipelined=False)
+
+    def test_hop_times_positive(self):
+        d2h, h2d = hop_times(*ENV2_HOMOGENEOUS, 512)
+        assert d2h > 0 and h2d > 0
+
+
+class TestPrediction:
+    @pytest.mark.parametrize("devices", [ENV1_HETEROGENEOUS, ENV2_HOMOGENEOUS,
+                                         homogeneous(ENV2_HOMOGENEOUS[0], 6)])
+    def test_prediction_tracks_simulation(self, devices):
+        rows = cols = 6_000_000
+        cfg = ChainConfig(block_rows=2048, channel_capacity=8)
+        slabs = proportional_partition(cols, [d.gcups for d in devices])
+        pred = predict_chain(devices, slabs, rows, cfg)
+        sim = time_multi_gpu(rows, cols, devices, config=cfg)
+        assert pred.total_s == pytest.approx(sim.total_time_s, rel=0.05)
+
+    def test_prediction_with_slow_channel_bottleneck(self):
+        slow = tuple(
+            DeviceSpec(d.name, gcups=d.gcups, pcie_gbps=0.0001,
+                       pcie_latency_s=1e-3, saturation_cols=0)
+            for d in ENV2_HOMOGENEOUS
+        )
+        rows = cols = 1_000_000
+        cfg = ChainConfig(block_rows=1024, channel_capacity=8)
+        slabs = proportional_partition(cols, [d.gcups for d in slow])
+        pred = predict_chain(slow, slabs, rows, cfg)
+        assert pred.bottleneck.startswith("channel")
+        sim = time_multi_gpu(rows, cols, slow, config=cfg)
+        assert pred.total_s == pytest.approx(sim.total_time_s, rel=0.15)
+
+    def test_gcups_helper(self):
+        devices = ENV2_HOMOGENEOUS
+        cfg = ChainConfig(block_rows=2048)
+        slabs = proportional_partition(1_000_000, [d.gcups for d in devices])
+        pred = predict_chain(devices, slabs, 1_000_000, cfg)
+        assert pred.gcups(10**12) > 0
+
+    def test_length_mismatch_rejected(self):
+        slabs = proportional_partition(100, [1.0])
+        with pytest.raises(ConfigError):
+            predict_chain(ENV2_HOMOGENEOUS, slabs, 100, ChainConfig())

@@ -1,0 +1,119 @@
+"""Unit tests: repro.multigpu.partition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.multigpu import (
+    Slab,
+    equal_partition,
+    explicit_partition,
+    imbalance,
+    proportional_partition,
+)
+
+
+def assert_covering(slabs, n):
+    assert slabs[0].col0 == 0
+    assert slabs[-1].col1 == n
+    for left, right in zip(slabs, slabs[1:]):
+        assert left.col1 == right.col0
+
+
+class TestProportional:
+    def test_cover_and_order(self):
+        slabs = proportional_partition(1000, [1.0, 2.0, 3.0])
+        assert_covering(slabs, 1000)
+        assert [s.device_index for s in slabs] == [0, 1, 2]
+
+    def test_widths_proportional(self):
+        slabs = proportional_partition(6000, [1.0, 2.0, 3.0])
+        widths = [s.cols for s in slabs]
+        assert widths == [1000, 2000, 3000]
+
+    def test_rounding_error_bounded(self):
+        slabs = proportional_partition(1000, [1.0, 1.0, 1.0])
+        for s in slabs:
+            assert abs(s.cols - 1000 / 3) <= 1
+
+    def test_single_device_gets_all(self):
+        slabs = proportional_partition(777, [3.14])
+        assert len(slabs) == 1 and slabs[0].cols == 777
+
+    def test_alignment(self):
+        slabs = proportional_partition(1000, [1.0, 1.0, 1.0], align=64)
+        for s in slabs[:-1]:
+            assert s.col1 % 64 == 0
+
+    def test_min_cols_enforced(self):
+        slabs = proportional_partition(100, [1000.0, 1.0], min_cols=10)
+        assert slabs[1].cols >= 10
+        assert_covering(slabs, 100)
+
+    def test_extreme_skew_still_covers(self):
+        slabs = proportional_partition(100, [1e9, 1.0, 1.0], min_cols=1)
+        assert_covering(slabs, 100)
+        assert all(s.cols >= 1 for s in slabs)
+
+    @pytest.mark.parametrize(
+        "n,weights,kwargs",
+        [
+            (10, [], {}),
+            (2, [1.0, 1.0, 1.0], {}),
+            (10, [1.0, -1.0], {}),
+            (10, [1.0, 0.0], {}),
+            (100, [1.0, 1.0], dict(min_cols=0)),
+            (100, [1.0, 1.0], dict(align=0)),
+            (5, [1.0, 1.0, 1.0], dict(min_cols=2)),
+        ],
+    )
+    def test_invalid_inputs(self, n, weights, kwargs):
+        with pytest.raises(PartitionError):
+            proportional_partition(n, weights, **kwargs)
+
+
+class TestEqualAndExplicit:
+    def test_equal_partition(self):
+        slabs = equal_partition(999, 3)
+        assert_covering(slabs, 999)
+        widths = [s.cols for s in slabs]
+        assert max(widths) - min(widths) <= 1
+
+    def test_explicit_partition(self):
+        slabs = explicit_partition(100, [20, 30, 50])
+        assert [s.cols for s in slabs] == [20, 30, 50]
+        assert_covering(slabs, 100)
+
+    def test_explicit_sum_mismatch(self):
+        with pytest.raises(PartitionError):
+            explicit_partition(100, [20, 30])
+
+    def test_explicit_zero_width(self):
+        with pytest.raises(PartitionError):
+            explicit_partition(100, [0, 100])
+
+
+class TestImbalance:
+    def test_perfectly_proportional_is_zero(self):
+        slabs = explicit_partition(600, [100, 200, 300])
+        assert imbalance(slabs, [1.0, 2.0, 3.0]) == pytest.approx(0.0)
+
+    def test_equal_split_with_heterogeneous_weights(self):
+        slabs = explicit_partition(300, [100, 100, 100])
+        imb = imbalance(slabs, [1.0, 2.0, 3.0])
+        # slowest device gets 100 per 1.0 weight, fastest 100/3 per unit
+        assert imb == pytest.approx((100 - 100 / 3) / 100)
+
+    def test_length_mismatch(self):
+        slabs = explicit_partition(10, [10])
+        with pytest.raises(PartitionError):
+            imbalance(slabs, [1.0, 2.0])
+
+
+class TestSlab:
+    def test_degenerate_rejected(self):
+        with pytest.raises(PartitionError):
+            Slab(0, 5, 5)
+        with pytest.raises(PartitionError):
+            Slab(0, -1, 4)

@@ -1,0 +1,99 @@
+"""Unit tests: repro.multigpu.pipeline and repro.perf.report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import ENV1_HETEROGENEOUS, ENV2_HOMOGENEOUS
+from repro.multigpu import ChainConfig, align_and_trace, time_multi_gpu
+from repro.perf import chain_report
+from repro.seq import DNA_DEFAULT
+from repro.sw import sw_score_naive
+
+from helpers import mutated_copy, random_codes
+
+
+class TestAlignAndTrace:
+    def test_end_to_end_homologs(self, rng):
+        a = random_codes(rng, 250)
+        b = mutated_copy(rng, a, 0.04)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        res = align_and_trace(a, b, DNA_DEFAULT, ENV1_HETEROGENEOUS,
+                              config=ChainConfig(block_rows=32))
+        assert res.score == want
+        assert res.alignment.score == want
+        res.alignment.validate(a, b, DNA_DEFAULT)
+        assert res.gcups > 0
+
+    def test_partitioned_traceback_path(self, rng):
+        a = random_codes(rng, 200)
+        b = mutated_copy(rng, a, 0.06)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        res = align_and_trace(a, b, DNA_DEFAULT, ENV2_HOMOGENEOUS,
+                              config=ChainConfig(block_rows=32),
+                              partitioned=True, special_interval=32)
+        assert res.alignment.score == want
+
+    def test_empty_alignment(self, rng):
+        import numpy as np
+        a = np.zeros(20, dtype=np.uint8)       # AAAA...
+        b = np.full(20, 3, dtype=np.uint8)     # TTTT...
+        res = align_and_trace(a, b, DNA_DEFAULT, ENV2_HOMOGENEOUS)
+        assert res.score == 0
+        assert res.alignment.ops == ""
+
+    def test_random_pairs(self, rng):
+        for _ in range(5):
+            a = random_codes(rng, int(rng.integers(30, 150)))
+            b = random_codes(rng, int(rng.integers(30, 150)))
+            want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+            res = align_and_trace(a, b, DNA_DEFAULT, ENV2_HOMOGENEOUS,
+                                  config=ChainConfig(block_rows=16))
+            assert res.score == want
+
+
+class TestChainReport:
+    def test_report_sections(self):
+        res = time_multi_gpu(1_000_000, 1_000_000, ENV1_HETEROGENEOUS,
+                             config=ChainConfig(block_rows=4096))
+        text = chain_report(res, title="unit test")
+        assert "== unit test ==" in text
+        assert "GCUPS" in text
+        assert "GTX 580" in text and "Tesla K20" in text
+        assert "channel" in text
+        assert "block_rows=4096" in text
+
+    def test_report_single_device_no_channels(self):
+        res = time_multi_gpu(100_000, 100_000, ENV1_HETEROGENEOUS[:1])
+        text = chain_report(res)
+        assert "channel" not in text
+
+    def test_report_includes_score_in_compute_mode(self, rng):
+        from repro.multigpu import align_multi_gpu
+        a = random_codes(rng, 60)
+        res = align_multi_gpu(a, a, DNA_DEFAULT, ENV2_HOMOGENEOUS)
+        text = chain_report(res)
+        assert f"best score: {res.score}" in text
+
+    def test_json_dict_roundtrips_through_json(self, rng):
+        import json
+
+        from repro.multigpu import align_multi_gpu
+        from repro.perf import chain_result_dict
+
+        a = random_codes(rng, 60)
+        res = align_multi_gpu(a, a, DNA_DEFAULT, ENV2_HOMOGENEOUS)
+        d = chain_result_dict(res)
+        back = json.loads(json.dumps(d))
+        assert back["score"] == res.score
+        assert back["gcups"] == pytest.approx(res.gcups)
+        assert len(back["devices"]) == 2
+        assert len(back["channels"]) == 1
+        assert back["devices"][0]["cells"] + back["devices"][1]["cells"] == res.cells
+
+    def test_json_dict_phantom_has_null_score(self):
+        from repro.perf import chain_result_dict
+
+        res = time_multi_gpu(10_000, 10_000, ENV2_HOMOGENEOUS)
+        d = chain_result_dict(res)
+        assert d["score"] is None and d["end"] is None

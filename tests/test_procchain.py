@@ -1,0 +1,70 @@
+"""Integration tests: repro.multigpu.procchain (real OS processes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.multigpu import align_multi_process
+from repro.seq import DNA_DEFAULT
+from repro.sw import sw_score_naive
+
+from helpers import mutated_copy, random_codes
+
+
+class TestExactness:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_matches_oracle(self, rng, workers):
+        a = random_codes(rng, 90)
+        b = random_codes(rng, 140)
+        want, wi, wj = sw_score_naive(a, b, DNA_DEFAULT)
+        res = align_multi_process(a, b, DNA_DEFAULT, workers=workers,
+                                  block_rows=16)
+        assert res.score == want
+        if want > 0:
+            assert (res.best.row, res.best.col) == (wi, wj)
+        assert res.workers == workers
+        assert res.wall_time_s > 0
+        assert res.gcups > 0
+
+    def test_homolog_path_crosses_worker_boundaries(self, rng):
+        a = random_codes(rng, 200)
+        b = mutated_copy(rng, a, 0.04)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        res = align_multi_process(a, b, DNA_DEFAULT, workers=3, block_rows=32)
+        assert res.score == want
+
+    def test_deterministic(self, rng):
+        a = random_codes(rng, 80)
+        b = random_codes(rng, 80)
+        r1 = align_multi_process(a, b, DNA_DEFAULT, workers=2, block_rows=16)
+        r2 = align_multi_process(a, b, DNA_DEFAULT, workers=2, block_rows=16)
+        assert (r1.score, r1.best.row, r1.best.col) == (r2.score, r2.best.row, r2.best.col)
+
+    def test_agrees_with_simulated_chain(self, rng):
+        from repro.device import ENV2_HOMOGENEOUS
+        from repro.multigpu import align_multi_gpu
+
+        a = random_codes(rng, 120)
+        b = random_codes(rng, 150)
+        sim = align_multi_gpu(a, b, DNA_DEFAULT, ENV2_HOMOGENEOUS)
+        real = align_multi_process(a, b, DNA_DEFAULT, workers=2, block_rows=16)
+        assert sim.score == real.score
+        assert (sim.best.row, sim.best.col) == (real.best.row, real.best.col)
+
+
+class TestValidation:
+    def test_bad_parameters(self, rng):
+        a = random_codes(rng, 10)
+        with pytest.raises(ConfigError):
+            align_multi_process(a, a, DNA_DEFAULT, workers=0)
+        with pytest.raises(ConfigError):
+            align_multi_process(a, a, DNA_DEFAULT, workers=2, block_rows=0)
+        with pytest.raises(ConfigError):
+            align_multi_process(a, random_codes(rng, 1), DNA_DEFAULT, workers=2)
+
+    def test_empty_sequences_rejected(self):
+        import numpy as np
+        with pytest.raises(ConfigError):
+            align_multi_process(np.array([], dtype=np.uint8),
+                                np.array([1], dtype=np.uint8), DNA_DEFAULT)

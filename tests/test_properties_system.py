@@ -1,0 +1,168 @@
+"""Property-based tests on the system layers (chain, checkpoint, comm)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import DeviceSpec, Engine
+from repro.device.engine import Semaphore
+from repro.multigpu import (
+    ChainConfig,
+    MatrixWorkload,
+    MultiGpuChain,
+    PhantomWorkload,
+    proportional_partition,
+    predict_chain,
+)
+from repro.seq import DNA_DEFAULT, encode
+from repro.sw import sw_score_naive
+
+dna_pair = st.tuples(
+    st.text(alphabet="ACGT", min_size=4, max_size=60).map(encode),
+    st.text(alphabet="ACGT", min_size=8, max_size=80).map(encode),
+)
+
+chain_configs = st.builds(
+    ChainConfig,
+    block_rows=st.integers(1, 24),
+    channel_capacity=st.integers(1, 6),
+    device_slots=st.integers(1, 3),
+    async_transfers=st.booleans(),
+)
+
+device_sets = st.lists(
+    st.builds(
+        DeviceSpec,
+        name=st.just("hyp"),
+        gcups=st.floats(1.0, 100.0),
+        pcie_gbps=st.floats(0.5, 16.0),
+        pcie_latency_s=st.floats(0.0, 1e-4),
+        saturation_cols=st.integers(0, 4096),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dna_pair, chain_configs, device_sets)
+def test_chain_score_invariant_under_any_configuration(pair, config, devices):
+    """THE invariant of the reproduction: no device mix, block size, buffer
+    capacity, or transfer mode may change the exact score."""
+    a, b = pair
+    if b.size < len(devices):  # partition needs >= 1 column per device
+        return
+    want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+    chain = MultiGpuChain(devices, config=config)
+    res = chain.run(MatrixWorkload(a, b, DNA_DEFAULT))
+    assert res.score == want
+
+
+@settings(max_examples=25, deadline=None)
+@given(dna_pair, chain_configs, device_sets, st.integers(1, 50))
+def test_checkpoint_split_point_invariance(pair, config, devices, stop):
+    """Splitting a run at ANY row and resuming yields the same score."""
+    a, b = pair
+    if b.size < len(devices):
+        return
+    stop = min(stop, a.size - 1)
+    if stop < 1:
+        return
+    want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+    chain = MultiGpuChain(devices, config=config)
+    wl = MatrixWorkload(a, b, DNA_DEFAULT)
+    seg = chain.run(wl, stop_row=stop)
+    if seg.checkpoint is None:  # stop row rounded past the end
+        assert seg.score == want
+        return
+    res = chain.run(wl, resume=seg.checkpoint)
+    assert res.score == want
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 8), st.integers(100_000, 3_000_000), device_sets)
+def test_phantom_time_matches_prediction_when_compute_bound(block_k, cols, devices):
+    """For wide compute-bound chains the analytic model tracks the event
+    simulation within 10%."""
+    if cols < len(devices):
+        return
+    config = ChainConfig(block_rows=1024 * block_k, channel_capacity=8)
+    rows = 4 * config.block_rows
+    chain = MultiGpuChain(devices, config=config)
+    res = chain.run(PhantomWorkload(rows, cols))
+    slabs = proportional_partition(cols, [d.gcups for d in devices])
+    pred = predict_chain(devices, slabs, rows, config)
+    assert res.total_time_s <= pred.total_s * 1.10
+    assert res.total_time_s >= pred.total_s * 0.55  # prediction is an upper-ish bound
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 5), st.lists(st.integers(0, 2), max_size=40))
+def test_semaphore_never_exceeds_capacity(capacity, ops):
+    """Model-check the semaphore against a counter under random
+    acquire/release interleavings driven through the engine."""
+    eng = Engine()
+    sem = Semaphore(eng, capacity, "hyp")
+    held = 0
+    max_held = 0
+    violations = []
+
+    def actor(op):
+        nonlocal held, max_held
+        if op == 0:
+            yield sem.acquire()
+            held += 1
+            max_held = max(max_held, held)
+            if held > capacity:
+                violations.append(held)
+            yield eng.timeout(1.0)
+            held -= 1
+            sem.release()
+        else:
+            yield eng.timeout(0.5)
+
+    for op in ops:
+        eng.process(actor(op))
+    eng.run()
+    assert not violations
+    assert max_held <= capacity
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_ring_chain_conservation(data):
+    """Segments pushed through a channel chain arrive exactly once, in
+    order, regardless of buffer capacities and consumer pacing."""
+    from repro.comm import BorderChannel, BorderSegment
+    from repro.device import SimulatedGPU
+
+    n_seg = data.draw(st.integers(1, 20))
+    cap = data.draw(st.integers(1, 4))
+    slots = data.draw(st.integers(1, 3))
+    pace = data.draw(st.floats(0.0, 2.0))
+
+    eng = Engine()
+    spec = DeviceSpec("x", gcups=1.0, pcie_gbps=1.0, pcie_latency_s=0.0)
+    src, dst = SimulatedGPU(eng, spec, 0), SimulatedGPU(eng, spec, 1)
+    ch = BorderChannel(eng, src, dst, capacity=cap, device_slots=slots)
+    got = []
+
+    def producer():
+        for i in range(n_seg):
+            yield ch.reserve_out_slot()
+            eng.process(ch.sender(BorderSegment(index=i, nbytes=64)))
+
+    def consumer():
+        for _ in range(n_seg):
+            if pace > 0:
+                yield eng.timeout(pace)
+            seg = yield ch.consume()
+            got.append(seg.index)
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.process(ch.receiver_pump(n_seg))
+    eng.run()
+    assert got == list(range(n_seg))

@@ -1,0 +1,121 @@
+"""Property-based tests on the workload generators and engine scheduling."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import Engine
+from repro.seq import alphabet
+from repro.workloads import MutationProfile, mutate, random_dna
+from repro.workloads.mutate import apply_indels, apply_snps, apply_translocations
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seeds, st.integers(0, 2000), st.floats(0.2, 0.8))
+def test_random_dna_valid_and_seeded(seed, length, gc):
+    s1 = random_dna(length, rng=seed, gc_content=gc)
+    s2 = random_dna(length, rng=seed, gc_content=gc)
+    assert np.array_equal(s1, s2)
+    assert s1.size == length
+    assert s1.size == 0 or int(s1.max()) < 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(seeds, st.integers(1, 2000), st.floats(0.0, 1.0))
+def test_snps_change_at_most_rate_sites(seed, length, rate):
+    rng = np.random.default_rng(seed)
+    s = random_dna(length, rng=rng)
+    out = apply_snps(s, rate, rng)
+    assert out.size == s.size
+    diffs = int((out != s).sum())
+    # every selected site truly changes, none are reverted
+    assert diffs <= length
+    if rate == 0.0:
+        assert diffs == 0
+    assert int(out.max(initial=0)) < 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(seeds, st.integers(1, 1500), st.floats(0.0, 0.05), st.floats(1.0, 6.0))
+def test_indels_output_valid(seed, length, rate, mean_len):
+    rng = np.random.default_rng(seed)
+    s = random_dna(length, rng=rng)
+    out = apply_indels(s, rate, mean_len, rng)
+    assert out.dtype == np.uint8
+    assert out.size == 0 or int(out.max()) < 4
+    # length drift is bounded by total event mass (loose bound)
+    assert abs(int(out.size) - length) <= length
+
+
+@settings(max_examples=30, deadline=None)
+@given(seeds, st.integers(10, 1000), st.integers(0, 4), st.integers(1, 50))
+def test_translocations_preserve_multiset(seed, length, count, block):
+    rng = np.random.default_rng(seed)
+    s = random_dna(length, rng=rng)
+    out = apply_translocations(s, count, block, rng)
+    assert out.size == s.size
+    assert np.array_equal(np.sort(out), np.sort(s))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds, st.integers(50, 1500))
+def test_mutate_full_profile_valid(seed, length):
+    rng = np.random.default_rng(seed)
+    s = random_dna(length, rng=rng)
+    profile = MutationProfile(snp_rate=0.05, indel_rate=0.002,
+                              inversion_count=1, inversion_len=10,
+                              translocation_count=1, translocation_len=10)
+    out = mutate(s, profile, rng=rng)
+    assert out.dtype == np.uint8
+    assert out.size == 0 or int(out.max()) <= alphabet.N
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20))
+def test_engine_fires_everything_in_order(delays):
+    """Whatever mix of timeouts is scheduled, the engine fires them in
+    non-decreasing time order and ends at the maximum."""
+    eng = Engine()
+    fired = []
+
+    def proc(d):
+        yield eng.timeout(d)
+        fired.append(eng.now)
+
+    for d in delays:
+        eng.process(proc(d))
+    end = eng.run()
+    assert fired == sorted(fired)
+    assert end == max(delays)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(0.1, 10.0), min_size=2, max_size=10),
+       st.floats(0.05, 5.0))
+def test_engine_run_until_resumable(delays, cut):
+    """run(until=t) then run() completes identically to a single run()."""
+    def build():
+        eng = Engine()
+        fired = []
+
+        def proc(d):
+            yield eng.timeout(d)
+            fired.append(eng.now)
+
+        for d in delays:
+            eng.process(proc(d))
+        return eng, fired
+
+    eng1, fired1 = build()
+    eng1.run()
+
+    eng2, fired2 = build()
+    eng2.run(until=cut)
+    assert all(t <= cut for t in fired2)
+    eng2.run()
+    assert fired2 == fired1

@@ -1,0 +1,115 @@
+"""Unit tests: repro.seq.protein — BLOSUM62 scoring through the generic kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScoringError, SequenceError
+from repro.seq import (
+    AMINO_ACIDS,
+    BLOSUM62,
+    BLOSUM62_SCORING,
+    CustomScoring,
+    decode_protein,
+    encode_protein,
+)
+from repro.sw import align_local, sw_score, sw_score_naive
+from repro.sw.myers_miller import align_global
+
+
+class TestProteinAlphabet:
+    def test_roundtrip(self):
+        text = "MKVLAWRX"
+        assert decode_protein(encode_protein(text)) == text
+
+    def test_lowercase_and_unknown(self):
+        assert decode_protein(encode_protein("mkv*")) == "MKVX"
+
+    def test_ambiguity_codes(self):
+        # B→N, Z→Q, J→L, U→C, O→K
+        assert decode_protein(encode_protein("BZJUO")) == "NQLCK"
+
+    def test_decode_rejects_bad(self):
+        with pytest.raises(SequenceError):
+            decode_protein(np.array([99], dtype=np.uint8))
+
+    def test_encode_rejects_bad_type(self):
+        with pytest.raises(SequenceError):
+            encode_protein(123)  # type: ignore[arg-type]
+
+
+class TestBlosum62:
+    def test_shape_and_symmetry(self):
+        assert BLOSUM62.shape == (21, 21)
+        assert np.array_equal(BLOSUM62, BLOSUM62.T)
+
+    @pytest.mark.parametrize("pair,score", [
+        ("WW", 11), ("CC", 9), ("AA", 4), ("AR", -1), ("WG", -2), ("HH", 8),
+    ])
+    def test_spot_values(self, pair, score):
+        i = AMINO_ACIDS.index(pair[0])
+        j = AMINO_ACIDS.index(pair[1])
+        assert BLOSUM62[i, j] == score
+
+    def test_x_penalised(self):
+        x = AMINO_ACIDS.index("X")
+        assert (BLOSUM62[x, :] == -1).all()
+
+
+class TestCustomScoring:
+    def test_protocol_fields(self):
+        assert BLOSUM62_SCORING.match == 11  # best diagonal (W-W)
+        assert BLOSUM62_SCORING.gap_first == 11
+        assert BLOSUM62_SCORING.gap_cost(3) == 13
+        with pytest.raises(ScoringError):
+            BLOSUM62_SCORING.gap_cost(-1)
+
+    def test_validation(self):
+        with pytest.raises(ScoringError):
+            CustomScoring(matrix=np.zeros((3, 4), dtype=np.int32))
+        asym = np.zeros((3, 3), dtype=np.int32)
+        asym[0, 1] = 5
+        with pytest.raises(ScoringError):
+            CustomScoring(matrix=asym)
+        with pytest.raises(ScoringError):
+            CustomScoring(matrix=-np.ones((3, 3), dtype=np.int32))
+        with pytest.raises(ScoringError):
+            CustomScoring(matrix=np.eye(3, dtype=np.int32), gap_extend=0)
+
+
+class TestProteinAlignment:
+    def test_kernel_matches_oracle(self, rng):
+        for _ in range(25):
+            m = int(rng.integers(1, 30))
+            n = int(rng.integers(1, 30))
+            a = rng.integers(0, 21, m).astype(np.uint8)
+            b = rng.integers(0, 21, n).astype(np.uint8)
+            want, *_ = sw_score_naive(a, b, BLOSUM62_SCORING)
+            got = sw_score(a, b, BLOSUM62_SCORING)
+            assert (got.score if got.row >= 0 else 0) == want
+
+    def test_full_pipeline_on_protein(self, rng):
+        a = encode_protein("MKVLAWGRCNDEQHILFPSTYV" * 8)
+        b = a.copy()
+        mask = rng.random(a.size) < 0.1
+        b[mask] = (b[mask] + 7) % 20
+        aln = align_local(a, b, BLOSUM62_SCORING)
+        aln.validate(a, b, BLOSUM62_SCORING)
+        assert aln.score > 0
+
+    def test_global_protein_alignment(self, rng):
+        a = encode_protein("MKWVTFISLLLLFSSAYS")
+        b = encode_protein("MKWVTFISLAYS")
+        aln = align_global(a, b, BLOSUM62_SCORING, base_cells=16)
+        aln.validate(a, b, BLOSUM62_SCORING)
+        counts = aln.op_counts()
+        assert counts["M"] + counts["D"] == a.size
+
+    def test_known_blast_style_case(self):
+        """Identical peptides score the sum of their diagonal entries."""
+        text = "HEAGAWGHEE"
+        a = encode_protein(text)
+        got = sw_score(a, a, BLOSUM62_SCORING)
+        want = sum(int(BLOSUM62[c, c]) for c in a)
+        assert got.score == want

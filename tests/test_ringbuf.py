@@ -1,0 +1,211 @@
+"""Unit tests: repro.comm.ringbuf (plain + simulated circular buffers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm import RingBuffer, SimRingBuffer
+from repro.device import Engine
+from repro.errors import BufferClosed, CommError
+
+
+class TestRingBuffer:
+    def test_fifo_order(self):
+        rb = RingBuffer(4)
+        for x in range(4):
+            rb.push(x)
+        assert [rb.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_wraparound(self):
+        rb = RingBuffer(3)
+        for x in (1, 2, 3):
+            rb.push(x)
+        assert rb.pop() == 1
+        rb.push(4)
+        assert [rb.pop(), rb.pop(), rb.pop()] == [2, 3, 4]
+
+    def test_full_and_empty_flags(self):
+        rb = RingBuffer(2)
+        assert rb.empty and not rb.full
+        rb.push(1)
+        rb.push(2)
+        assert rb.full and not rb.empty
+
+    def test_push_full_raises(self):
+        rb = RingBuffer(1)
+        rb.push(0)
+        with pytest.raises(CommError):
+            rb.push(1)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(CommError):
+            RingBuffer(1).pop()
+
+    def test_stats(self):
+        rb = RingBuffer(3)
+        rb.push(1)
+        rb.push(2)
+        rb.pop()
+        rb.push(3)
+        rb.push(4)
+        assert rb.pushed == 4
+        assert rb.popped == 1
+        assert rb.peak_occupancy == 3
+
+    def test_bad_capacity(self):
+        with pytest.raises(CommError):
+            RingBuffer(0)
+
+
+class TestSimRingBuffer:
+    def test_put_get_through_time(self):
+        eng = Engine()
+        ring = SimRingBuffer(eng, 2)
+        got = []
+
+        def producer():
+            for x in range(5):
+                yield eng.timeout(1.0)
+                yield ring.put(x)
+
+        def consumer():
+            for _ in range(5):
+                value = yield ring.get()
+                got.append((eng.now, value))
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        assert [v for _, v in got] == [0, 1, 2, 3, 4]
+
+    def test_producer_blocks_when_full(self):
+        eng = Engine()
+        ring = SimRingBuffer(eng, 1)
+        done = []
+
+        def producer():
+            yield ring.put("a")
+            yield ring.put("b")  # must wait for the consumer
+            done.append(eng.now)
+
+        def consumer():
+            yield eng.timeout(5.0)
+            yield ring.get()
+            yield ring.get()
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        assert done == [5.0]
+        assert ring.stats.producer_blocked_s == pytest.approx(5.0)
+
+    def test_consumer_blocks_when_empty(self):
+        eng = Engine()
+        ring = SimRingBuffer(eng, 4)
+        got = []
+
+        def consumer():
+            value = yield ring.get()
+            got.append((eng.now, value))
+
+        def producer():
+            yield eng.timeout(3.0)
+            yield ring.put("x")
+
+        eng.process(consumer())
+        eng.process(producer())
+        eng.run()
+        assert got == [(3.0, "x")]
+        assert ring.stats.consumer_blocked_s == pytest.approx(3.0)
+
+    def test_capacity_one_rendezvous(self):
+        """With a single slot, producer and consumer strictly alternate."""
+        eng = Engine()
+        ring = SimRingBuffer(eng, 1)
+        events = []
+
+        def producer():
+            for x in range(3):
+                yield ring.put(x)
+                events.append(("put", x, eng.now))
+
+        def consumer():
+            for _ in range(3):
+                yield eng.timeout(2.0)
+                value = yield ring.get()
+                events.append(("get", value, eng.now))
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        puts = [e for e in events if e[0] == "put"]
+        # puts 1 and 2 had to wait for gets at t=2 and t=4
+        assert puts[1][2] == pytest.approx(2.0)
+        assert puts[2][2] == pytest.approx(4.0)
+
+    def test_peak_occupancy_tracked(self):
+        eng = Engine()
+        ring = SimRingBuffer(eng, 8)
+
+        def producer():
+            for x in range(5):
+                yield ring.put(x)
+
+        def consumer():
+            yield eng.timeout(1.0)
+            for _ in range(5):
+                yield ring.get()
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        assert ring.stats.peak_occupancy == 5
+
+    def test_close_fails_waiting_getter(self):
+        eng = Engine()
+        ring = SimRingBuffer(eng, 2, "r")
+        caught = []
+
+        def consumer():
+            try:
+                yield ring.get()
+            except BufferClosed:
+                caught.append(eng.now)
+
+        def closer():
+            yield eng.timeout(1.0)
+            ring.close()
+
+        eng.process(consumer())
+        eng.process(closer())
+        eng.run()
+        assert caught == [1.0]
+
+    def test_put_after_close_rejected(self):
+        eng = Engine()
+        ring = SimRingBuffer(eng, 2)
+        ring.close()
+        with pytest.raises(BufferClosed):
+            ring.put(1)
+
+    def test_close_drains_remaining_items_first(self):
+        eng = Engine()
+        ring = SimRingBuffer(eng, 2)
+        got = []
+
+        def producer():
+            yield ring.put("x")
+            ring.close()
+
+        def consumer():
+            yield eng.timeout(1.0)
+            got.append((yield ring.get()))
+            try:
+                yield ring.get()
+            except BufferClosed:
+                got.append("closed")
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+        assert got == ["x", "closed"]

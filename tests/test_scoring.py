@@ -1,0 +1,87 @@
+"""Unit tests: repro.seq.scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScoringError
+from repro.seq import DNA_DEFAULT, LINEAR_GAPS, Scoring, encode
+from repro.seq import alphabet
+
+
+class TestValidation:
+    def test_default_is_the_cudalign_scheme(self):
+        assert (DNA_DEFAULT.match, DNA_DEFAULT.mismatch) == (1, -3)
+        assert (DNA_DEFAULT.gap_open, DNA_DEFAULT.gap_extend) == (3, 2)
+        assert DNA_DEFAULT.gap_first == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(match=0),
+            dict(match=-1),
+            dict(mismatch=1),
+            dict(gap_open=-1),
+            dict(gap_extend=0),
+            dict(gap_extend=-2),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ScoringError):
+            Scoring(**kwargs)
+
+    def test_linear_gap_scheme_allowed(self):
+        assert LINEAR_GAPS.gap_open == 0
+
+
+class TestMatrix:
+    def test_diagonal_is_match(self):
+        for i in range(4):
+            assert DNA_DEFAULT.matrix[i, i] == DNA_DEFAULT.match
+
+    def test_off_diagonal_is_mismatch(self):
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    assert DNA_DEFAULT.matrix[i, j] == DNA_DEFAULT.mismatch
+
+    def test_n_never_matches(self):
+        n = alphabet.N
+        assert DNA_DEFAULT.matrix[n, n] == DNA_DEFAULT.mismatch
+        for i in range(4):
+            assert DNA_DEFAULT.matrix[n, i] == DNA_DEFAULT.mismatch
+            assert DNA_DEFAULT.matrix[i, n] == DNA_DEFAULT.mismatch
+
+    def test_matrix_is_symmetric(self):
+        assert np.array_equal(DNA_DEFAULT.matrix, DNA_DEFAULT.matrix.T)
+
+    def test_matrix_dtype(self):
+        assert DNA_DEFAULT.matrix.dtype == np.int32
+
+
+class TestGapCost:
+    def test_zero_length_is_free(self):
+        assert DNA_DEFAULT.gap_cost(0) == 0
+
+    def test_affine_formula(self):
+        for length in (1, 2, 7, 100):
+            assert DNA_DEFAULT.gap_cost(length) == 3 + 2 * length
+
+    def test_negative_rejected(self):
+        with pytest.raises(ScoringError):
+            DNA_DEFAULT.gap_cost(-1)
+
+
+class TestProfile:
+    def test_substitution_profile_shape_and_values(self):
+        query = encode("ACGTN")
+        prof = DNA_DEFAULT.substitution_profile(query)
+        assert prof.shape == (5, 5)
+        for b in range(5):
+            for i, q in enumerate(query):
+                assert prof[b, i] == DNA_DEFAULT.matrix[q, b]
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DNA_DEFAULT.match = 2  # type: ignore[misc]

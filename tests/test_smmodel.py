@@ -1,0 +1,97 @@
+"""Unit tests: repro.device.smmodel."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.device import GTX_680, SMModel, calibrated
+from repro.errors import DeviceError
+from repro.multigpu import ChainConfig, MatrixWorkload, MultiGpuChain
+from repro.seq import DNA_DEFAULT
+from repro.sw import sw_score_naive
+
+from helpers import random_codes
+
+
+@pytest.fixture
+def model():
+    return SMModel(sm_count=8, per_sm_gcups=5.0, min_block_cols=1024, rows_per_step=4)
+
+
+class TestSMModel:
+    def test_peak(self, model):
+        assert model.peak_gcups == 40.0
+
+    def test_concurrent_blocks_occupancy(self, model):
+        assert model.concurrent_blocks(512) == 1      # below one block's width
+        assert model.concurrent_blocks(4096) == 4
+        assert model.concurrent_blocks(8192) == 8
+        assert model.concurrent_blocks(10**7) == 8    # capped by SM count
+
+    def test_pipeline_efficiency_bounds(self, model):
+        assert model.pipeline_efficiency(4, 1) == 1.0  # single stage: no fill
+        eff = model.pipeline_efficiency(4, 8)          # K=1, T=8
+        assert eff == pytest.approx(1 / 8)
+        assert model.pipeline_efficiency(4096, 8) > 0.99
+
+    def test_effective_rate_asymptote(self, model):
+        rate = model.effective_rate(10**6, 10**6)
+        assert rate == pytest.approx(model.peak_gcups * 1e9, rel=1e-2)
+
+    def test_effective_rate_monotone_in_height(self, model):
+        rates = [model.effective_rate(10**6, r) for r in (4, 64, 1024, 16384)]
+        assert rates == sorted(rates)
+
+    def test_effective_rate_monotone_in_width(self, model):
+        rates = [model.effective_rate(w, 4096) for w in (512, 2048, 8192, 10**6)]
+        assert rates == sorted(rates)
+
+    def test_calibrated_matches_rating(self):
+        sm = calibrated(50.7, sm_count=8)
+        assert sm.peak_gcups == pytest.approx(50.7)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(sm_count=0), dict(per_sm_gcups=0), dict(min_block_cols=0),
+        dict(rows_per_step=0),
+    ])
+    def test_validation(self, kwargs):
+        base = dict(sm_count=8, per_sm_gcups=1.0)
+        base.update(kwargs)
+        with pytest.raises(DeviceError):
+            SMModel(**base)
+
+    def test_bad_width(self, model):
+        with pytest.raises(DeviceError):
+            model.concurrent_blocks(0)
+        with pytest.raises(DeviceError):
+            model.pipeline_efficiency(0, 2)
+
+
+class TestSpecIntegration:
+    def test_spec_uses_model_when_block_rows_known(self, model):
+        dev = replace(GTX_680, sm_model=model)
+        with_model = dev.effective_rate(10**6, 4096)
+        coarse = dev.effective_rate(10**6)  # no block height: coarse curve
+        assert with_model == pytest.approx(model.effective_rate(10**6, 4096))
+        assert coarse != with_model
+
+    def test_chain_score_unaffected_by_timing_model(self, model, rng):
+        """The SM model changes time, never results."""
+        a = random_codes(rng, 80)
+        b = random_codes(rng, 120)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        dev = replace(GTX_680, sm_model=model)
+        chain = MultiGpuChain((dev, dev), config=ChainConfig(block_rows=16))
+        res = chain.run(MatrixWorkload(a, b, DNA_DEFAULT))
+        assert res.score == want
+
+    def test_chain_time_responds_to_model(self, model):
+        from repro.multigpu import PhantomWorkload
+        dev = replace(GTX_680, sm_model=model)
+        chain_short = MultiGpuChain([dev], config=ChainConfig(block_rows=32))
+        chain_tall = MultiGpuChain([dev], config=ChainConfig(block_rows=8192))
+        t_short = chain_short.run(PhantomWorkload(100_000, 100_000)).total_time_s
+        t_tall = chain_tall.run(PhantomWorkload(100_000, 100_000)).total_time_s
+        assert t_short > t_tall  # short diagonals pay internal fill

@@ -1,0 +1,94 @@
+"""Stress test: every engine agrees on a non-trivial matrix.
+
+One moderately large compute-mode comparison (1000 x 1200 with indels and
+an N-run) pushed through ALL six score paths — monolithic kernel, blocked
+executor, pruned blocked executor, simulated multi-GPU chain, cluster
+chain, real-process chain — plus the full traceback.  The single most
+important end-to-end guarantee of the library, in one test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm import NetworkLink
+from repro.device import ENV1_HETEROGENEOUS, TESLA_M2090
+from repro.multigpu import (
+    ChainConfig,
+    ClusterChain,
+    MatrixWorkload,
+    Node,
+    align_multi_gpu,
+    align_multi_process,
+)
+from repro.seq import DNA_DEFAULT
+from repro.sw import BlockPruner, align_local, compute_blocked, sw_score
+from repro.sw.banded import banded_score
+from repro.workloads import insert_n_runs, mutate, HUMAN_CHIMP, random_dna
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(2024)
+    a = random_dna(1000, rng=rng)
+    a = insert_n_runs(a, rng=rng, run_count=1, run_fraction=0.02)
+    b = mutate(a, HUMAN_CHIMP, rng=rng)[:1200]
+    if b.size < 1200:
+        b = np.concatenate([b, random_dna(1200 - b.size, rng=rng)])
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def reference(workload):
+    a, b = workload
+    return sw_score(a, b, DNA_DEFAULT)
+
+
+class TestAllEnginesAgree:
+    def test_blocked(self, workload, reference):
+        a, b = workload
+        out = compute_blocked(a, b, DNA_DEFAULT, block_rows=64, block_cols=96)
+        assert out.best.score == reference.score
+        assert (out.best.row, out.best.col) == (reference.row, reference.col)
+
+    def test_blocked_pruned(self, workload, reference):
+        a, b = workload
+        out = compute_blocked(a, b, DNA_DEFAULT, block_rows=64, block_cols=64,
+                              pruner=BlockPruner(match=DNA_DEFAULT.match))
+        assert out.best.score == reference.score
+        assert out.cells_pruned > 0  # similarity high enough to prune
+
+    def test_multi_gpu_chain(self, workload, reference):
+        a, b = workload
+        res = align_multi_gpu(a, b, DNA_DEFAULT, ENV1_HETEROGENEOUS,
+                              config=ChainConfig(block_rows=128))
+        assert res.score == reference.score
+        assert (res.best.row, res.best.col) == (reference.row, reference.col)
+
+    def test_cluster_chain(self, workload, reference):
+        a, b = workload
+        nodes = [Node("n0", (TESLA_M2090,), uplink=NetworkLink(gbps=1.25)),
+                 Node("n1", (TESLA_M2090, TESLA_M2090))]
+        res = ClusterChain(nodes, config=ChainConfig(block_rows=128)).run(
+            MatrixWorkload(a, b, DNA_DEFAULT))
+        assert res.score == reference.score
+
+    def test_process_chain(self, workload, reference):
+        a, b = workload
+        res = align_multi_process(a, b, DNA_DEFAULT, workers=3, block_rows=128)
+        assert res.score == reference.score
+        assert (res.best.row, res.best.col) == (reference.row, reference.col)
+
+    def test_banded_wide(self, workload, reference):
+        a, b = workload
+        got = banded_score(a, b, DNA_DEFAULT, half_width=400)
+        assert got.score == reference.score
+
+    def test_full_traceback(self, workload, reference):
+        a, b = workload
+        aln = align_local(a, b, DNA_DEFAULT, special_interval=128)
+        assert aln.score == reference.score
+        aln.validate(a, b, DNA_DEFAULT)
+        assert aln.end_i == reference.row + 1
+        assert aln.end_j == reference.col + 1

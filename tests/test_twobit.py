@@ -1,0 +1,78 @@
+"""Unit tests: repro.seq.twobit (.mg2b persistent format)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.seq import encode, load_2bit, save_2bit
+from repro.workloads import chromosome_like
+
+
+class TestRoundtrip:
+    def test_simple(self, tmp_path):
+        codes = encode("ACGTNACGTNNACG")
+        path = tmp_path / "x.mg2b"
+        save_2bit(path, codes)
+        assert np.array_equal(load_2bit(path), codes)
+
+    @pytest.mark.parametrize("length", [0, 1, 3, 4, 5, 7, 8, 9, 1000])
+    def test_all_alignment_boundaries(self, tmp_path, length, rng):
+        codes = rng.integers(0, 5, length).astype(np.uint8)
+        path = tmp_path / f"len{length}.mg2b"
+        save_2bit(path, codes)
+        assert np.array_equal(load_2bit(path), codes)
+
+    def test_chromosome_like(self, tmp_path, rng):
+        codes = chromosome_like(50_000, rng=rng)
+        path = tmp_path / "chr.mg2b"
+        nbytes = save_2bit(path, codes)
+        assert np.array_equal(load_2bit(path), codes)
+        # ~4x denser than one byte per base (plus bitmap + header).
+        assert nbytes < codes.size * 0.4
+
+    def test_compression_ratio(self, tmp_path, rng):
+        codes = rng.integers(0, 4, 100_000).astype(np.uint8)
+        path = tmp_path / "big.mg2b"
+        nbytes = save_2bit(path, codes)
+        assert nbytes == pytest.approx(100_000 / 4 + 100_000 / 8 + 32, rel=0.01)
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.mg2b"
+        path.write_bytes(b"NOPE" + b"\0" * 60)
+        with pytest.raises(SequenceError, match="magic"):
+            load_2bit(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.mg2b"
+        path.write_bytes(b"MG2B\x01")
+        with pytest.raises(SequenceError, match="truncated"):
+            load_2bit(path)
+
+    def test_truncated_payload(self, tmp_path, rng):
+        codes = rng.integers(0, 4, 1000).astype(np.uint8)
+        path = tmp_path / "trunc.mg2b"
+        save_2bit(path, codes)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 50])
+        with pytest.raises(SequenceError, match="truncated"):
+            load_2bit(path)
+
+    def test_inconsistent_sizes(self, tmp_path):
+        import struct
+        header = struct.pack("<4sIQQQ", b"MG2B", 1, 100, 5, 5)  # wrong sizes
+        path = tmp_path / "bad2.mg2b"
+        path.write_bytes(header + b"\0" * 10)
+        with pytest.raises(SequenceError, match="inconsistent"):
+            load_2bit(path)
+
+    def test_wrong_version(self, tmp_path):
+        import struct
+        header = struct.pack("<4sIQQQ", b"MG2B", 9, 0, 0, 0)
+        path = tmp_path / "v9.mg2b"
+        path.write_bytes(header)
+        with pytest.raises(SequenceError, match="version"):
+            load_2bit(path)

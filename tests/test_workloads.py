@@ -1,0 +1,214 @@
+"""Unit tests: repro.workloads (random sequences, mutation, catalog)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.seq import alphabet
+from repro.workloads import (
+    DIVERGED,
+    HUMAN_CHIMP,
+    PAPER_PAIRS,
+    MutationProfile,
+    chromosome_like,
+    get_pair,
+    identity_pair,
+    insert_n_runs,
+    insert_tandem_repeats,
+    mutate,
+    random_dna,
+    synthesize_pair,
+)
+from repro.workloads.mutate import apply_indels, apply_inversions, apply_snps, apply_translocations
+
+
+class TestRandomDna:
+    def test_length_and_range(self):
+        s = random_dna(1000, rng=0)
+        assert s.size == 1000
+        assert s.dtype == np.uint8
+        assert int(s.max()) < 4
+
+    def test_gc_content_calibrated(self):
+        s = random_dna(200_000, rng=0, gc_content=0.41)
+        gc = np.isin(s, [1, 2]).mean()
+        assert abs(gc - 0.41) < 0.01
+
+    def test_deterministic_by_seed(self):
+        assert np.array_equal(random_dna(100, rng=7), random_dna(100, rng=7))
+
+    def test_zero_length(self):
+        assert random_dna(0, rng=0).size == 0
+
+    @pytest.mark.parametrize("bad", [-1])
+    def test_negative_length_rejected(self, bad):
+        with pytest.raises(SequenceError):
+            random_dna(bad, rng=0)
+
+    def test_bad_gc_rejected(self):
+        with pytest.raises(SequenceError):
+            random_dna(10, rng=0, gc_content=1.5)
+
+
+class TestNRunsAndRepeats:
+    def test_n_runs_fraction(self):
+        s = random_dna(100_000, rng=0)
+        out = insert_n_runs(s, rng=1, run_count=3, run_fraction=0.05)
+        frac = (out == alphabet.N).mean()
+        assert 0.02 <= frac <= 0.06  # runs may overlap
+
+    def test_n_runs_zero_noop(self):
+        s = random_dna(1000, rng=0)
+        assert np.array_equal(insert_n_runs(s, rng=1, run_count=0), s)
+
+    def test_n_runs_returns_copy(self):
+        s = random_dna(1000, rng=0)
+        out = insert_n_runs(s, rng=1)
+        assert out is not s
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(SequenceError):
+            insert_n_runs(random_dna(10, rng=0), run_fraction=1.0)
+
+    def test_tandem_repeats_create_periodicity(self):
+        s = random_dna(10_000, rng=0)
+        out = insert_tandem_repeats(s, rng=2, repeat_count=1, unit_length=20, copies=10)
+        # somewhere there is a 20-periodic stretch of 200 bases
+        shifted_eq = out[:-20] == out[20:]
+        run = 0
+        best = 0
+        for v in shifted_eq:
+            run = run + 1 if v else 0
+            best = max(best, run)
+        assert best >= 150
+
+    def test_repeats_too_long_noop(self):
+        s = random_dna(50, rng=0)
+        out = insert_tandem_repeats(s, rng=2, unit_length=50, copies=8)
+        assert np.array_equal(out, s)
+
+    def test_chromosome_like_composition(self):
+        s = chromosome_like(50_000, rng=3)
+        assert (s == alphabet.N).any()
+        assert s.size == 50_000
+
+
+class TestSnps:
+    def test_rate_zero_identity(self):
+        s = random_dna(1000, rng=0)
+        out = apply_snps(s, 0.0, np.random.default_rng(0))
+        assert np.array_equal(out, s)
+
+    def test_mutated_positions_change(self):
+        s = random_dna(50_000, rng=0)
+        out = apply_snps(s, 0.1, np.random.default_rng(1))
+        diff = (out != s).mean()
+        assert 0.08 <= diff <= 0.12  # every selected site truly changes
+
+    def test_n_positions_untouched(self):
+        s = np.full(1000, alphabet.N, dtype=np.uint8)
+        out = apply_snps(s, 1.0, np.random.default_rng(0))
+        assert (out == alphabet.N).all()
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(SequenceError):
+            apply_snps(random_dna(10, rng=0), 1.5, np.random.default_rng(0))
+
+
+class TestIndels:
+    def test_rate_zero_identity(self):
+        s = random_dna(1000, rng=0)
+        assert np.array_equal(apply_indels(s, 0.0, 3.0, np.random.default_rng(0)), s)
+
+    def test_length_changes_bounded(self):
+        s = random_dna(100_000, rng=0)
+        out = apply_indels(s, 0.001, 3.0, np.random.default_rng(1))
+        # ~100 events of mean 3 → drift of a few hundred bases
+        assert abs(out.size - s.size) < 3000
+        assert out.size != s.size  # essentially certain with 100 events
+
+    def test_values_stay_valid(self):
+        s = random_dna(10_000, rng=0)
+        out = apply_indels(s, 0.01, 4.0, np.random.default_rng(2))
+        assert int(out.max()) < 4
+
+
+class TestStructural:
+    def test_inversions_preserve_length(self):
+        s = random_dna(10_000, rng=0)
+        out = apply_inversions(s, 3, 100, np.random.default_rng(0))
+        assert out.size == s.size
+        assert not np.array_equal(out, s)
+
+    def test_translocations_preserve_length_and_content(self):
+        s = random_dna(10_000, rng=0)
+        out = apply_translocations(s, 3, 100, np.random.default_rng(0))
+        assert out.size == s.size
+        assert np.array_equal(np.sort(out), np.sort(s))
+
+
+class TestMutationProfile:
+    def test_validation(self):
+        with pytest.raises(SequenceError):
+            MutationProfile(snp_rate=2.0)
+        with pytest.raises(SequenceError):
+            MutationProfile(indel_mean_len=0.5)
+        with pytest.raises(SequenceError):
+            MutationProfile(inversion_count=-1)
+
+    def test_mutate_deterministic(self):
+        s = random_dna(5000, rng=0)
+        m1 = mutate(s, HUMAN_CHIMP, rng=9)
+        m2 = mutate(s, HUMAN_CHIMP, rng=9)
+        assert np.array_equal(m1, m2)
+
+    def test_diverged_profile_changes_more(self):
+        s = random_dna(20_000, rng=0)
+        close = mutate(s, HUMAN_CHIMP, rng=1)
+        far = mutate(s, DIVERGED, rng=1)
+        n = min(s.size, close.size, far.size)
+        assert (far[:n] != s[:n]).mean() > (close[:n] != s[:n]).mean()
+
+
+class TestCatalog:
+    def test_paper_pairs_present(self):
+        assert [p.name for p in PAPER_PAIRS] == ["chr22", "chr21", "chr20", "chr19"]
+        for p in PAPER_PAIRS:
+            assert p.human_len > 30_000_000
+            assert p.cells > 1e15
+
+    def test_get_pair(self):
+        assert get_pair("chr21").name == "chr21"
+        with pytest.raises(SequenceError):
+            get_pair("chrX")
+
+    def test_scaled(self):
+        p = get_pair("chr22").scaled(1e-3)
+        assert p.human_len == int(35_194_566 * 1e-3)
+        with pytest.raises(SequenceError):
+            get_pair("chr22").scaled(0)
+
+    def test_synthesize_pair_shapes_and_identity(self):
+        pair = get_pair("chr22")
+        human, chimp = synthesize_pair(pair, scale=3e-4, seed=0)
+        scaled = pair.scaled(3e-4)
+        assert human.size == scaled.human_len
+        assert chimp.size == scaled.chimp_len
+        # positional identity before the first indel shifts the frame
+        # should reflect the ~1.2% SNP calibration
+        assert (human[:500] == chimp[:500]).mean() > 0.9
+
+    def test_synthesize_deterministic(self):
+        pair = get_pair("chr21")
+        a1, b1 = synthesize_pair(pair, scale=1e-4, seed=5)
+        a2, b2 = synthesize_pair(pair, scale=1e-4, seed=5)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+
+    def test_identity_pair(self):
+        a, b = identity_pair(10_000, 0.9, seed=0)
+        assert a.size == b.size == 10_000
+        assert abs((a == b).mean() - 0.9) < 0.02
+        with pytest.raises(SequenceError):
+            identity_pair(10, 1.5)

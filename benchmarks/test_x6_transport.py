@@ -1,0 +1,78 @@
+"""X6 — real-process border transports: shared-memory ring vs pipe.
+
+Unlike F1-F8/X1-X5 these are *wall-clock* numbers from the real-process
+backend (`repro.multigpu.procchain`), not virtual-clock results: the same
+comparison runs once per transport and the measured GCUPS land in
+``benchmarks/BENCH_transport.json`` for regression tracking.  The shm ring
+hands borders over zero-copy, so it should never lose to pickling them
+through a pipe; wall-clock noise on a loaded CI box gets a small tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.multigpu import TRANSPORTS, align_multi_process
+from repro.perf import format_table
+from repro.seq import DNA_DEFAULT
+from repro.workloads import random_dna
+
+from bench_helpers import print_header
+
+ROWS = 3_000
+COLS = 4_500
+WORKERS = 3
+BLOCK_ROWS = 64          # small blocks -> many border messages per boundary
+REPEATS = 2              # best-of to shed scheduler noise
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_transport.json"
+
+
+def _best_run(a, b, transport: str):
+    best = None
+    for _ in range(REPEATS):
+        res = align_multi_process(a, b, DNA_DEFAULT, workers=WORKERS,
+                                  block_rows=BLOCK_ROWS, transport=transport)
+        if best is None or res.wall_time_s < best.wall_time_s:
+            best = res
+    return best
+
+
+def test_x6_transport_comparison(benchmark):
+    print_header("X6 transport comparison",
+                 "shm border rings match or beat pipes at scale (wall clock)")
+    rng = np.random.default_rng(77)
+    a = random_dna(ROWS, rng=rng)
+    b = random_dna(COLS, rng=rng)
+
+    results = {t: _best_run(a, b, t) for t in TRANSPORTS}
+    scores = {r.score for r in results.values()}
+    assert len(scores) == 1, "transports disagree on the score"
+
+    rows = [[t, f"{r.gcups:.4f}", f"{r.wall_time_s:.3f}s",
+             f"{(ROWS * COLS) / 1e6:.1f} Mcells"]
+            for t, r in results.items()]
+    print(format_table(["transport", "GCUPS (wall)", "wall time", "matrix"], rows))
+
+    record = {
+        "experiment": "x6_transport",
+        "matrix": {"rows": ROWS, "cols": COLS},
+        "workers": WORKERS,
+        "block_rows": BLOCK_ROWS,
+        "repeats": REPEATS,
+        "score": results["shm"].score,
+        "gcups": {t: results[t].gcups for t in TRANSPORTS},
+        "wall_time_s": {t: results[t].wall_time_s for t in TRANSPORTS},
+        "recorded_unix": time.time(),
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    # Soft bound: zero-copy must not *lose* to pickled pipes by more than
+    # scheduler noise.  (Typically it wins outright; see the JSON.)
+    assert results["shm"].gcups >= 0.85 * results["pipe"].gcups
+
+    benchmark(align_multi_process, a, b, DNA_DEFAULT, workers=WORKERS,
+              block_rows=BLOCK_ROWS, transport="shm")

@@ -32,7 +32,15 @@ Sub-packages:
 
 from . import baselines, comm, device, multigpu, perf, seq, stats, sw, workloads
 from .errors import ReproError
-from .multigpu import ChainConfig, ChainResult, align_multi_gpu, time_multi_gpu
+from .multigpu import (
+    ChainConfig,
+    ChainResult,
+    ProcessChainResult,
+    WorkerPool,
+    align_multi_gpu,
+    align_multi_process,
+    time_multi_gpu,
+)
 from .sw import align_local, sw_score
 
 __version__ = "1.0.0"
@@ -50,7 +58,10 @@ __all__ = [
     "ReproError",
     "ChainConfig",
     "ChainResult",
+    "ProcessChainResult",
+    "WorkerPool",
     "align_multi_gpu",
+    "align_multi_process",
     "time_multi_gpu",
     "align_local",
     "sw_score",

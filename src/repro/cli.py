@@ -4,7 +4,11 @@ Subcommands:
 
 * ``mgsw generate`` — write a synthetic homologous chromosome pair as FASTA;
 * ``mgsw align A.fa B.fa`` — exact multi-GPU comparison (score, end point,
-  virtual GCUPS; ``--trace`` also reconstructs the alignment);
+  virtual GCUPS; ``--trace`` also reconstructs the alignment).
+  ``--backend sim`` (default) runs the simulated device chain;
+  ``--backend process`` runs the same dataflow on real OS processes with
+  shared-memory border rings (``--workers``, ``--transport``,
+  ``--start-method``) and reports wall-clock GCUPS;
 * ``mgsw time ROWS COLS`` — timing-mode run at arbitrary (paper) scale;
 * ``mgsw tune ROWS COLS`` — autotune block height + buffer capacity;
 * ``mgsw campaign`` — the 4-pair paper campaign, both strategies;
@@ -24,8 +28,10 @@ from .device import spec as device_spec
 from .device.spec import DeviceSpec
 from .errors import ReproError
 from .multigpu import (
+    TRANSPORTS,
     ChainConfig,
     align_multi_gpu,
+    align_multi_process,
     autotune,
     run_campaign_chained,
     run_campaign_split,
@@ -71,12 +77,26 @@ def _add_device_args(p: argparse.ArgumentParser) -> None:
 def cmd_align(args: argparse.Namespace) -> int:
     a = seq.read_single(args.seq_a).codes
     b = seq.read_single(args.seq_b).codes
-    devices = _devices_from_args(args)
-    cfg = ChainConfig(block_rows=args.block_rows, channel_capacity=args.buffer)
-    res = align_multi_gpu(a, b, seq.DNA_DEFAULT, devices, config=cfg)
-    from .perf.report import chain_report
+    title = f"{args.seq_a} vs {args.seq_b}"
+    if args.backend == "process":
+        from .perf.report import process_report
 
-    print(chain_report(res, title=f"{args.seq_a} vs {args.seq_b}"))
+        res = align_multi_process(
+            a, b, seq.DNA_DEFAULT,
+            workers=args.workers,
+            block_rows=args.block_rows,
+            capacity=args.buffer,
+            transport=args.transport,
+            start_method=args.start_method,
+        )
+        print(process_report(res, title=title))
+    else:
+        from .perf.report import chain_report
+
+        devices = _devices_from_args(args)
+        cfg = ChainConfig(block_rows=args.block_rows, channel_capacity=args.buffer)
+        res = align_multi_gpu(a, b, seq.DNA_DEFAULT, devices, config=cfg)
+        print(chain_report(res, title=title))
     if args.trace and res.score > 0:
         aln = align_local(a, b, seq.DNA_DEFAULT)
         print(aln.pretty(a, b))
@@ -195,6 +215,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("seq_a")
     p.add_argument("seq_b")
     p.add_argument("--trace", action="store_true", help="also reconstruct the alignment")
+    p.add_argument("--backend", choices=("sim", "process"), default="sim",
+                   help="sim: simulated device chain on the virtual clock; "
+                        "process: real OS processes with shared-memory borders")
+    p.add_argument("--workers", type=int, default=2,
+                   help="slab worker count for --backend process")
+    p.add_argument("--transport", choices=TRANSPORTS, default="shm",
+                   help="border transport for --backend process")
+    p.add_argument("--start-method", choices=("fork", "spawn", "forkserver"),
+                   default=None,
+                   help="multiprocessing start method (default: fork if "
+                        "available, else spawn)")
     _add_device_args(p)
     p.set_defaults(func=cmd_align)
 

@@ -3,6 +3,7 @@
 from .channel import BorderChannel, BorderSegment
 from .network import InterNodeChannel, NetworkLink
 from .ringbuf import RingBuffer, RingStats, SimRingBuffer
+from .shmring import ShmRing
 
 __all__ = [
     "BorderChannel",
@@ -11,5 +12,6 @@ __all__ = [
     "NetworkLink",
     "RingBuffer",
     "RingStats",
+    "ShmRing",
     "SimRingBuffer",
 ]

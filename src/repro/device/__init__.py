@@ -3,7 +3,13 @@
 from .engine import Engine, Event, Process, Semaphore, Timeout
 from .gpu import GpuCounters, SimulatedGPU
 from .smmodel import SMModel, calibrated
-from .trace import Interval, Tracer, render_gantt
+from .trace import (
+    Interval,
+    Tracer,
+    WallClockRecorder,
+    merge_wall_records,
+    render_gantt,
+)
 from .spec import (
     ENV1_HETEROGENEOUS,
     ENV2_HOMOGENEOUS,
@@ -24,6 +30,8 @@ __all__ = [
     "Timeout",
     "Interval",
     "Tracer",
+    "WallClockRecorder",
+    "merge_wall_records",
     "render_gantt",
     "SMModel",
     "calibrated",

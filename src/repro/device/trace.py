@@ -16,6 +16,8 @@ transfer / wait intervals; nothing is recorded otherwise.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..errors import SimulationError
@@ -139,6 +141,48 @@ class Tracer:
             else:
                 j += 1
         return total
+
+
+class WallClockRecorder:
+    """Wall-clock adapter for :class:`Tracer`: records real intervals.
+
+    The simulated chain reports virtual-clock intervals straight into a
+    :class:`Tracer`; real-process workers instead carry one of these,
+    time their phases with ``time.perf_counter()`` against a shared
+    *origin* (sampled once in the parent before the workers start), and
+    ship the plain ``(kind, start, end)`` tuples back over the result
+    queue.  :func:`merge_wall_records` then folds them into a
+    :class:`Tracer` so every query — totals, utilisation, concurrency,
+    overlap, the Gantt rendering — works identically for simulated and
+    real runs.
+
+    ``perf_counter`` is system-wide monotonic on the supported platforms,
+    so intervals recorded in different processes share a time base.
+    """
+
+    def __init__(self, origin: float | None = None) -> None:
+        self.origin = time.perf_counter() if origin is None else origin
+        self.records: list[tuple[str, float, float]] = []
+
+    @contextmanager
+    def span(self, kind: str):
+        """Record the wrapped statements as one *kind* interval."""
+        if kind not in KINDS:
+            raise SimulationError(f"unknown interval kind {kind!r}; expected one of {KINDS}")
+        start = time.perf_counter() - self.origin
+        try:
+            yield
+        finally:
+            self.records.append((kind, start, time.perf_counter() - self.origin))
+
+
+def merge_wall_records(
+    tracer: Tracer, actor: str, records: list[tuple[str, float, float]]
+) -> None:
+    """Fold one worker's :class:`WallClockRecorder` output into *tracer*."""
+    for kind, start, end in records:
+        # Guard against sub-resolution clock jitter across processes.
+        tracer.record(actor, kind, max(0.0, start), max(0.0, start, end))
 
 
 #: Glyph per interval kind in the Gantt rendering.

@@ -1,7 +1,13 @@
 """The paper's contribution: multi-GPU chain execution of one SW matrix."""
 
 from .autotune import TuneResult, autotune, border_footprint_bytes
-from .batch import CampaignItem, CampaignResult, run_campaign_chained, run_campaign_split
+from .batch import (
+    CampaignItem,
+    CampaignResult,
+    align_batch_process,
+    run_campaign_chained,
+    run_campaign_split,
+)
 from .chain import (
     BORDER_BYTES_FIXED,
     BORDER_BYTES_PER_ROW,
@@ -28,7 +34,13 @@ from .overlap import (
     segment_bytes,
 )
 from .pipeline import TracedResult, align_and_trace
-from .procchain import ProcessChainResult, align_multi_process
+from .pool import WorkerPool
+from .procchain import (
+    TRANSPORTS,
+    ProcessChainResult,
+    align_multi_process,
+    pick_context,
+)
 from .partition import (
     Slab,
     equal_partition,
@@ -55,7 +67,11 @@ __all__ = [
     "plan_memory",
     "validate_memory",
     "ProcessChainResult",
+    "TRANSPORTS",
+    "WorkerPool",
+    "align_batch_process",
     "align_multi_process",
+    "pick_context",
     "TracedResult",
     "align_and_trace",
     "BORDER_BYTES_FIXED",

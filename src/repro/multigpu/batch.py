@@ -20,10 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..device.spec import DeviceSpec
 from ..errors import ConfigError
+from ..seq.scoring import Scoring
 from ..workloads.catalog import ChromosomePair
 from .chain import ChainConfig, ChainResult, MultiGpuChain, PhantomWorkload
+from .pool import WorkerPool
+from .procchain import ProcessChainResult
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,34 @@ def run_campaign_chained(
                                   end_s=clock + res.total_time_s, gcups=res.gcups))
         clock += res.total_time_s
     return CampaignResult(strategy="chained", items=items, makespan_s=clock)
+
+
+def align_batch_process(
+    pairs: Sequence[tuple[np.ndarray, np.ndarray]],
+    scoring: Scoring,
+    *,
+    workers: int = 2,
+    weights: Sequence[float] | None = None,
+    block_rows: int = 512,
+    transport: str = "shm",
+    start_method: str | None = None,
+    timeout_s: float = 300.0,
+) -> list[ProcessChainResult]:
+    """Run many real comparisons through ONE persistent worker pool.
+
+    The real-parallelism counterpart of the campaign runners above: the
+    slab workers and their shared-memory border rings are created once
+    and reused for every pair, so process startup is amortised across the
+    batch (the reason :class:`~repro.multigpu.pool.WorkerPool` exists).
+    Results are bit-identical to running each pair through
+    :func:`~repro.multigpu.procchain.align_multi_process`.
+    """
+    if not pairs:
+        raise ConfigError("batch needs at least one pair")
+    with WorkerPool(workers, weights=weights, max_block_rows=block_rows,
+                    transport=transport, start_method=start_method) as pool:
+        return pool.map(pairs, scoring, block_rows=block_rows,
+                        timeout_s=timeout_s)
 
 
 def run_campaign_split(

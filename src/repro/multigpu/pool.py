@@ -1,0 +1,265 @@
+"""Persistent slab-worker pool: amortise process startup across runs.
+
+:func:`~repro.multigpu.procchain.align_multi_process` forks (or spawns) a
+fresh set of slab workers per comparison — fine for one megabase matrix,
+wasteful for batch workloads that push many pairs through the same
+machine (:mod:`repro.multigpu.batch` campaigns, clustering sweeps).  A
+:class:`WorkerPool` starts the workers and the shared-memory border rings
+**once** and reuses them for every subsequent comparison:
+
+* each worker blocks on its private task queue between comparisons;
+* the border rings (one :class:`~repro.comm.shmring.ShmRing` per slab
+  boundary, or a pipe pair under ``transport="pipe"``) are created at
+  pool construction, sized for the pool's maximum block height, and drain
+  back to empty at the end of every successful comparison, so no per-run
+  setup or teardown remains on the hot path;
+* slab widths are proportional to the pool's *weights* (heterogeneous
+  worker speeds), recomputed per comparison for its matrix width.
+
+Failure semantics: any worker error or death marks the pool **broken**
+(the transports' cursors can no longer be trusted) and raises
+``RuntimeError``; a broken or closed pool refuses further work.  Use the
+pool as a context manager — ``close()`` always stops the workers and
+unlinks the shared memory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..comm.shmring import ShmRing
+from ..device.trace import Tracer, WallClockRecorder, merge_wall_records
+from ..errors import ConfigError
+from ..seq.scoring import Scoring
+from ..sw.kernel import BestCell
+from .partition import proportional_partition
+from .procchain import (
+    TRANSPORTS,
+    PipeLink,
+    ProcessChainResult,
+    collect_results,
+    pick_context,
+    sweep_slab,
+)
+
+
+def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link):
+    """Long-lived slab worker: one task per comparison, ``None`` to exit."""
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        (a_codes, b_slab, slab, scoring, block_rows, origin,
+         border_timeout_s) = task
+        recorder = WallClockRecorder(origin)
+        try:
+            best = sweep_slab(a_codes, b_slab, slab, scoring, block_rows,
+                              recv_link, send_link, recorder, border_timeout_s)
+            result_queue.put(
+                (worker_id, best.score, best.row, best.col, None, recorder.records))
+        except Exception as exc:
+            result_queue.put((worker_id, 0, -1, -1, repr(exc), recorder.records))
+            break  # transport state is suspect; die and let the pool break
+
+
+class WorkerPool:
+    """A fixed set of live slab workers serving many comparisons.
+
+    Parameters
+    ----------
+    workers:
+        Number of slab processes (chain length).
+    weights:
+        Relative per-worker speeds for proportional slab widths
+        (default: equal).
+    max_block_rows:
+        Largest ``block_rows`` any comparison may use — it sizes the
+        shared-memory ring slots once, at construction.
+    capacity, transport, start_method, border_timeout_s:
+        As in :func:`~repro.multigpu.procchain.align_multi_process`.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        weights: Sequence[float] | None = None,
+        max_block_rows: int = 2048,
+        capacity: int = 4,
+        transport: str = "shm",
+        start_method: str | None = None,
+        border_timeout_s: float = 60.0,
+    ) -> None:
+        if workers <= 0:
+            raise ConfigError("workers must be positive")
+        if max_block_rows <= 0:
+            raise ConfigError("max_block_rows must be positive")
+        if capacity <= 0:
+            raise ConfigError("capacity must be positive")
+        if transport not in TRANSPORTS:
+            raise ConfigError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}")
+        if weights is not None and len(weights) != workers:
+            raise ConfigError("weights length must equal the worker count")
+
+        self.workers = workers
+        self.weights = list(weights) if weights is not None else [1.0] * workers
+        self.max_block_rows = max_block_rows
+        self.transport = transport
+        self.border_timeout_s = border_timeout_s
+        self._ctx = pick_context(start_method)
+        self.start_method = self._ctx.get_start_method()
+        self._broken = False
+        self._closed = False
+
+        self._rings: list[ShmRing] = []
+        links: list = []
+        self._parent_conns: list = []
+        if transport == "shm":
+            for g in range(workers - 1):
+                ring = ShmRing(self._ctx, capacity, max_block_rows,
+                               label=f"pool-border{g}->{g + 1}")
+                self._rings.append(ring)
+                links.append(ring)
+        else:
+            for g in range(workers - 1):
+                recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+                self._parent_conns.extend([recv_conn, send_conn])
+                links.append(PipeLink(recv_conn, send_conn,
+                                      label=f"pool-border{g}->{g + 1}"))
+
+        self._result_queue = self._ctx.Queue()
+        self._task_queues = [self._ctx.Queue() for _ in range(workers)]
+        self._procs = []
+        for g in range(workers):
+            recv_link = links[g - 1] if g > 0 else None
+            send_link = links[g] if g < workers - 1 else None
+            proc = self._ctx.Process(
+                target=_pool_worker,
+                args=(g, self._task_queues[g], self._result_queue,
+                      recv_link, send_link),
+                name=f"mgsw-pool-{g}",
+            )
+            proc.daemon = True
+            proc.start()
+            self._procs.append(proc)
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live workers (stable across comparisons)."""
+        return [proc.pid for proc in self._procs]
+
+    def close(self) -> None:
+        """Stop the workers and release the shared memory (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._task_queues:
+            try:
+                q.put_nowait(None)
+            except Exception:  # pragma: no cover - full/broken queue
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        for q in [*self._task_queues, self._result_queue]:
+            q.close()
+        for conn in self._parent_conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for ring in self._rings:
+            ring.unlink()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the work ------------------------------------------------------------
+    def align(
+        self,
+        a_codes: np.ndarray,
+        b_codes: np.ndarray,
+        scoring: Scoring,
+        *,
+        block_rows: int = 512,
+        timeout_s: float = 300.0,
+        tracer: Tracer | None = None,
+    ) -> ProcessChainResult:
+        """Exact SW over the pool's worker chain (bit-identical to every
+        other engine); raises ``RuntimeError`` on worker failure/timeout."""
+        if self._closed:
+            raise ConfigError("pool is closed")
+        if self._broken:
+            raise ConfigError("pool is broken by an earlier failure")
+        if block_rows <= 0:
+            raise ConfigError("block_rows must be positive")
+        if block_rows > self.max_block_rows:
+            raise ConfigError(
+                f"block_rows {block_rows} exceeds the pool's max_block_rows "
+                f"{self.max_block_rows}")
+        m, n = int(a_codes.size), int(b_codes.size)
+        if m == 0 or n == 0:
+            raise ConfigError("sequences must be non-empty")
+        if n < self.workers:
+            raise ConfigError("matrix narrower than the worker count")
+
+        slabs = proportional_partition(n, self.weights)
+        origin = time.perf_counter()
+        for g, slab in enumerate(slabs):
+            self._task_queues[g].put(
+                (a_codes, b_codes[slab.col0:slab.col1].copy(), slab, scoring,
+                 block_rows, origin, self.border_timeout_s))
+
+        deadline = time.monotonic() + timeout_s
+        messages, failures = collect_results(
+            self._result_queue, self._procs, set(range(self.workers)), deadline,
+            describe=lambda g: f"pool worker {g}")
+        wall = time.perf_counter() - origin
+        if failures:
+            self._broken = True
+            raise RuntimeError("; ".join(failures))
+
+        result_tracer = tracer if tracer is not None else Tracer()
+        best = BestCell.none()
+        for g in sorted(messages):
+            _wid, score, row, col, _err, records = messages[g]
+            merge_wall_records(result_tracer, f"worker{g}", records)
+            cell = BestCell(score, row, col)
+            if cell.better_than(best):
+                best = cell
+        return ProcessChainResult(
+            best=best, wall_time_s=wall, cells=m * n, workers=self.workers,
+            partition=tuple(slabs), transport=self.transport,
+            start_method=self.start_method, tracer=result_tracer,
+        )
+
+    def map(
+        self,
+        pairs: Iterable[tuple[np.ndarray, np.ndarray]],
+        scoring: Scoring,
+        *,
+        block_rows: int = 512,
+        timeout_s: float = 300.0,
+    ) -> list[ProcessChainResult]:
+        """Run every ``(a, b)`` pair through the pool, in order."""
+        return [
+            self.align(a, b, scoring, block_rows=block_rows, timeout_s=timeout_s)
+            for a, b in pairs
+        ]

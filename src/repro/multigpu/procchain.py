@@ -2,41 +2,129 @@
 
 Everything else in :mod:`repro.multigpu` runs on a simulated clock; this
 module executes the same column-slab / border-column dataflow across
-**real OS processes**, one per slab, communicating borders over pipes in
-the style of MPI point-to-point messaging (fixed-size raw-byte messages
-into preallocated buffers, as the mpi4py guide recommends for NumPy
-arrays).  On a multi-core host the workers genuinely overlap; the result
-is bit-identical to every other engine (same kernels, same border
-contract).
+**real OS processes**, one per slab.  Two border transports implement the
+paper's host circular buffer:
 
+* ``"shm"`` (default) — a :class:`~repro.comm.shmring.ShmRing` per slab
+  boundary: a bounded circular buffer in POSIX shared memory that carries
+  H/E border columns without pickling or pipe copies, the real-world
+  analogue of the simulated :class:`~repro.comm.ringbuf.SimRingBuffer`.
+* ``"pipe"`` — one OS pipe per boundary with raw-byte framed messages
+  (MPI point-to-point style), kept as the baseline the transport
+  benchmark compares against.
+
+On a multi-core host the workers genuinely overlap; the result is
+bit-identical to every other engine (same kernels, same border contract).
 This is the bridge from the simulation to a real deployment: replace the
-pipe transport with ``mpi4py`` send/recv (or CUDA-aware MPI) and each
-worker's kernel with a device kernel, and the orchestration is unchanged.
+transport with CUDA-aware MPI and each worker's kernel with a device
+kernel, and the orchestration is unchanged.
+
+Robustness contract: worker failures are detected (a worker that raises
+reports its exception; a worker that *dies* is noticed by the parent's
+liveness poll and by its neighbours' border timeouts), every phase is
+bounded by a timeout, failures propagate as one deterministic
+:class:`RuntimeError` listing the failed workers in id order, and shared
+memory segments are unlinked on every exit path.
+
+For batch workloads prefer :class:`repro.multigpu.pool.WorkerPool`, which
+keeps the slab workers alive across comparisons.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import queue as queue_mod
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..comm.shmring import HEADER_BYTES, HEADER_STRUCT, ShmRing
+from ..device.trace import Tracer, WallClockRecorder, merge_wall_records
+from ..errors import CommError, ConfigError
+from ..perf.metrics import gcups as _metrics_gcups
 from ..seq.scoring import Scoring
 from ..sw.constants import DTYPE, NEG_INF
 from ..sw.kernel import BestCell, build_profile, sweep_block
-from .partition import Slab, equal_partition
+from .partition import Slab, proportional_partition
+
+#: Supported border transports.
+TRANSPORTS = ("shm", "pipe")
+
+#: Grace period between noticing a dead worker and declaring it failed
+#: (its final result message may still be in flight through the queue).
+_DEATH_GRACE_S = 1.0
+
+
+def pick_context(start_method: str | None = None) -> mp.context.BaseContext:
+    """The multiprocessing context the chain runs on.
+
+    ``fork`` where the platform offers it (cheapest: workers inherit the
+    sequences), otherwise ``spawn``; an explicit *start_method* overrides
+    the choice.  All worker arguments are spawn-safe, so every method the
+    platform supports works.
+    """
+    methods = mp.get_all_start_methods()
+    if start_method is None:
+        start_method = "fork" if "fork" in methods else "spawn"
+    if start_method not in methods:
+        raise ConfigError(
+            f"start method {start_method!r} not available here (have {methods})")
+    return mp.get_context(start_method)
+
+
+class PipeLink:
+    """Border link over an OS pipe: one framed raw-byte message per border.
+
+    Same wire format and ``send_border``/``recv_border`` interface as
+    :class:`ShmRing`, so slab workers are transport-agnostic.  Sends
+    cannot time out (the OS pipe buffer provides the back-pressure);
+    receives poll with a timeout.
+    """
+
+    def __init__(self, recv_conn, send_conn, label: str = "pipelink") -> None:
+        self._recv = recv_conn
+        self._send = send_conn
+        self.label = label
+
+    def send_border(self, h: np.ndarray, e: np.ndarray, corner: int,
+                    timeout: float | None = None) -> None:
+        payload = HEADER_STRUCT.pack(int(h.size), int(corner)) + h.tobytes() + e.tobytes()
+        self._send.send_bytes(payload)
+
+    def recv_border(self, timeout: float | None = None) -> tuple[np.ndarray, np.ndarray, int]:
+        if timeout is not None and not self._recv.poll(timeout):
+            raise CommError(
+                f"{self.label}: recv timed out after {timeout}s (producer "
+                f"stalled or dead)")
+        buf = self._recv.recv_bytes()
+        rows, corner = HEADER_STRUCT.unpack_from(buf, 0)
+        h = np.frombuffer(buf, dtype=DTYPE, count=rows, offset=HEADER_BYTES).copy()
+        e = np.frombuffer(buf, dtype=DTYPE, count=rows,
+                          offset=HEADER_BYTES + 4 * rows).copy()
+        return h, e, int(corner)
 
 
 @dataclass(frozen=True)
 class ProcessChainResult:
-    """Outcome of a real-process run (wall-clock, not virtual, time)."""
+    """Outcome of a real-process run (wall-clock, not virtual, time).
+
+    ``tracer`` holds per-worker wall-clock intervals (actors ``worker0``,
+    ``worker1``, ...) recorded through the
+    :class:`~repro.device.trace.WallClockRecorder` adapter, so the same
+    breakdown/utilisation/overlap queries work as for simulated runs.
+    """
 
     best: BestCell
     wall_time_s: float
     cells: int
     workers: int
+    partition: tuple[Slab, ...] = ()
+    transport: str = "pipe"
+    start_method: str = "fork"
+    tracer: Tracer | None = None
 
     @property
     def score(self) -> int:
@@ -44,9 +132,94 @@ class ProcessChainResult:
 
     @property
     def gcups(self) -> float:
-        if self.wall_time_s <= 0:
-            return 0.0
-        return self.cells / self.wall_time_s / 1e9
+        """Wall-clock GCUPS via :func:`repro.perf.metrics.gcups`.
+
+        One behaviour library-wide: a non-positive elapsed time raises
+        ``ValueError`` (it can only arise from a corrupted result).
+        """
+        return _metrics_gcups(self.cells, self.wall_time_s)
+
+    def breakdown(self) -> list[dict[str, float]]:
+        """Per-worker compute/transfer/wait/idle fractions of the wall time
+        (same shape as :meth:`repro.multigpu.chain.ChainResult.breakdown`)."""
+        if self.tracer is None:
+            return []
+        out = []
+        for g in range(self.workers):
+            actor = f"worker{g}"
+            compute = self.tracer.total(actor, "compute") / self.wall_time_s
+            transfer = (self.tracer.total(actor, "d2h")
+                        + self.tracer.total(actor, "h2d")) / self.wall_time_s
+            wait = self.tracer.total(actor, "wait") / self.wall_time_s
+            out.append({
+                "compute": compute,
+                "transfer": transfer,
+                "wait": wait,
+                "idle": max(0.0, 1.0 - compute - transfer - wait),
+            })
+        return out
+
+
+def sweep_slab(
+    a_codes: np.ndarray,
+    b_slab: np.ndarray,
+    slab: Slab,
+    scoring: Scoring,
+    block_rows: int,
+    recv_link,
+    send_link,
+    recorder: WallClockRecorder,
+    border_timeout_s: float | None,
+    fault_block: int | None = None,
+) -> BestCell:
+    """One slab's sweep loop (the body of every real-process worker).
+
+    *recv_link* / *send_link* are border transports (``None`` at the chain
+    ends); *fault_block* is a test-only hook that kills the process just
+    before computing that block row (failure-injection tests).
+    """
+    profile = build_profile(b_slab, scoring)
+    w = slab.cols
+    m = int(a_codes.size)
+    h_top = np.zeros(w, dtype=DTYPE)
+    f_top = np.full(w, NEG_INF, dtype=DTYPE)
+    prev_right_last = 0
+    best = BestCell.none()
+
+    row_edges = list(range(0, m, block_rows)) + [m]
+    for block_index, (r0, r1) in enumerate(zip(row_edges, row_edges[1:])):
+        rows = r1 - r0
+        if recv_link is not None:
+            with recorder.span("wait"):
+                h_left, e_left, corner = recv_link.recv_border(timeout=border_timeout_s)
+            if h_left.size != rows:
+                raise CommError(
+                    f"border for rows [{r0}, {r1}) carried {h_left.size} rows")
+        else:
+            corner = 0
+            h_left = np.zeros(rows, dtype=DTYPE)
+            e_left = np.full(rows, NEG_INF, dtype=DTYPE)
+
+        if fault_block is not None and block_index == fault_block:
+            os._exit(3)  # simulated hard crash: no exception, no result
+
+        with recorder.span("compute"):
+            result = sweep_block(
+                a_codes[r0:r1], profile, h_top, f_top, h_left, e_left,
+                corner, scoring, local=True,
+            )
+        h_top = result.h_bottom
+        f_top = result.f_bottom
+        cell = result.best.shifted(r0, slab.col0)
+        if cell.better_than(best):
+            best = cell
+
+        if send_link is not None:
+            with recorder.span("d2h"):
+                send_link.send_border(result.h_right, result.e_right,
+                                      prev_right_last, timeout=border_timeout_s)
+            prev_right_last = int(result.h_right[-1])
+    return best
 
 
 def _worker(
@@ -56,52 +229,99 @@ def _worker(
     slab: Slab,
     scoring: Scoring,
     block_rows: int,
-    recv_conn,
-    send_conn,
+    recv_link,
+    send_link,
     result_queue,
+    origin: float,
+    border_timeout_s: float,
+    fault_block: int | None,
 ) -> None:
-    """One slab's sweep loop (runs in a child process)."""
+    """One-shot slab worker (runs in a child process)."""
+    recorder = WallClockRecorder(origin)
     try:
-        profile = build_profile(b_slab, scoring)
-        w = slab.cols
-        m = int(a_codes.size)
-        h_top = np.zeros(w, dtype=DTYPE)
-        f_top = np.full(w, NEG_INF, dtype=DTYPE)
-        prev_right_last = 0
-        best = BestCell.none()
-
-        row_edges = list(range(0, m, block_rows)) + [m]
-        for r0, r1 in zip(row_edges, row_edges[1:]):
-            rows = r1 - r0
-            if recv_conn is not None:
-                corner = int.from_bytes(recv_conn.recv_bytes(8), "little", signed=True)
-                h_left = np.frombuffer(recv_conn.recv_bytes(rows * 4), dtype=DTYPE).copy()
-                e_left = np.frombuffer(recv_conn.recv_bytes(rows * 4), dtype=DTYPE).copy()
-            else:
-                corner = 0
-                h_left = np.zeros(rows, dtype=DTYPE)
-                e_left = np.full(rows, NEG_INF, dtype=DTYPE)
-
-            result = sweep_block(
-                a_codes[r0:r1], profile, h_top, f_top, h_left, e_left,
-                corner, scoring, local=True,
-            )
-            h_top = result.h_bottom
-            f_top = result.f_bottom
-            cell = result.best.shifted(r0, slab.col0)
-            if cell.better_than(best):
-                best = cell
-
-            if send_conn is not None:
-                send_conn.send_bytes(
-                    int(prev_right_last).to_bytes(8, "little", signed=True))
-                send_conn.send_bytes(result.h_right.tobytes())
-                send_conn.send_bytes(result.e_right.tobytes())
-                prev_right_last = int(result.h_right[-1])
-
-        result_queue.put((worker_id, best.score, best.row, best.col, None))
+        best = sweep_slab(a_codes, b_slab, slab, scoring, block_rows,
+                          recv_link, send_link, recorder, border_timeout_s,
+                          fault_block)
+        result_queue.put(
+            (worker_id, best.score, best.row, best.col, None, recorder.records))
     except Exception as exc:  # surface the failure to the parent
-        result_queue.put((worker_id, 0, -1, -1, repr(exc)))
+        result_queue.put((worker_id, 0, -1, -1, repr(exc), recorder.records))
+
+
+def _validate_args(a_codes, b_codes, workers, block_rows, transport, weights,
+                   capacity) -> None:
+    if workers <= 0:
+        raise ConfigError("workers must be positive")
+    if block_rows <= 0:
+        raise ConfigError("block_rows must be positive")
+    if transport not in TRANSPORTS:
+        raise ConfigError(f"unknown transport {transport!r}; expected one of {TRANSPORTS}")
+    if capacity <= 0:
+        raise ConfigError("capacity must be positive")
+    if weights is not None and len(weights) != workers:
+        raise ConfigError("weights length must equal the worker count")
+    m, n = int(a_codes.size), int(b_codes.size)
+    if m == 0 or n == 0:
+        raise ConfigError("sequences must be non-empty")
+    if n < workers:
+        raise ConfigError("matrix narrower than the worker count")
+
+
+def collect_results(
+    result_queue,
+    procs: Sequence,
+    pending: set,
+    deadline: float,
+    describe=lambda key: f"worker {key}",
+):
+    """Drain one result message per pending key, robustly.
+
+    Polls the queue, watching the worker processes for silent deaths; a
+    key whose process dies without reporting (grace period for in-flight
+    messages) becomes a failure.  Returns ``(messages, failures)`` where
+    *messages* maps key -> the raw queue message and *failures* is a
+    sorted list of human-readable descriptions.  Shared by the one-shot
+    chain and the persistent pool.
+    """
+    messages: dict = {}
+    failures: list[str] = []
+    dead_since: dict = {}
+    while pending:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            for key in sorted(pending):
+                failures.append(f"{describe(key)}: no result before the timeout")
+            break
+        try:
+            msg = result_queue.get(timeout=min(0.2, remaining))
+        except queue_mod.Empty:
+            now = time.monotonic()
+            newly_failed = []
+            for key in sorted(pending):
+                proc = procs[key]
+                if proc.is_alive():
+                    dead_since.pop(key, None)
+                    continue
+                first_seen = dead_since.setdefault(key, now)
+                if now - first_seen >= _DEATH_GRACE_S:
+                    newly_failed.append(key)
+            for key in newly_failed:
+                pending.discard(key)
+                failures.append(
+                    f"{describe(key)}: died with exit code "
+                    f"{procs[key].exitcode} before reporting a result")
+            if failures and not pending:
+                break
+            continue
+        key, err, payload = msg[0], msg[-2], msg
+        if key not in pending:
+            continue  # stale message from an earlier, failed run
+        pending.discard(key)
+        if err is not None:
+            failures.append(f"{describe(key)}: {err}")
+        else:
+            messages[key] = payload
+    return messages, sorted(failures)
 
 
 def align_multi_process(
@@ -112,62 +332,104 @@ def align_multi_process(
     workers: int = 2,
     block_rows: int = 512,
     timeout_s: float = 300.0,
+    transport: str = "shm",
+    start_method: str | None = None,
+    weights: Sequence[float] | None = None,
+    capacity: int = 4,
+    border_timeout_s: float = 60.0,
+    tracer: Tracer | None = None,
+    _fault: tuple[int, int] | None = None,
 ) -> ProcessChainResult:
     """Exact SW across *workers* real processes (see module docstring).
 
-    Raises :class:`ConfigError` on bad parameters and ``RuntimeError``
-    when a worker fails or the run times out.
-    """
-    if workers <= 0:
-        raise ConfigError("workers must be positive")
-    if block_rows <= 0:
-        raise ConfigError("block_rows must be positive")
-    m, n = int(a_codes.size), int(b_codes.size)
-    if m == 0 or n == 0:
-        raise ConfigError("sequences must be non-empty")
-    if n < workers:
-        raise ConfigError("matrix narrower than the worker count")
+    Parameters mirror the simulated chain where they exist there:
+    *weights* sizes slabs proportionally to per-worker speed (equal by
+    default, via :func:`~repro.multigpu.partition.proportional_partition`),
+    *capacity* is the border ring depth, *transport* picks shared memory
+    or pipes, *start_method* overrides the fork-else-spawn default.
+    Pass a :class:`~repro.device.trace.Tracer` to collect per-worker
+    wall-clock intervals (one is created on the result regardless).
 
-    slabs = equal_partition(n, workers)
-    ctx = mp.get_context("fork")
+    Raises :class:`ConfigError` on bad parameters and ``RuntimeError``
+    when a worker fails or the run times out.  ``_fault`` is a test-only
+    hook: ``(worker_id, block_index)`` crashes that worker at that block.
+    """
+    _validate_args(a_codes, b_codes, workers, block_rows, transport, weights,
+                   capacity)
+    m, n = int(a_codes.size), int(b_codes.size)
+    slabs = proportional_partition(
+        n, list(weights) if weights is not None else [1.0] * workers)
+    ctx = pick_context(start_method)
     result_queue = ctx.Queue()
-    pipes = [ctx.Pipe(duplex=False) for _ in range(workers - 1)]
+
+    rings: list[ShmRing] = []
+    links: list = []
+    parent_conns = []
+    if transport == "shm":
+        for g in range(workers - 1):
+            ring = ShmRing(ctx, capacity, block_rows, label=f"border{g}->{g + 1}")
+            rings.append(ring)
+            links.append(ring)
+    else:
+        for g in range(workers - 1):
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            parent_conns.extend([recv_conn, send_conn])
+            links.append(PipeLink(recv_conn, send_conn, label=f"border{g}->{g + 1}"))
 
     procs = []
-    t0 = time.perf_counter()
-    for g, slab in enumerate(slabs):
-        recv_conn = pipes[g - 1][0] if g > 0 else None
-        send_conn = pipes[g][1] if g < workers - 1 else None
-        proc = ctx.Process(
-            target=_worker,
-            args=(g, a_codes, b_codes[slab.col0:slab.col1].copy(), slab,
-                  scoring, block_rows, recv_conn, send_conn, result_queue),
-            name=f"mgsw-worker-{g}",
-        )
-        proc.start()
-        procs.append(proc)
-
-    best = BestCell.none()
-    failures = []
+    result_tracer = tracer if tracer is not None else Tracer()
+    clean_exit = False
     try:
-        for _ in range(workers):
-            worker_id, score, row, col, err = result_queue.get(timeout=timeout_s)
-            if err is not None:
-                failures.append(f"worker {worker_id}: {err}")
-            else:
-                cell = BestCell(score, row, col)
-                if cell.better_than(best):
-                    best = cell
-    except Exception as exc:
-        failures.append(f"collection failed: {exc!r}")
+        origin = time.perf_counter()
+        for g, slab in enumerate(slabs):
+            recv_link = links[g - 1] if g > 0 else None
+            send_link = links[g] if g < workers - 1 else None
+            fault_block = _fault[1] if _fault is not None and _fault[0] == g else None
+            proc = ctx.Process(
+                target=_worker,
+                args=(g, a_codes, b_codes[slab.col0:slab.col1].copy(), slab,
+                      scoring, block_rows, recv_link, send_link, result_queue,
+                      origin, border_timeout_s, fault_block),
+                name=f"mgsw-worker-{g}",
+            )
+            proc.start()
+            procs.append(proc)
+
+        deadline = time.monotonic() + timeout_s
+        messages, failures = collect_results(
+            result_queue, procs, set(range(workers)), deadline)
+        wall = time.perf_counter() - origin
+        if failures:
+            raise RuntimeError("; ".join(failures))
+
+        best = BestCell.none()
+        for g in sorted(messages):
+            _wid, score, row, col, _err, records = messages[g]
+            merge_wall_records(result_tracer, f"worker{g}", records)
+            cell = BestCell(score, row, col)
+            if cell.better_than(best):
+                best = cell
+        clean_exit = True
+        return ProcessChainResult(
+            best=best, wall_time_s=wall, cells=m * n, workers=workers,
+            partition=tuple(slabs), transport=transport,
+            start_method=ctx.get_start_method(), tracer=result_tracer,
+        )
     finally:
         for proc in procs:
-            proc.join(timeout=10.0)
-            if proc.is_alive():
+            # On the failure path neighbours may be blocked on a border
+            # that will never arrive — don't wait out their timeouts.
+            if not clean_exit and proc.is_alive():
                 proc.terminate()
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - last resort
+                proc.kill()
                 proc.join()
-    wall = time.perf_counter() - t0
-    if failures:
-        raise RuntimeError("; ".join(failures))
-    return ProcessChainResult(best=best, wall_time_s=wall, cells=m * n,
-                              workers=workers)
+        result_queue.close()
+        for conn in parent_conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for ring in rings:
+            ring.unlink()

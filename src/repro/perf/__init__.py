@@ -1,7 +1,7 @@
 """Metrics and reporting helpers."""
 
 from .dotplot import Dotplot, dotplot
-from .report import chain_report, chain_result_dict
+from .report import chain_report, chain_result_dict, process_report, process_result_dict
 from .metrics import (
     BreakdownRow,
     efficiency,
@@ -17,6 +17,8 @@ __all__ = [
     "dotplot",
     "chain_report",
     "chain_result_dict",
+    "process_report",
+    "process_result_dict",
     "BreakdownRow",
     "efficiency",
     "format_table",

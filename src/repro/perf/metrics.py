@@ -14,7 +14,16 @@ from typing import Sequence
 
 
 def gcups(cells: int, seconds: float) -> float:
-    """Billions of DP cells per second."""
+    """Billions of DP cells per second.
+
+    This is the single library-wide definition: every result type
+    (simulated :class:`~repro.multigpu.chain.ChainResult` GCUPS on the
+    virtual clock, real-process
+    :class:`~repro.multigpu.procchain.ProcessChainResult` GCUPS on wall
+    time) routes through it, and the one documented behaviour for a
+    non-positive *seconds* is to raise ``ValueError`` — a zero or
+    negative elapsed time is always a caller bug, never a rate.
+    """
     if seconds <= 0:
         raise ValueError("seconds must be positive")
     return cells / seconds / 1e9

@@ -1,9 +1,13 @@
 """Formatted run reports: one text block summarising a chain result.
 
-Turns a :class:`~repro.multigpu.chain.ChainResult` into the multi-section
-report the CLI prints and the examples embed — configuration, partition,
-throughput, per-device breakdown, and channel statistics — so every
-front-end renders runs identically.
+Turns a :class:`~repro.multigpu.chain.ChainResult` (simulated) or a
+:class:`~repro.multigpu.procchain.ProcessChainResult` (real processes)
+into the multi-section report the CLI prints and the examples embed —
+configuration, partition, throughput, per-device breakdown, and channel
+statistics — so every front-end renders runs identically.  The two
+report forms share their table shape: the real backend's breakdown rows
+come from wall-clock :class:`~repro.device.trace.Tracer` intervals
+instead of virtual-clock counters, and read the same way.
 """
 
 from __future__ import annotations
@@ -49,6 +53,70 @@ def chain_result_dict(result) -> dict:
             for st in result.channels
         ],
     }
+
+
+def process_result_dict(result) -> dict:
+    """JSON-serialisable summary of a ProcessChainResult (mirrors
+    :func:`chain_result_dict` for the real-process backend)."""
+    return {
+        "cells": result.cells,
+        "wall_time_s": result.wall_time_s,
+        "gcups": result.gcups,
+        "score": result.score if result.best.row >= 0 else None,
+        "end": [result.best.row, result.best.col] if result.best.row >= 0 else None,
+        "config": {
+            "workers": result.workers,
+            "transport": result.transport,
+            "start_method": result.start_method,
+        },
+        "workers": [
+            {
+                "name": f"worker{g}",
+                "slab_cols": slab.cols,
+                "compute_s": result.tracer.total(f"worker{g}", "compute") if result.tracer else None,
+                "transfer_s": (result.tracer.total(f"worker{g}", "d2h")
+                               + result.tracer.total(f"worker{g}", "h2d")) if result.tracer else None,
+                "wait_s": result.tracer.total(f"worker{g}", "wait") if result.tracer else None,
+            }
+            for g, slab in enumerate(result.partition)
+        ],
+    }
+
+
+def process_report(result, *, title: str = "process chain run") -> str:
+    """Multi-section text report for a ProcessChainResult — the same
+    sections as :func:`chain_report`, on wall-clock time."""
+    lines: list[str] = [f"== {title} =="]
+    lines.append(
+        f"matrix: {humanize_cells(result.cells)}   "
+        f"wall time: {humanize_time(result.wall_time_s)}   "
+        f"throughput: {result.gcups:.2f} GCUPS"
+    )
+    if result.best.row >= 0:
+        lines.append(
+            f"best score: {result.score} ending at "
+            f"({result.best.row}, {result.best.col})"
+        )
+    lines.append(
+        f"config: workers={result.workers} transport={result.transport} "
+        f"start_method={result.start_method}"
+    )
+    breakdown = result.breakdown()
+    if breakdown:
+        lines.append("")
+        rows = []
+        for g, (slab, bd) in enumerate(zip(result.partition, breakdown)):
+            rows.append([
+                f"worker{g}",
+                f"{slab.cols:,}",
+                f"{bd['compute']:.1%}",
+                f"{bd['transfer']:.1%}",
+                f"{bd['wait']:.1%}",
+                f"{bd['idle']:.1%}",
+            ])
+        lines.append(format_table(
+            ["worker", "slab cols", "compute", "transfer", "wait", "idle"], rows))
+    return "\n".join(lines)
 
 
 def chain_report(result, *, title: str = "chain run") -> str:

@@ -1,16 +1,23 @@
-"""Stress test: every engine agrees on a non-trivial matrix.
+"""Stress tests: every engine agrees, on fixed and randomized workloads.
 
-One moderately large compute-mode comparison (1000 x 1200 with indels and
-an N-run) pushed through ALL six score paths — monolithic kernel, blocked
-executor, pruned blocked executor, simulated multi-GPU chain, cluster
-chain, real-process chain — plus the full traceback.  The single most
-important end-to-end guarantee of the library, in one test.
+Part one: one moderately large compute-mode comparison (1000 x 1200 with
+indels and an N-run) pushed through ALL six score paths — monolithic
+kernel, blocked executor, pruned blocked executor, simulated multi-GPU
+chain, cluster chain, real-process chain — plus the full traceback.
+
+Part two: a hypothesis-driven differential suite that draws the sequences,
+the scoring scheme, the worker count, the block height, AND the slab ratio,
+then demands bit-identical scores and end points from the naive oracle, the
+simulated chain, and the shared-memory process backend.  The single most
+important end-to-end guarantee of the library lives in this file.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.comm import NetworkLink
 from repro.device import ENV1_HETEROGENEOUS, TESLA_M2090
@@ -18,12 +25,14 @@ from repro.multigpu import (
     ChainConfig,
     ClusterChain,
     MatrixWorkload,
+    MultiGpuChain,
     Node,
     align_multi_gpu,
     align_multi_process,
 )
-from repro.seq import DNA_DEFAULT
-from repro.sw import BlockPruner, align_local, compute_blocked, sw_score
+from repro.multigpu.partition import proportional_partition
+from repro.seq import DNA_DEFAULT, Scoring
+from repro.sw import BlockPruner, align_local, compute_blocked, sw_score, sw_score_naive
 from repro.sw.banded import banded_score
 from repro.workloads import insert_n_runs, mutate, HUMAN_CHIMP, random_dna
 
@@ -92,3 +101,61 @@ class TestAllEnginesAgree:
         aln.validate(a, b, DNA_DEFAULT)
         assert aln.end_i == reference.row + 1
         assert aln.end_j == reference.col + 1
+
+
+class TestDifferentialRandomized:
+    """Hypothesis drives the full configuration space through three engines.
+
+    Every example is one randomized comparison run through (1) the naive
+    full-matrix oracle, (2) the simulated device chain with an explicit
+    proportional partition, and (3) the shared-memory real-process backend
+    with the same slab ratio.  All three must agree bit-exactly on the
+    score and on the end point the traceback would start from.
+    """
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        m=st.integers(min_value=24, max_value=140),
+        n=st.integers(min_value=36, max_value=180),
+        match=st.integers(min_value=1, max_value=4),
+        mismatch=st.integers(min_value=-4, max_value=0),
+        gap_open=st.integers(min_value=0, max_value=5),
+        gap_extend=st.integers(min_value=1, max_value=3),
+        workers=st.integers(min_value=1, max_value=3),
+        block_rows=st.integers(min_value=5, max_value=64),
+        ratios=st.lists(st.floats(min_value=0.5, max_value=4.0),
+                        min_size=3, max_size=3),
+        homolog=st.booleans(),
+    )
+    def test_three_engines_bit_identical(self, seed, m, n, match, mismatch,
+                                         gap_open, gap_extend, workers,
+                                         block_rows, ratios, homolog):
+        rng = np.random.default_rng(seed)
+        a = random_dna(m, rng=rng)
+        b = mutate(a, HUMAN_CHIMP, rng=rng) if homolog else random_dna(n, rng=rng)
+        b = b[:n] if b.size >= n else np.concatenate(
+            [b, random_dna(n - b.size, rng=rng)])
+        scoring = Scoring(match=match, mismatch=mismatch,
+                          gap_open=gap_open, gap_extend=gap_extend)
+        weights = ratios[:workers]
+        partition = proportional_partition(n, weights)
+
+        want, wi, wj = sw_score_naive(a, b, scoring)
+
+        sim = MultiGpuChain([TESLA_M2090] * workers,
+                            config=ChainConfig(block_rows=block_rows),
+                            partition=partition).run(
+            MatrixWorkload(a, b, scoring))
+        assert sim.score == want
+
+        real = align_multi_process(a, b, scoring, workers=workers,
+                                   block_rows=block_rows, transport="shm",
+                                   weights=weights)
+        assert real.score == want
+        assert [s.cols for s in real.partition] == [s.cols for s in partition]
+
+        if want > 0:
+            assert (sim.best.row, sim.best.col) == (wi, wj)
+            assert (real.best.row, real.best.col) == (wi, wj)

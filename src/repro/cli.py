@@ -38,7 +38,7 @@ from .multigpu import (
     time_multi_gpu,
 )
 from .perf import format_table, humanize_cells, humanize_time
-from .sw import align_local
+from .sw import KERNELS, align_local
 
 #: Name -> preset mapping for --gpu flags.
 PRESETS: dict[str, DeviceSpec] = {
@@ -88,13 +88,15 @@ def cmd_align(args: argparse.Namespace) -> int:
             capacity=args.buffer,
             transport=args.transport,
             start_method=args.start_method,
+            kernel=args.kernel,
         )
         print(process_report(res, title=title))
     else:
         from .perf.report import chain_report
 
         devices = _devices_from_args(args)
-        cfg = ChainConfig(block_rows=args.block_rows, channel_capacity=args.buffer)
+        cfg = ChainConfig(block_rows=args.block_rows, channel_capacity=args.buffer,
+                          kernel=args.kernel)
         res = align_multi_gpu(a, b, seq.DNA_DEFAULT, devices, config=cfg)
         print(chain_report(res, title=title))
     if args.trace and res.score > 0:
@@ -226,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="multiprocessing start method (default: fork if "
                         "available, else spawn)")
+    p.add_argument("--kernel", choices=KERNELS, default="scalar",
+                   help="block sweep kernel: scalar (one block at a time) or "
+                        "batched (one NumPy sweep per row across all resident "
+                        "blocks); scores are bit-identical")
     _add_device_args(p)
     p.set_defaults(func=cmd_align)
 

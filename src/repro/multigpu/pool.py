@@ -34,6 +34,7 @@ from ..comm.shmring import ShmRing
 from ..device.trace import Tracer, WallClockRecorder, merge_wall_records
 from ..errors import ConfigError
 from ..seq.scoring import Scoring
+from ..sw.batched import KernelWorkspace, validate_kernel
 from ..sw.kernel import BestCell
 from .partition import proportional_partition
 from .procchain import (
@@ -48,16 +49,18 @@ from .procchain import (
 
 def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link):
     """Long-lived slab worker: one task per comparison, ``None`` to exit."""
+    workspace = KernelWorkspace()  # persists across comparisons
     while True:
         task = task_queue.get()
         if task is None:
             break
         (a_codes, b_slab, slab, scoring, block_rows, origin,
-         border_timeout_s) = task
+         border_timeout_s, kernel) = task
         recorder = WallClockRecorder(origin)
         try:
             best = sweep_slab(a_codes, b_slab, slab, scoring, block_rows,
-                              recv_link, send_link, recorder, border_timeout_s)
+                              recv_link, send_link, recorder, border_timeout_s,
+                              kernel=kernel, workspace=workspace)
             result_queue.put(
                 (worker_id, best.score, best.row, best.col, None, recorder.records))
         except Exception as exc:
@@ -201,6 +204,7 @@ class WorkerPool:
         block_rows: int = 512,
         timeout_s: float = 300.0,
         tracer: Tracer | None = None,
+        kernel: str = "scalar",
     ) -> ProcessChainResult:
         """Exact SW over the pool's worker chain (bit-identical to every
         other engine); raises ``RuntimeError`` on worker failure/timeout."""
@@ -208,6 +212,7 @@ class WorkerPool:
             raise ConfigError("pool is closed")
         if self._broken:
             raise ConfigError("pool is broken by an earlier failure")
+        validate_kernel(kernel)
         if block_rows <= 0:
             raise ConfigError("block_rows must be positive")
         if block_rows > self.max_block_rows:
@@ -225,7 +230,7 @@ class WorkerPool:
         for g, slab in enumerate(slabs):
             self._task_queues[g].put(
                 (a_codes, b_codes[slab.col0:slab.col1].copy(), slab, scoring,
-                 block_rows, origin, self.border_timeout_s))
+                 block_rows, origin, self.border_timeout_s, kernel))
 
         deadline = time.monotonic() + timeout_s
         messages, failures = collect_results(
@@ -248,6 +253,7 @@ class WorkerPool:
             best=best, wall_time_s=wall, cells=m * n, workers=self.workers,
             partition=tuple(slabs), transport=self.transport,
             start_method=self.start_method, tracer=result_tracer,
+            kernel=kernel,
         )
 
     def map(
@@ -257,9 +263,11 @@ class WorkerPool:
         *,
         block_rows: int = 512,
         timeout_s: float = 300.0,
+        kernel: str = "scalar",
     ) -> list[ProcessChainResult]:
         """Run every ``(a, b)`` pair through the pool, in order."""
         return [
-            self.align(a, b, scoring, block_rows=block_rows, timeout_s=timeout_s)
+            self.align(a, b, scoring, block_rows=block_rows,
+                       timeout_s=timeout_s, kernel=kernel)
             for a, b in pairs
         ]

@@ -46,8 +46,9 @@ from ..device.trace import Tracer, WallClockRecorder, merge_wall_records
 from ..errors import CommError, ConfigError
 from ..perf.metrics import gcups as _metrics_gcups
 from ..seq.scoring import Scoring
+from ..sw.batched import BlockJob, KernelWorkspace, cached_profile, sweep_wavefront, validate_kernel
 from ..sw.constants import DTYPE, NEG_INF
-from ..sw.kernel import BestCell, build_profile, sweep_block
+from ..sw.kernel import BestCell, sweep_block
 from .partition import Slab, proportional_partition
 
 #: Supported border transports.
@@ -125,6 +126,7 @@ class ProcessChainResult:
     transport: str = "pipe"
     start_method: str = "fork"
     tracer: Tracer | None = None
+    kernel: str = "scalar"
 
     @property
     def score(self) -> int:
@@ -171,14 +173,23 @@ def sweep_slab(
     recorder: WallClockRecorder,
     border_timeout_s: float | None,
     fault_block: int | None = None,
+    kernel: str = "scalar",
+    workspace: KernelWorkspace | None = None,
 ) -> BestCell:
     """One slab's sweep loop (the body of every real-process worker).
 
     *recv_link* / *send_link* are border transports (``None`` at the chain
     ends); *fault_block* is a test-only hook that kills the process just
-    before computing that block row (failure-injection tests).
+    before computing that block row (failure-injection tests).  *kernel*
+    selects the block sweep: ``"batched"`` runs each block row through
+    :func:`~repro.sw.batched.sweep_wavefront` with a slab-lifetime
+    workspace, so persistent pool workers stop reallocating scratch.
+    The profile is content-LRU-cached per process, so a pool worker that
+    sees the same slab repeatedly skips the rebuild.
     """
-    profile = build_profile(b_slab, scoring)
+    profile = cached_profile(b_slab, scoring)
+    if kernel == "batched" and workspace is None:
+        workspace = KernelWorkspace()
     w = slab.cols
     m = int(a_codes.size)
     h_top = np.zeros(w, dtype=DTYPE)
@@ -204,10 +215,16 @@ def sweep_slab(
             os._exit(3)  # simulated hard crash: no exception, no result
 
         with recorder.span("compute"):
-            result = sweep_block(
-                a_codes[r0:r1], profile, h_top, f_top, h_left, e_left,
-                corner, scoring, local=True,
-            )
+            if kernel == "batched":
+                job = BlockJob(a_codes[r0:r1], profile, h_top, f_top,
+                               h_left, e_left, corner)
+                result = sweep_wavefront([job], scoring, local=True,
+                                         workspace=workspace)[0]
+            else:
+                result = sweep_block(
+                    a_codes[r0:r1], profile, h_top, f_top, h_left, e_left,
+                    corner, scoring, local=True,
+                )
         h_top = result.h_bottom
         f_top = result.f_bottom
         cell = result.best.shifted(r0, slab.col0)
@@ -235,13 +252,14 @@ def _worker(
     origin: float,
     border_timeout_s: float,
     fault_block: int | None,
+    kernel: str,
 ) -> None:
     """One-shot slab worker (runs in a child process)."""
     recorder = WallClockRecorder(origin)
     try:
         best = sweep_slab(a_codes, b_slab, slab, scoring, block_rows,
                           recv_link, send_link, recorder, border_timeout_s,
-                          fault_block)
+                          fault_block, kernel)
         result_queue.put(
             (worker_id, best.score, best.row, best.col, None, recorder.records))
     except Exception as exc:  # surface the failure to the parent
@@ -249,13 +267,14 @@ def _worker(
 
 
 def _validate_args(a_codes, b_codes, workers, block_rows, transport, weights,
-                   capacity) -> None:
+                   capacity, kernel="scalar") -> None:
     if workers <= 0:
         raise ConfigError("workers must be positive")
     if block_rows <= 0:
         raise ConfigError("block_rows must be positive")
     if transport not in TRANSPORTS:
         raise ConfigError(f"unknown transport {transport!r}; expected one of {TRANSPORTS}")
+    validate_kernel(kernel)
     if capacity <= 0:
         raise ConfigError("capacity must be positive")
     if weights is not None and len(weights) != workers:
@@ -338,6 +357,7 @@ def align_multi_process(
     capacity: int = 4,
     border_timeout_s: float = 60.0,
     tracer: Tracer | None = None,
+    kernel: str = "scalar",
     _fault: tuple[int, int] | None = None,
 ) -> ProcessChainResult:
     """Exact SW across *workers* real processes (see module docstring).
@@ -346,16 +366,18 @@ def align_multi_process(
     *weights* sizes slabs proportionally to per-worker speed (equal by
     default, via :func:`~repro.multigpu.partition.proportional_partition`),
     *capacity* is the border ring depth, *transport* picks shared memory
-    or pipes, *start_method* overrides the fork-else-spawn default.
-    Pass a :class:`~repro.device.trace.Tracer` to collect per-worker
-    wall-clock intervals (one is created on the result regardless).
+    or pipes, *start_method* overrides the fork-else-spawn default,
+    *kernel* selects the scalar or batched block sweep (bit-identical;
+    see :func:`sweep_slab`).  Pass a :class:`~repro.device.trace.Tracer`
+    to collect per-worker wall-clock intervals (one is created on the
+    result regardless).
 
     Raises :class:`ConfigError` on bad parameters and ``RuntimeError``
     when a worker fails or the run times out.  ``_fault`` is a test-only
     hook: ``(worker_id, block_index)`` crashes that worker at that block.
     """
     _validate_args(a_codes, b_codes, workers, block_rows, transport, weights,
-                   capacity)
+                   capacity, kernel)
     m, n = int(a_codes.size), int(b_codes.size)
     slabs = proportional_partition(
         n, list(weights) if weights is not None else [1.0] * workers)
@@ -389,7 +411,7 @@ def align_multi_process(
                 target=_worker,
                 args=(g, a_codes, b_codes[slab.col0:slab.col1].copy(), slab,
                       scoring, block_rows, recv_link, send_link, result_queue,
-                      origin, border_timeout_s, fault_block),
+                      origin, border_timeout_s, fault_block, kernel),
                 name=f"mgsw-worker-{g}",
             )
             proc.start()
@@ -414,6 +436,7 @@ def align_multi_process(
             best=best, wall_time_s=wall, cells=m * n, workers=workers,
             partition=tuple(slabs), transport=transport,
             start_method=ctx.get_start_method(), tracer=result_tracer,
+            kernel=kernel,
         )
     finally:
         for proc in procs:

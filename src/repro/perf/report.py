@@ -28,6 +28,7 @@ def chain_result_dict(result) -> dict:
             "channel_capacity": result.config.channel_capacity,
             "device_slots": result.config.device_slots,
             "async_transfers": result.config.async_transfers,
+            "kernel": result.config.kernel,
         },
         "devices": [
             {
@@ -68,6 +69,7 @@ def process_result_dict(result) -> dict:
             "workers": result.workers,
             "transport": result.transport,
             "start_method": result.start_method,
+            "kernel": result.kernel,
         },
         "workers": [
             {
@@ -99,7 +101,7 @@ def process_report(result, *, title: str = "process chain run") -> str:
         )
     lines.append(
         f"config: workers={result.workers} transport={result.transport} "
-        f"start_method={result.start_method}"
+        f"start_method={result.start_method} kernel={result.kernel}"
     )
     breakdown = result.breakdown()
     if breakdown:
@@ -136,7 +138,8 @@ def chain_report(result, *, title: str = "chain run") -> str:
     lines.append(
         f"config: block_rows={cfg.block_rows} buffer={cfg.channel_capacity} "
         f"device_slots={cfg.device_slots} "
-        f"transfers={'async' if cfg.async_transfers else 'sync'}"
+        f"transfers={'async' if cfg.async_transfers else 'sync'} "
+        f"kernel={cfg.kernel}"
     )
     lines.append("")
 

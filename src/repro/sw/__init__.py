@@ -3,6 +3,8 @@
 Layering (bottom up):
 
 * :mod:`repro.sw.kernel` — the vectorised Gotoh row-sweep ("GPU kernel").
+* :mod:`repro.sw.batched` — batched wavefront kernel + workspace arena +
+  profile cache (one stacked sweep per anti-diagonal).
 * :mod:`repro.sw.naive` — full-matrix oracle used by the tests.
 * :mod:`repro.sw.blocks` — block grid + single-device blocked executor.
 * :mod:`repro.sw.pruning` — block pruning for similar sequences.
@@ -13,6 +15,14 @@ Layering (bottom up):
 
 from .alignment import Alignment, from_ops
 from .banded import banded_score
+from .batched import (
+    KERNELS,
+    BlockJob,
+    KernelWorkspace,
+    ProfileCache,
+    cached_profile,
+    sweep_wavefront,
+)
 from .blocks import BlockSpec, BlockedOutcome, compute_blocked, grid_specs, wavefront_order
 from .constants import NEG_INF
 from .diagonal import sw_score_diagonal
@@ -39,6 +49,12 @@ __all__ = [
     "Alignment",
     "from_ops",
     "banded_score",
+    "KERNELS",
+    "BlockJob",
+    "KernelWorkspace",
+    "ProfileCache",
+    "cached_profile",
+    "sweep_wavefront",
     "BlockSpec",
     "BlockedOutcome",
     "compute_blocked",

@@ -1,0 +1,414 @@
+"""Batched wavefront kernel: one NumPy sweep per row across many blocks.
+
+The paper's premise is fine-grain wavefront parallelism — every block on
+one external anti-diagonal is independent, so a GPU computes them all
+concurrently.  The scalar path (:func:`repro.sw.kernel.sweep_block`) pays
+the Python-level row loop once *per block*, which is exactly the
+kernel-launch/amortisation overhead GPU aligners batch away.  This module
+stacks all ``B`` resident blocks of a wavefront into 2-D ``(B, W)`` arrays
+and executes the Gotoh recurrences with broadcasting, so the interpreted
+row loop runs once per wavefront and every NumPy op touches ``B`` blocks
+at a time (our "hardware" being BLAS/SIMD instead of CUDA cores).
+
+Layout
+------
+``B`` blocks are padded to the wavefront's maximum width ``W`` and maximum
+height ``R`` and stacked along axis 0:
+
+* each block owns **one row of the stack**, so the segmented E-scan is a
+  single ``np.maximum.accumulate(..., axis=1)`` — the accumulation runs
+  along each block's columns and *cannot* leak into a neighbouring block
+  by construction;
+* ragged edge blocks (``W_k < W`` or ``R_k < R``) are handled by masking:
+  padded boundary values are ``NEG_INF``, padded profile columns are 0,
+  and the best-cell reduction replaces every padded lane with ``NEG_INF``
+  before its single ``argmax`` pass, so padding can never win nor
+  overflow (see INTERNALS.md section 6 for the headroom argument);
+* per-block outputs (bottom/right borders, corner, best cell) are sliced
+  back out of the stack after the sweep, bit-identical to what ``B``
+  scalar :func:`~repro.sw.kernel.sweep_block` calls would produce.
+
+Two allocation amortisers ride along:
+
+* :class:`KernelWorkspace` — a shape-keyed arena of scratch buffers, so
+  repeated sweeps (a blocked executor runs one per anti-diagonal; a chain
+  worker one per block row) stop allocating ~10 fresh arrays each;
+* :class:`ProfileCache` — a small content-keyed LRU over
+  :func:`~repro.sw.kernel.build_profile`, so engines that see the same
+  horizontal sequence repeatedly (the persistent
+  :class:`~repro.multigpu.pool.WorkerPool`, batch campaigns) stop
+  rebuilding the ``(5, W)`` profile per comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..seq.scoring import Scoring
+from .constants import DTYPE, MAX_SWEEP_WIDTH, NEG_INF
+from .kernel import BestCell, BlockResult, build_profile
+
+#: Per-row callback of the batched sweep: ``(job_index, local_row, H, E, F)``
+#: with the arrays sliced to the job's true width and valid only for the
+#: duration of the call (copy to keep) — the scalar RowSink contract plus
+#: the job index.
+BatchRowSink = Callable[[int, int, np.ndarray, np.ndarray, np.ndarray], None]
+
+#: Kernel selector values accepted by the engines and the CLI.
+KERNELS = ("scalar", "batched")
+
+
+def validate_kernel(kernel: str) -> str:
+    """Reject unknown kernel names with one shared error message."""
+    if kernel not in KERNELS:
+        raise ConfigError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    return kernel
+
+
+class KernelWorkspace:
+    """Capacity-keyed arena of reusable scratch arrays.
+
+    ``take(tag, shape)`` keeps one flat buffer per ``(tag, dtype)`` that
+    grows to the largest element count ever requested and hands out a
+    reshaped prefix view, so sweeps whose geometry varies (wavefront
+    batch sizes shrink at the grid corners, edge blocks are ragged)
+    still allocate only when a tag's high-water mark rises.  Buffers
+    hold *garbage* between uses — callers must overwrite before reading.
+    Not thread-safe; give each concurrently-sweeping worker its own
+    workspace (the process backends do).
+    """
+
+    def __init__(self) -> None:
+        self._arena: dict[tuple, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, tag: str, shape: tuple[int, ...], dtype=DTYPE) -> np.ndarray:
+        key = (tag, np.dtype(dtype).str)
+        need = int(np.prod(shape)) if shape else 1
+        flat = self._arena.get(key)
+        if flat is None or flat.size < need:
+            flat = np.empty(need, dtype=dtype)
+            self._arena[key] = flat
+            self.misses += 1
+        else:
+            self.hits += 1
+        return flat[:need].reshape(shape)
+
+    def ramp(self, width: int, extend: int) -> np.ndarray:
+        """The ``j * gap_extend`` offset vector.  Content is deterministic
+        (unlike :meth:`take` scratch), and a narrower ramp is a prefix of
+        a wider one, so one buffer per *extend* value serves every width.
+        """
+        key = (("ramp", extend), np.dtype(DTYPE).str)
+        flat = self._arena.get(key)
+        if flat is None or flat.size < width:
+            flat = (np.arange(width, dtype=DTYPE) * DTYPE(extend)).astype(DTYPE)
+            self._arena[key] = flat
+            self.misses += 1
+        else:
+            self.hits += 1
+        return flat[:width]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self._arena.values())
+
+    def __len__(self) -> int:
+        return len(self._arena)
+
+    def clear(self) -> None:
+        self._arena.clear()
+
+
+class ProfileCache:
+    """Content-keyed LRU over :func:`~repro.sw.kernel.build_profile`.
+
+    The key is ``(sequence digest, length, dtype, scoring parameters)`` —
+    a stable identity for the *value* of the sequence, so the pool
+    workers (which receive a fresh copy of their slab per comparison) hit
+    the cache whenever the content repeats.  Digesting costs one linear
+    read of the codes; a build costs five linear writes of int32, so a
+    hit saves ~95% of the profile-construction memory traffic.  Capacity
+    is small by design: profiles are 20 bytes per column and megabase
+    entries are large.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity <= 0:
+            raise ConfigError("profile cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key_of(b_codes: np.ndarray, scoring: Scoring) -> tuple:
+        codes = np.ascontiguousarray(b_codes)
+        digest = hashlib.blake2b(codes.data, digest_size=16).digest()
+        return (
+            digest, codes.size, codes.dtype.str,
+            scoring.match, scoring.mismatch, scoring.gap_open, scoring.gap_extend,
+        )
+
+    def get(self, b_codes: np.ndarray, scoring: Scoring) -> np.ndarray:
+        key = self.key_of(b_codes, scoring)
+        profile = self._entries.get(key)
+        if profile is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return profile
+        self.misses += 1
+        profile = build_profile(b_codes, scoring)
+        self._entries[key] = profile
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return profile
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Process-wide default cache used by the engines (each OS process gets
+#: its own copy, so the pool's slab workers each cache their own slab).
+_DEFAULT_PROFILE_CACHE = ProfileCache()
+
+
+def cached_profile(
+    b_codes: np.ndarray, scoring: Scoring, cache: ProfileCache | None = None
+) -> np.ndarray:
+    """:func:`~repro.sw.kernel.build_profile` through an LRU (treat the
+    result as read-only — it is shared between callers)."""
+    return (cache or _DEFAULT_PROFILE_CACHE).get(b_codes, scoring)
+
+
+@dataclass(frozen=True)
+class BlockJob:
+    """One block of a wavefront: the exact argument set of
+    :func:`~repro.sw.kernel.sweep_block` minus the scoring scheme."""
+
+    a_codes: np.ndarray   #: vertical codes for the block's rows (R_k)
+    profile: np.ndarray   #: ``(5, W_k)`` column profile (may be a view)
+    h_top: np.ndarray
+    f_top: np.ndarray
+    h_left: np.ndarray
+    e_left: np.ndarray
+    h_diag: int
+
+    @property
+    def rows(self) -> int:
+        return int(self.a_codes.size)
+
+    @property
+    def cols(self) -> int:
+        return int(self.profile.shape[1])
+
+    def validate(self) -> None:
+        rows, cols = self.rows, self.cols
+        if rows == 0 or cols == 0:
+            raise ConfigError("sweep_wavefront requires non-empty blocks")
+        if cols > MAX_SWEEP_WIDTH:
+            raise ConfigError(
+                f"block width {cols} exceeds MAX_SWEEP_WIDTH={MAX_SWEEP_WIDTH}")
+        if self.h_top.shape != (cols,) or self.f_top.shape != (cols,):
+            raise ConfigError("h_top/f_top must have one entry per block column")
+        if self.h_left.shape != (rows,) or self.e_left.shape != (rows,):
+            raise ConfigError("h_left/e_left must have one entry per block row")
+
+
+def sweep_wavefront(
+    jobs: Sequence[BlockJob],
+    scoring: Scoring,
+    *,
+    local: bool = True,
+    track_best: bool = True,
+    workspace: KernelWorkspace | None = None,
+    row_sink: BatchRowSink | None = None,
+    sink_interval: int = 0,
+) -> list[BlockResult]:
+    """Sweep every block of one wavefront in a single stacked row loop.
+
+    Returns one :class:`~repro.sw.kernel.BlockResult` per job, in order,
+    bit-identical to calling :func:`~repro.sw.kernel.sweep_block` on each
+    job separately (the cross-kernel property the differential suite
+    enforces).  ``row_sink(k, i, H, E, F)`` fires for every job ``k``
+    whose local row ``i`` satisfies ``(i + 1) % sink_interval == 0`` and
+    ``i < R_k`` — the scalar special-row contract, per block.
+    """
+    if row_sink is not None and sink_interval <= 0:
+        raise ConfigError("row_sink requires a positive sink_interval")
+    if not jobs:
+        return []
+    for job in jobs:
+        job.validate()
+
+    ws = workspace if workspace is not None else KernelWorkspace()
+    B = len(jobs)
+    R = max(job.rows for job in jobs)
+    W = max(job.cols for job in jobs)
+    r_of = np.array([job.rows for job in jobs], dtype=np.intp)
+    w_of = np.array([job.cols for job in jobs], dtype=np.intp)
+    ragged_rows = bool((r_of != R).any())
+    ragged_cols = bool((w_of != W).any())
+
+    open_ = DTYPE(scoring.gap_open)
+    ext = DTYPE(scoring.gap_extend)
+    j_ext = ws.ramp(W, int(scoring.gap_extend))
+    idx_b = np.arange(B, dtype=np.intp)
+
+    # -- stack the inputs (pads: NEG_INF boundaries, zero profile/codes) --
+    prof = ws.take("wf.prof", (B, 5, W))
+    a_stack = ws.take("wf.a", (B, R), dtype=np.intp)
+    h_prev = ws.take("wf.h_prev", (B, W))
+    f_prev = ws.take("wf.f_prev", (B, W))
+    h_left = ws.take("wf.h_left", (B, R))
+    e_left = ws.take("wf.e_left", (B, R))
+    corner0 = ws.take("wf.corner0", (B,))
+    for k, job in enumerate(jobs):
+        wk, rk = job.cols, job.rows
+        prof[k, :, :wk] = job.profile
+        prof[k, :, wk:] = 0
+        a_stack[k, :rk] = job.a_codes
+        a_stack[k, rk:] = 0
+        h_prev[k, :wk] = job.h_top
+        f_prev[k, :wk] = job.f_top
+        h_prev[k, wk:] = NEG_INF
+        f_prev[k, wk:] = NEG_INF
+        h_left[k, :rk] = job.h_left
+        e_left[k, :rk] = job.e_left
+        h_left[k, rk:] = NEG_INF
+        e_left[k, rk:] = NEG_INF
+        corner0[k] = job.h_diag
+    prof2d = prof.reshape(B * 5, W)
+    prof_base = idx_b * 5
+
+    # -- scratch reused across rows (and, via the workspace, sweeps) -----
+    sub = ws.take("wf.sub", (B, W))
+    diag = ws.take("wf.diag", (B, W))
+    temp = ws.take("wf.temp", (B, W))
+    scan = ws.take("wf.scan", (B, W))
+    e_row = ws.take("wf.e_row", (B, W))
+    f_row = ws.take("wf.f_row", (B, W))
+    gap_tmp = ws.take("wf.gap_tmp", (B, W))
+    e0 = ws.take("wf.e0", (B,))
+    take_idx = ws.take("wf.take_idx", (B,), dtype=np.intp)
+    h_right = ws.take("wf.h_right", (B, R))
+    e_right = ws.take("wf.e_right", (B, R))
+    h_bot = ws.take("wf.h_bot", (B, W))
+    f_bot = ws.take("wf.f_bot", (B, W))
+    w_last = w_of - 1
+
+    masked = None
+    col_valid = None
+    if track_best:
+        masked = ws.take("wf.masked", (B, W))
+        if ragged_cols:
+            col_valid = ws.take("wf.col_valid", (B, W), dtype=bool)
+            np.less(np.arange(W, dtype=np.intp)[None, :], w_of[:, None],
+                    out=col_valid)
+            masked.fill(NEG_INF)  # the padded lanes stay NEG_INF for good
+
+    best_score = ws.take("wf.best_score", (B,))
+    best_row = ws.take("wf.best_row", (B,), dtype=np.intp)
+    best_col = ws.take("wf.best_col", (B,), dtype=np.intp)
+    best_score.fill(0 if local else NEG_INF)  # local never reports <= 0 cells
+    best_row.fill(-1)
+    best_col.fill(-1)
+
+    corner_prev = corner0  # H at (i-1, -1) per block
+    for i in range(R):
+        np.add(prof_base, a_stack[:, i], out=take_idx)
+        np.take(prof2d, take_idx, axis=0, out=sub)
+
+        # F (vertical gap): depends only on the previous row.
+        np.subtract(h_prev, open_, out=gap_tmp)
+        np.maximum(f_prev, gap_tmp, out=f_row)
+        f_row -= ext
+
+        # Diagonal term H[i-1, j-1] + s (the shift stays inside each
+        # block: every block owns a full stack row).
+        diag[:, 0] = corner_prev
+        diag[:, 1:] = h_prev[:, :-1]
+        np.add(diag, sub, out=temp)
+        np.maximum(temp, f_row, out=temp)
+        if local:
+            np.maximum(temp, 0, out=temp)
+
+        # Segmented E-scan: one accumulate along axis 1; blocks cannot
+        # leak into each other because each owns its own axis-0 lane.
+        np.subtract(h_left[:, i], open_, out=e0)
+        np.maximum(e_left[:, i], e0, out=e0)
+        e0 -= ext
+        np.subtract(temp[:, :-1], open_, out=scan[:, 1:])
+        scan[:, 1:] += j_ext[:-1]
+        scan[:, 0] = e0
+        np.maximum.accumulate(scan, axis=1, out=scan)
+        np.subtract(scan, j_ext, out=e_row)
+
+        np.maximum(temp, e_row, out=temp)  # temp is now the final H row
+
+        if track_best:
+            # Single argmax pass per row over the padding-masked stack;
+            # strict ">" keeps the scalar kernel's row-major tie-break.
+            if ragged_cols:
+                np.copyto(masked, temp, where=col_valid)
+            else:
+                np.copyto(masked, temp)
+            if ragged_rows and i > 0:
+                masked[r_of <= i] = NEG_INF
+            am = masked.argmax(axis=1)
+            m = masked[idx_b, am]
+            upd = m > best_score
+            if upd.any():
+                best_score[upd] = m[upd]
+                best_row[upd] = i
+                best_col[upd] = am[upd]
+
+        if row_sink is not None and (i + 1) % sink_interval == 0:
+            for k in range(B):
+                if i < r_of[k]:
+                    wk = int(w_of[k])
+                    row_sink(k, i, temp[k, :wk], e_row[k, :wk], f_row[k, :wk])
+
+        h_right[:, i] = temp[idx_b, w_last]
+        e_right[:, i] = e_row[idx_b, w_last]
+        if ragged_rows:
+            fin = np.flatnonzero(r_of == i + 1)
+            if fin.size:
+                h_bot[fin] = temp[fin]
+                f_bot[fin] = f_row[fin]
+        elif i == R - 1:
+            np.copyto(h_bot, temp)
+            np.copyto(f_bot, f_row)
+        corner_prev = h_left[:, i]
+        h_prev, temp = temp, h_prev  # swap buffers; h_prev now holds row i
+        f_prev, f_row = f_row, f_prev
+
+    # -- unstack: fresh per-block borders (the stack is workspace-owned) --
+    results: list[BlockResult] = []
+    for k, job in enumerate(jobs):
+        wk, rk = job.cols, job.rows
+        if best_row[k] >= 0:
+            best = BestCell(int(best_score[k]), int(best_row[k]), int(best_col[k]))
+        else:
+            best = BestCell.none()
+        results.append(BlockResult(
+            h_bottom=h_bot[k, :wk].copy(),
+            f_bottom=f_bot[k, :wk].copy(),
+            h_right=h_right[k, :rk].copy(),
+            e_right=e_right[k, :rk].copy(),
+            corner=int(h_bot[k, wk - 1]),
+            best=best,
+        ))
+    return results

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..seq.scoring import Scoring
+from .batched import BlockJob, KernelWorkspace, sweep_wavefront, validate_kernel
 from .constants import DTYPE, NEG_INF
 from .kernel import BestCell, BlockResult, build_profile, sweep_block
 from .pruning import BlockPruner
@@ -146,6 +147,15 @@ class BlockedOutcome:
         return self.cells_pruned / self.cells_total if self.cells_total else 0.0
 
 
+def _edge_diag(spec: BlockSpec, *, local: bool, scoring: Scoring) -> int:
+    """``h_diag`` for a block touching the top or left matrix edge when
+    the *other* boundary comes from a computed neighbour."""
+    if local:
+        return 0
+    offset = spec.col0 if spec.row0 == 0 else spec.row0
+    return -scoring.gap_open - offset * scoring.gap_extend
+
+
 def compute_blocked(
     a_codes: np.ndarray,
     b_codes: np.ndarray,
@@ -155,6 +165,8 @@ def compute_blocked(
     block_cols: int = 512,
     local: bool = True,
     pruner: BlockPruner | None = None,
+    kernel: str = "scalar",
+    workspace: KernelWorkspace | None = None,
 ) -> BlockedOutcome:
     """Compute the whole matrix block-by-block on one device.
 
@@ -162,13 +174,26 @@ def compute_blocked(
     :func:`repro.sw.kernel.sw_score` sweep (tested cell-exactly); with a
     *pruner* (local mode only), blocks that provably cannot influence the
     optimum are skipped and replaced by :func:`pruned_border_result`.
+
+    ``kernel="scalar"`` sweeps blocks one at a time in row-major order;
+    ``kernel="batched"`` walks the grid in wavefront order and executes
+    every surviving block of an anti-diagonal in one stacked
+    :func:`~repro.sw.batched.sweep_wavefront` call (same scores, end
+    points, and borders — pruning *decisions* may differ because the
+    batched schedule sees best-so-far updates one diagonal later).  A
+    caller-supplied *workspace* lets repeated batched runs share scratch.
     """
     if pruner is not None and not local:
         raise ConfigError("block pruning applies to local alignment only")
+    validate_kernel(kernel)
     m, n = int(a_codes.size), int(b_codes.size)
     specs = grid_specs(m, n, block_rows, block_cols)
-    n_brows, n_bcols = len(specs), len(specs[0])
     profile_full = build_profile(b_codes, scoring)
+    if kernel == "batched":
+        return _compute_blocked_wavefront(
+            a_codes, profile_full, scoring, specs, m, n,
+            local=local, pruner=pruner, workspace=workspace)
+    n_brows, n_bcols = len(specs), len(specs[0])
 
     # Rolling borders: bottom borders of the previous block row (per block
     # column) and right borders of the previous block column (per block row).
@@ -185,19 +210,20 @@ def compute_blocked(
         row_corner_updates = [0] * (n_bcols + 1)
         for bc in range(n_bcols):
             spec = specs[br][bc]
-            bnd = origin_boundaries(spec, local=local, scoring=scoring)
-            if br > 0:
+            if br == 0 or bc == 0:
+                # Only edge blocks keep any origin border; interior blocks
+                # overwrite all four, so skip the allocations entirely.
+                bnd = origin_boundaries(spec, local=local, scoring=scoring)
+                if br > 0:
+                    bnd.h_top, bnd.f_top = bottom[bc]  # type: ignore[misc]
+                    bnd.h_diag = _edge_diag(spec, local=local, scoring=scoring)
+                elif bc > 0:
+                    bnd.h_left, bnd.e_left = right  # type: ignore[misc]
+                    bnd.h_diag = _edge_diag(spec, local=local, scoring=scoring)
+            else:
                 h_top, f_top = bottom[bc]  # type: ignore[misc]
-                bnd.h_top, bnd.f_top = h_top, f_top
-            if bc > 0:
                 h_left, e_left = right  # type: ignore[misc]
-                bnd.h_left, bnd.e_left = h_left, e_left
-            if br > 0 and bc > 0:
-                bnd.h_diag = corners[bc]
-            elif br > 0:
-                bnd.h_diag = 0 if local else -scoring.gap_open - spec.row0 * scoring.gap_extend
-            elif bc > 0:
-                bnd.h_diag = 0 if local else -scoring.gap_open - spec.col0 * scoring.gap_extend
+                bnd = BlockBoundaries(h_top, f_top, h_left, e_left, corners[bc])
 
             if pruner is not None and pruner.should_prune(
                 spec,
@@ -237,6 +263,118 @@ def compute_blocked(
     return BlockedOutcome(
         best=best,
         blocks_total=total_blocks,
+        blocks_pruned=blocks_pruned,
+        cells_total=m * n,
+        cells_pruned=cells_pruned,
+    )
+
+
+def _store_borders(
+    br: int,
+    bc: int,
+    result: BlockResult,
+    n_brows: int,
+    n_bcols: int,
+    bottom: dict,
+    right: dict,
+    corner: dict,
+) -> None:
+    """File one block's output borders for its downstream neighbours
+    (skipping matrix-edge destinations that will never consume them)."""
+    if br + 1 < n_brows:
+        bottom[(br + 1, bc)] = (result.h_bottom, result.f_bottom)
+    if bc + 1 < n_bcols:
+        right[(br, bc + 1)] = (result.h_right, result.e_right)
+    if br + 1 < n_brows and bc + 1 < n_bcols:
+        corner[(br + 1, bc + 1)] = result.corner
+
+
+def _compute_blocked_wavefront(
+    a_codes: np.ndarray,
+    profile_full: np.ndarray,
+    scoring: Scoring,
+    specs: list[list[BlockSpec]],
+    m: int,
+    n: int,
+    *,
+    local: bool,
+    pruner: BlockPruner | None,
+    workspace: KernelWorkspace | None,
+) -> BlockedOutcome:
+    """Wavefront executor: one batched sweep per external anti-diagonal.
+
+    Borders are keyed per block and popped as they are consumed, so the
+    resident set stays one wavefront deep — the same O(m + n) border
+    memory as the rolling scalar schedule.
+    """
+    n_brows, n_bcols = len(specs), len(specs[0])
+    ws = workspace if workspace is not None else KernelWorkspace()
+
+    bottom: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+    right: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+    corner: dict[tuple[int, int], int] = {}
+
+    best = BestCell.none()
+    blocks_pruned = 0
+    cells_pruned = 0
+    for diag in wavefront_order(n_brows, n_bcols):
+        jobs: list[BlockJob] = []
+        placed: list[tuple[int, int, BlockSpec]] = []
+        for br, bc in diag:
+            spec = specs[br][bc]
+            if br == 0 or bc == 0:
+                bnd = origin_boundaries(spec, local=local, scoring=scoring)
+                if br > 0:
+                    bnd.h_top, bnd.f_top = bottom.pop((br, bc))
+                    bnd.h_diag = _edge_diag(spec, local=local, scoring=scoring)
+                elif bc > 0:
+                    bnd.h_left, bnd.e_left = right.pop((br, bc))
+                    bnd.h_diag = _edge_diag(spec, local=local, scoring=scoring)
+            else:
+                h_top, f_top = bottom.pop((br, bc))
+                h_left, e_left = right.pop((br, bc))
+                bnd = BlockBoundaries(h_top, f_top, h_left, e_left,
+                                      corner.pop((br, bc)))
+
+            if pruner is not None and pruner.should_prune(
+                spec,
+                m,
+                n,
+                int(bnd.h_top.max(initial=NEG_INF)),
+                int(bnd.h_left.max(initial=NEG_INF)),
+                best.score if best.row >= 0 else 0,
+            ):
+                # Pruned blocks drop out of the batch: their restart
+                # borders are constant, no sweep lane needed.
+                result = pruned_border_result(spec)
+                blocks_pruned += 1
+                cells_pruned += spec.cells
+                _store_borders(br, bc, result, n_brows, n_bcols,
+                               bottom, right, corner)
+                continue
+
+            jobs.append(BlockJob(
+                a_codes=a_codes[spec.row0 : spec.row1],
+                profile=profile_full[:, spec.col0 : spec.col1],
+                h_top=bnd.h_top,
+                f_top=bnd.f_top,
+                h_left=bnd.h_left,
+                e_left=bnd.e_left,
+                h_diag=bnd.h_diag,
+            ))
+            placed.append((br, bc, spec))
+
+        for (br, bc, spec), result in zip(placed, sweep_wavefront(
+                jobs, scoring, local=local, workspace=ws)):
+            cell = result.best.shifted(spec.row0, spec.col0)
+            if cell.better_than(best):
+                best = cell
+            _store_borders(br, bc, result, n_brows, n_bcols,
+                           bottom, right, corner)
+
+    return BlockedOutcome(
+        best=best,
+        blocks_total=n_brows * n_bcols,
         blocks_pruned=blocks_pruned,
         cells_total=m * n,
         cells_pruned=cells_pruned,

@@ -224,25 +224,20 @@ def sweep_block(
         #   e[0] = E[0] = max(E_left, H_left - open) - ext.
         # Q is written pre-shifted (scan[k] = Q[k-1]) to avoid a
         # full-width copy per row.
-        e0 = max(int(e_left[i]), int(h_left[i]) - int(open_)) - int(ext)
+        scan[0] = max(e_left[i], h_left[i] - open_) - ext
         np.subtract(temp[:-1], open_, out=scan[1:])
         scan[1:] += j_ext[:-1]
-        scan[0] = e0
         np.maximum.accumulate(scan, out=scan)
         np.subtract(scan, j_ext, out=e_row)
 
         np.maximum(temp, e_row, out=temp)  # temp is now the final H row
 
-        if track_best and local:
-            m = int(temp.max())
+        if track_best:
+            j = int(temp.argmax())
+            m = int(temp[j])
             if m > best_score:
                 best_score = m
-                best = BestCell(m, i, int(temp.argmax()))
-        elif track_best:
-            m = int(temp.max())
-            if m > best_score:
-                best_score = m
-                best = BestCell(m, i, int(temp.argmax()))
+                best = BestCell(m, i, j)
 
         if row_sink is not None and (i + 1) % sink_interval == 0:
             row_sink(i, temp, e_row, f_row)

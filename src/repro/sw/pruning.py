@@ -18,6 +18,14 @@ Pruned blocks emit *restart borders* (``H = 0``, gap states = -inf; see
 :func:`repro.sw.blocks.pruned_border_result`): legal lower bounds of the
 true cells, so downstream blocks never overestimate, and since no optimal
 path crosses a pruned block the final best score is exact.
+
+Schedule interaction: the criterion reads the *best-so-far* score, so how
+much gets pruned depends on the visiting order.  The scalar row-major
+executor updates best-so-far within an anti-diagonal; the batched
+wavefront executor (``kernel="batched"``) decides a whole diagonal at
+once, so its decisions lag by up to one diagonal and it may prune
+slightly less.  Both schedules are exact — only the pruned *counts*
+differ, never the score or end point.
 """
 
 from __future__ import annotations

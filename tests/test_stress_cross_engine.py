@@ -32,8 +32,21 @@ from repro.multigpu import (
 )
 from repro.multigpu.partition import proportional_partition
 from repro.seq import DNA_DEFAULT, Scoring
-from repro.sw import BlockPruner, align_local, compute_blocked, sw_score, sw_score_naive
+from repro.sw import (
+    BlockJob,
+    BlockPruner,
+    align_local,
+    build_profile,
+    compute_blocked,
+    grid_specs,
+    sw_score,
+    sw_score_diagonal,
+    sw_score_naive,
+    sweep_block,
+    sweep_wavefront,
+)
 from repro.sw.banded import banded_score
+from repro.sw.constants import DTYPE
 from repro.workloads import insert_n_runs, mutate, HUMAN_CHIMP, random_dna
 
 
@@ -159,3 +172,102 @@ class TestDifferentialRandomized:
         if want > 0:
             assert (sim.best.row, sim.best.col) == (wi, wj)
             assert (real.best.row, real.best.col) == (wi, wj)
+
+
+class TestBatchedKernelDifferential:
+    """Hypothesis drives the batched wavefront kernel against the scalar one.
+
+    Two levels: (1) block level — a random wavefront of ragged blocks with
+    random boundary state, ``sweep_wavefront`` vs per-job ``sweep_block``,
+    bit-exact on every border, corner, and best cell, in local AND global
+    mode; (2) matrix level — ``compute_blocked(kernel="batched")`` (with
+    and without pruning) vs the scalar executor AND the independent
+    anti-diagonal oracle ``sw_score_diagonal``.
+    """
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        blocks=st.integers(min_value=1, max_value=6),
+        max_rows=st.integers(min_value=1, max_value=40),
+        max_cols=st.integers(min_value=1, max_value=40),
+        match=st.integers(min_value=1, max_value=4),
+        mismatch=st.integers(min_value=-4, max_value=0),
+        gap_open=st.integers(min_value=0, max_value=5),
+        gap_extend=st.integers(min_value=1, max_value=3),
+        local=st.booleans(),
+    )
+    def test_wavefront_blockwise_bit_identical(self, seed, blocks, max_rows,
+                                               max_cols, match, mismatch,
+                                               gap_open, gap_extend, local):
+        rng = np.random.default_rng(seed)
+        scoring = Scoring(match=match, mismatch=mismatch,
+                          gap_open=gap_open, gap_extend=gap_extend)
+        jobs = []
+        for _ in range(blocks):
+            rows = int(rng.integers(1, max_rows + 1))
+            cols = int(rng.integers(1, max_cols + 1))
+            b = rng.integers(0, 5, cols).astype(np.uint8)
+            jobs.append(BlockJob(
+                a_codes=rng.integers(0, 5, rows).astype(np.uint8),
+                profile=build_profile(b, scoring),
+                h_top=rng.integers(-80, 90, cols).astype(DTYPE),
+                f_top=rng.integers(-150, 60, cols).astype(DTYPE),
+                h_left=rng.integers(-80, 90, rows).astype(DTYPE),
+                e_left=rng.integers(-150, 60, rows).astype(DTYPE),
+                h_diag=int(rng.integers(-80, 90)),
+            ))
+        results = sweep_wavefront(jobs, scoring, local=local)
+        for job, got in zip(jobs, results):
+            want = sweep_block(job.a_codes, job.profile, job.h_top, job.f_top,
+                               job.h_left, job.e_left, job.h_diag, scoring,
+                               local=local)
+            np.testing.assert_array_equal(got.h_bottom, want.h_bottom)
+            np.testing.assert_array_equal(got.f_bottom, want.f_bottom)
+            np.testing.assert_array_equal(got.h_right, want.h_right)
+            np.testing.assert_array_equal(got.e_right, want.e_right)
+            assert got.corner == want.corner
+            assert got.best == want.best
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        m=st.integers(min_value=3, max_value=130),
+        n=st.integers(min_value=3, max_value=170),
+        block_rows=st.integers(min_value=1, max_value=48),
+        block_cols=st.integers(min_value=1, max_value=48),
+        match=st.integers(min_value=1, max_value=4),
+        mismatch=st.integers(min_value=-4, max_value=0),
+        gap_open=st.integers(min_value=0, max_value=5),
+        gap_extend=st.integers(min_value=1, max_value=3),
+        homolog=st.booleans(),
+        prune=st.booleans(),
+    )
+    def test_blocked_executor_bit_identical(self, seed, m, n, block_rows,
+                                            block_cols, match, mismatch,
+                                            gap_open, gap_extend, homolog,
+                                            prune):
+        rng = np.random.default_rng(seed)
+        a = random_dna(m, rng=rng)
+        b = mutate(a, HUMAN_CHIMP, rng=rng) if homolog else random_dna(n, rng=rng)
+        b = b[:n] if b.size >= n else np.concatenate(
+            [b, random_dna(n - b.size, rng=rng)])
+        scoring = Scoring(match=match, mismatch=mismatch,
+                          gap_open=gap_open, gap_extend=gap_extend)
+
+        def run(kernel, pruned):
+            pruner = BlockPruner(match=scoring.match) if pruned else None
+            return compute_blocked(a, b, scoring, block_rows=block_rows,
+                                   block_cols=block_cols, pruner=pruner,
+                                   kernel=kernel)
+
+        oracle = sw_score_diagonal(a, b, scoring)
+        scalar = run("scalar", prune)
+        batched = run("batched", prune)
+        assert batched.best == scalar.best
+        if oracle.score > 0:
+            assert batched.best == oracle
+        else:
+            assert batched.best.row == -1  # no positive cell anywhere

@@ -1,0 +1,139 @@
+"""X8 — distributed block pruning across the multi-GPU engines.
+
+A high-similarity mutated self-comparison (the workload block pruning
+exists for) runs with pruning off and on through the simulated chain and
+the real-process backend, under both block kernels.  Pruning must not
+change any score or end cell, must prune a substantial fraction of the
+blocks (the chain-wide scoreboard lets every worker skip its off-diagonal
+corners), and must deliver a measurable wall-clock GCUPS gain on the
+process backend — on this single-box harness the workers timeshare the
+cores, so wall time tracks the total cells actually computed, exactly
+the quantity pruning removes.  The process runs go through one persistent
+:class:`~repro.multigpu.pool.WorkerPool` per kernel so process startup
+stays out of the timings.  Results land in ``benchmarks/BENCH_pruning.json``.
+
+Set ``MGSW_X8_TINY=1`` for the CI smoke configuration (a few-hundred-bp
+matrix: exactness and pruning-ratio checks only, no timing assertions).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.device import TESLA_M2090
+from repro.multigpu import ChainConfig, MatrixWorkload, MultiGpuChain, WorkerPool
+from repro.perf import format_table
+from repro.seq import DNA_DEFAULT
+from repro.sw import KERNELS
+from repro.workloads import HUMAN_CHIMP, mutate, random_dna
+
+from bench_helpers import print_header
+
+TINY = bool(os.environ.get("MGSW_X8_TINY"))
+M = 768 if TINY else 4_096       # rows; cols follow the mutated copy (~M)
+BLOCK = 64 if TINY else 256      # block-row height
+WORKERS = 4
+REPEATS = 1 if TINY else 2       # best-of for the wall-clock numbers
+MIN_PRUNED_RATIO = 0.25          # acceptance bound (typical is ~1/3)
+MIN_PROCESS_GAIN = 1.05          # pruning-on GCUPS / pruning-off GCUPS
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_pruning.json"
+
+
+def _sim_run(a, b, kernel: str, pruning: bool):
+    chain = MultiGpuChain(
+        [TESLA_M2090] * WORKERS,
+        config=ChainConfig(block_rows=BLOCK, kernel=kernel, pruning=pruning))
+    return chain.run(MatrixWorkload(a, b, DNA_DEFAULT))
+
+
+def _pool_best_run(pool, a, b, kernel: str, pruning: bool):
+    best = None
+    for _ in range(REPEATS):
+        run = pool.align(a, b, DNA_DEFAULT, block_rows=BLOCK,
+                         kernel=kernel, pruning=pruning)
+        if best is None or run.wall_time_s < best.wall_time_s:
+            best = run
+    return best
+
+
+def test_x8_distributed_pruning(benchmark):
+    print_header("X8 distributed pruning",
+                 "chain-wide scoreboard pruning skips >= 25% of blocks on "
+                 "similar sequences without changing any result")
+    rng = np.random.default_rng(8)
+    a = random_dna(M, rng=rng)
+    b = mutate(a, HUMAN_CHIMP, rng=rng)
+    cells = int(a.size) * int(b.size)
+
+    runs: dict[tuple[str, str, bool], object] = {}
+    for kernel in KERNELS:
+        for pruning in (False, True):
+            runs[("simulated", kernel, pruning)] = _sim_run(a, b, kernel, pruning)
+        with WorkerPool(WORKERS, max_block_rows=BLOCK) as pool:
+            for pruning in (False, True):
+                runs[("process", kernel, pruning)] = _pool_best_run(
+                    pool, a, b, kernel, pruning)
+
+    scores = {(r.score, r.best.row, r.best.col) for r in runs.values()}
+    assert len(scores) == 1, f"engines disagree under pruning: {scores}"
+
+    def wall(res):  # simulated results report virtual time
+        return res.total_time_s if hasattr(res, "total_time_s") else res.wall_time_s
+
+    table = []
+    record_runs = {}
+    for (backend, kernel, pruning), res in sorted(runs.items()):
+        gcups = cells / wall(res) / 1e9
+        ratio = res.pruned_ratio if pruning else 0.0
+        table.append([backend, kernel, "on" if pruning else "off",
+                      f"{gcups:.4f}", f"{res.blocks_pruned}/{res.blocks_checked}"
+                      if pruning else "-", f"{ratio:.1%}" if pruning else "-"])
+        record_runs[f"{backend}_{kernel}_{'on' if pruning else 'off'}"] = {
+            "gcups": gcups,
+            "time_s": wall(res),
+            "blocks_checked": res.blocks_checked,
+            "blocks_pruned": res.blocks_pruned,
+            "pruned_ratio": res.pruned_ratio,
+        }
+    print(format_table(
+        ["backend", "kernel", "pruning", "GCUPS", "blocks pruned", "ratio"],
+        table))
+
+    proc_on = runs[("process", "scalar", True)]
+    gains = {
+        kernel: (wall(runs[("process", kernel, False)])
+                 / wall(runs[("process", kernel, True)]))
+        for kernel in KERNELS
+    }
+    for kernel in KERNELS:
+        print(f"process {kernel}: pruning speedup {gains[kernel]:.2f}x")
+
+    some = runs[("process", "scalar", True)].score
+    record = {
+        "experiment": "x8_distributed_pruning",
+        "matrix": {"rows": int(a.size), "cols": int(b.size)},
+        "block_rows": BLOCK,
+        "workers": WORKERS,
+        "repeats": REPEATS,
+        "tiny": TINY,
+        "score": some,
+        "runs": record_runs,
+        "process_gain": gains,
+        "recorded_unix": time.time(),
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert proc_on.pruned_ratio >= MIN_PRUNED_RATIO, (
+        f"only {proc_on.pruned_ratio:.1%} of blocks pruned "
+        f"(need {MIN_PRUNED_RATIO:.0%})")
+    if not TINY:
+        assert max(gains.values()) >= MIN_PROCESS_GAIN, (
+            f"pruning gained only {max(gains.values()):.2f}x wall-clock on "
+            f"the process backend (need {MIN_PROCESS_GAIN}x)")
+
+    benchmark(_sim_run, a[:256], b[:256], "batched", True)

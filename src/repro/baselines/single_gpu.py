@@ -1,10 +1,12 @@
 """Single-GPU baseline (the CUDAlign-2.1-shaped comparator).
 
 One simulated device sweeps the whole matrix in block rows — no
-partitioning, no border channels.  Optionally applies block pruning
-(the single-GPU optimisation the multi-GPU chain forgoes, because a
-pruning decision on device *g* would need the running best score from
-every other device).
+partitioning, no border channels.  Optionally applies block pruning,
+which the multi-GPU engines now also support through a chain-wide
+best-score scoreboard (``ChainConfig.pruning`` /
+``align_multi_process(pruning=True)``; see
+:mod:`repro.comm.scoreboard`) — this baseline remains the reference
+for the single-device pruned fraction.
 
 Like the chain, it runs in compute mode (real cells, exact score) or
 timing mode (virtual clock only, any scale).
@@ -35,6 +37,14 @@ class SingleGpuResult:
     cells: int
     cells_computed: int
     pruned_fraction: float
+    #: Per-block pruning decisions (zeros when pruning was off).
+    blocks_checked: int = 0
+    blocks_pruned: int = 0
+
+    @property
+    def pruned_ratio(self) -> float:
+        """Fraction of checked blocks that were pruned."""
+        return self.blocks_pruned / self.blocks_checked if self.blocks_checked else 0.0
 
     @property
     def gcups(self) -> float:
@@ -98,6 +108,8 @@ def run_single_gpu(
         cells=m * n,
         cells_computed=computed,
         pruned_fraction=outcome.pruned_fraction,
+        blocks_checked=pruner.blocks_checked if pruner is not None else 0,
+        blocks_pruned=pruner.blocks_pruned if pruner is not None else 0,
     )
 
 

@@ -89,6 +89,7 @@ def cmd_align(args: argparse.Namespace) -> int:
             transport=args.transport,
             start_method=args.start_method,
             kernel=args.kernel,
+            pruning=args.pruning,
         )
         print(process_report(res, title=title))
     else:
@@ -96,7 +97,7 @@ def cmd_align(args: argparse.Namespace) -> int:
 
         devices = _devices_from_args(args)
         cfg = ChainConfig(block_rows=args.block_rows, channel_capacity=args.buffer,
-                          kernel=args.kernel)
+                          kernel=args.kernel, pruning=args.pruning)
         res = align_multi_gpu(a, b, seq.DNA_DEFAULT, devices, config=cfg)
         print(chain_report(res, title=title))
     if args.trace and res.score > 0:
@@ -232,6 +233,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="block sweep kernel: scalar (one block at a time) or "
                         "batched (one NumPy sweep per row across all resident "
                         "blocks); scores are bit-identical")
+    p.add_argument("--pruning", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="distributed block pruning against a chain-wide "
+                        "best-score scoreboard (exact: same score and end "
+                        "cell; pays off on similar sequences)")
     _add_device_args(p)
     p.set_defaults(func=cmd_align)
 

@@ -3,15 +3,18 @@
 from .channel import BorderChannel, BorderSegment
 from .network import InterNodeChannel, NetworkLink
 from .ringbuf import RingBuffer, RingStats, SimRingBuffer
+from .scoreboard import LocalScoreboard, SharedScoreboard
 from .shmring import ShmRing
 
 __all__ = [
     "BorderChannel",
     "BorderSegment",
     "InterNodeChannel",
+    "LocalScoreboard",
     "NetworkLink",
     "RingBuffer",
     "RingStats",
+    "SharedScoreboard",
     "ShmRing",
     "SimRingBuffer",
 ]

@@ -22,8 +22,11 @@ from dataclasses import dataclass, field
 
 from ..errors import SimulationError
 
-#: Interval kinds the chain engine reports.
-KINDS = ("compute", "d2h", "h2d", "wait")
+#: Interval kinds the chain engines report.  ``pruned`` marks a block row
+#: that was skipped by distributed block pruning — recorded as a (near)
+#: zero-length span so traces count pruning decisions without charging
+#: time for work that never ran.
+KINDS = ("compute", "d2h", "h2d", "wait", "pruned")
 
 
 @dataclass(frozen=True)
@@ -186,7 +189,7 @@ def merge_wall_records(
 
 
 #: Glyph per interval kind in the Gantt rendering.
-_GLYPHS = {"compute": "#", "d2h": ">", "h2d": "<", "wait": "."}
+_GLYPHS = {"compute": "#", "d2h": ">", "h2d": "<", "wait": ".", "pruned": "x"}
 
 
 def render_gantt(tracer: Tracer, *, width: int = 100, makespan: float | None = None) -> str:
@@ -227,6 +230,6 @@ def render_gantt(tracer: Tracer, *, width: int = 100, makespan: float | None = N
                 kind = max(per_bucket[b], key=per_bucket[b].get)  # type: ignore[arg-type]
                 row.append(_GLYPHS[kind])
         lines.append(f"{actor.ljust(label_w)} |{''.join(row)}|")
-    legend = "legend: # compute   > D2H   < H2D   . wait   (space) idle"
+    legend = "legend: # compute   > D2H   < H2D   . wait   x pruned   (space) idle"
     scale = f"0 {'-' * (label_w + width - 10)} {end:.3g}s"
     return "\n".join([*lines, legend, scale])

@@ -38,6 +38,7 @@ from .pool import WorkerPool
 from .procchain import (
     TRANSPORTS,
     ProcessChainResult,
+    SlabOutcome,
     align_multi_process,
     pick_context,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "plan_memory",
     "validate_memory",
     "ProcessChainResult",
+    "SlabOutcome",
     "TRANSPORTS",
     "WorkerPool",
     "align_batch_process",

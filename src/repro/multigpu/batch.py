@@ -99,6 +99,7 @@ def align_batch_process(
     transport: str = "shm",
     start_method: str | None = None,
     timeout_s: float = 300.0,
+    pruning: bool = False,
 ) -> list[ProcessChainResult]:
     """Run many real comparisons through ONE persistent worker pool.
 
@@ -107,14 +108,15 @@ def align_batch_process(
     and reused for every pair, so process startup is amortised across the
     batch (the reason :class:`~repro.multigpu.pool.WorkerPool` exists).
     Results are bit-identical to running each pair through
-    :func:`~repro.multigpu.procchain.align_multi_process`.
+    :func:`~repro.multigpu.procchain.align_multi_process` (with or
+    without *pruning* — distributed pruning is exact).
     """
     if not pairs:
         raise ConfigError("batch needs at least one pair")
     with WorkerPool(workers, weights=weights, max_block_rows=block_rows,
                     transport=transport, start_method=start_method) as pool:
         return pool.map(pairs, scoring, block_rows=block_rows,
-                        timeout_s=timeout_s)
+                        timeout_s=timeout_s, pruning=pruning)
 
 
 def run_campaign_split(

@@ -31,14 +31,17 @@ import numpy as np
 
 from ..comm.channel import BorderChannel, BorderSegment
 from ..comm.ringbuf import RingStats
+from ..comm.scoreboard import LocalScoreboard
 from ..device.engine import Engine
 from ..device.gpu import GpuCounters, SimulatedGPU
 from ..device.spec import DeviceSpec
 from ..errors import ConfigError
 from ..seq.scoring import Scoring
 from ..sw.batched import BlockJob, KernelWorkspace, cached_profile, sweep_wavefront, validate_kernel
+from ..sw.blocks import BlockSpec, pruned_border_result
 from ..sw.constants import DTYPE, NEG_INF
 from ..sw.kernel import BestCell, sweep_block
+from ..sw.pruning import BlockPruner
 from .partition import Slab, proportional_partition
 
 #: Bytes per border row: H (int32) + E (int32).
@@ -72,6 +75,13 @@ class ChainConfig:
         with a per-run :class:`~repro.sw.batched.KernelWorkspace`, so the
         sweeps reuse scratch instead of reallocating every block row.
         Bit-identical results either way; phantom runs ignore it.
+    pruning:
+        Enables distributed block pruning (compute mode only): every
+        device checks each slab block row against the chain-wide best
+        score on a shared :class:`~repro.comm.scoreboard.LocalScoreboard`
+        and skips block rows that provably cannot improve it, emitting
+        restart borders instead.  Scores and end points are unchanged
+        (see INTERNALS.md section 7); only similar sequences prune much.
     """
 
     block_rows: int = 512
@@ -79,6 +89,7 @@ class ChainConfig:
     device_slots: int = 2
     async_transfers: bool = True
     kernel: str = "scalar"
+    pruning: bool = False
 
     def __post_init__(self) -> None:
         if self.block_rows <= 0:
@@ -124,6 +135,10 @@ class GpuReport:
     slab: Slab
     counters: GpuCounters
     finished_at: float
+    #: Distributed-pruning decisions this device made / took (compute
+    #: mode with ``ChainConfig.pruning`` only; zero otherwise).
+    blocks_checked: int = 0
+    blocks_pruned: int = 0
 
 
 @dataclass
@@ -155,6 +170,20 @@ class ChainResult:
     @property
     def score(self) -> int:
         return self.best.score if self.best.row >= 0 else 0
+
+    @property
+    def blocks_checked(self) -> int:
+        """Distributed-pruning decisions across the chain (0 if disabled)."""
+        return sum(g.blocks_checked for g in self.gpus)
+
+    @property
+    def blocks_pruned(self) -> int:
+        return sum(g.blocks_pruned for g in self.gpus)
+
+    @property
+    def pruned_ratio(self) -> float:
+        checked = self.blocks_checked
+        return self.blocks_pruned / checked if checked else 0.0
 
     def breakdown(self) -> list[dict[str, float]]:
         """Per-GPU compute/transfer/wait/idle fractions of the makespan."""
@@ -257,6 +286,18 @@ class MultiGpuChain:
                 # single-threaded event loop).
                 workspace = KernelWorkspace()
 
+        # Distributed pruning: one pruner per device, all publishing into
+        # one in-process scoreboard (the lock-free SharedScoreboard plays
+        # this role for the real-process engines).  Seeded from the resume
+        # best so a continued run prunes against everything already found.
+        scoreboard = None
+        pruners: list[BlockPruner] | None = None
+        if cfg.pruning and not workload.phantom:
+            scoreboard = LocalScoreboard()
+            pruners = [BlockPruner(match=workload.scoring.match) for _ in gpus]
+            if resume is not None and resume.best.row >= 0:
+                scoreboard.publish(0, resume.best.score)
+
         def gpu_proc(g: int):
             gpu = gpus[g]
             slab = slabs[g]
@@ -291,6 +332,7 @@ class MultiGpuChain:
                     gpu.record_wait(t0)
 
                 work = None
+                pruned = False
                 if not workload.phantom:
                     if in_ch is not None:
                         h_left, e_left, corner = payload_in.payload
@@ -298,22 +340,44 @@ class MultiGpuChain:
                         h_left = np.zeros(rows, dtype=DTYPE)
                         e_left = np.full(rows, NEG_INF, dtype=DTYPE)
                         corner = 0
-                    a_slice = workload.a[r0:r1]
-                    p_slice = profile[:, slab.col0 : slab.col1]
-                    ht, ft = h_top, f_top
 
-                    if cfg.kernel == "batched":
-                        def work(a=a_slice, p=p_slice, ht=ht, ft=ft,
-                                 hl=h_left, el=e_left, c=corner):
-                            job = BlockJob(a, p, ht, ft, hl, el, c)
-                            return sweep_wavefront([job], scoring, local=True,
-                                                   workspace=workspace)[0]
+                    if pruners is not None:
+                        spec = BlockSpec(r0, r1, slab.col0, slab.col1)
+                        pruned = pruners[g].should_prune(
+                            spec,
+                            m,
+                            n,
+                            int(h_top.max(initial=NEG_INF)),
+                            int(h_left.max(initial=NEG_INF)),
+                            scoreboard.read(),
+                        )
+
+                    if pruned:
+                        # Skip the device sweep entirely: emit restart
+                        # borders (legal lower bounds) and charge no
+                        # virtual compute time — the pruning payoff.
+                        result = pruned_border_result(spec)
+                        if gpu.tracer is not None:
+                            gpu.tracer.record(gpu.name, "pruned",
+                                              engine.now, engine.now)
                     else:
-                        def work(a=a_slice, p=p_slice, ht=ht, ft=ft,
-                                 hl=h_left, el=e_left, c=corner):
-                            return sweep_block(a, p, ht, ft, hl, el, c, scoring, local=True)
+                        a_slice = workload.a[r0:r1]
+                        p_slice = profile[:, slab.col0 : slab.col1]
+                        ht, ft = h_top, f_top
 
-                result = yield from gpu.compute(rows * w, w, work, block_rows=rows)
+                        if cfg.kernel == "batched":
+                            def work(a=a_slice, p=p_slice, ht=ht, ft=ft,
+                                     hl=h_left, el=e_left, c=corner):
+                                job = BlockJob(a, p, ht, ft, hl, el, c)
+                                return sweep_wavefront([job], scoring, local=True,
+                                                       workspace=workspace)[0]
+                        else:
+                            def work(a=a_slice, p=p_slice, ht=ht, ft=ft,
+                                     hl=h_left, el=e_left, c=corner):
+                                return sweep_block(a, p, ht, ft, hl, el, c, scoring, local=True)
+
+                if not pruned:
+                    result = yield from gpu.compute(rows * w, w, work, block_rows=rows)
 
                 if not workload.phantom:
                     h_top = result.h_bottom
@@ -321,6 +385,8 @@ class MultiGpuChain:
                     cell = result.best.shifted(r0, slab.col0)
                     if cell.better_than(bests[g]):
                         bests[g] = cell
+                        if scoreboard is not None:
+                            scoreboard.publish(g, bests[g].score)
 
                 if out_ch is not None:
                     nbytes = rows * BORDER_BYTES_PER_ROW + BORDER_BYTES_FIXED
@@ -354,7 +420,9 @@ class MultiGpuChain:
                 best = cell
         reports = [
             GpuReport(name=gpus[g].name, slab=slabs[g], counters=gpus[g].counters,
-                      finished_at=finished_at[g])
+                      finished_at=finished_at[g],
+                      blocks_checked=pruners[g].blocks_checked if pruners else 0,
+                      blocks_pruned=pruners[g].blocks_pruned if pruners else 0)
             for g in range(len(gpus))
         ]
         checkpoint = None

@@ -30,12 +30,14 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..comm.scoreboard import SharedScoreboard
 from ..comm.shmring import ShmRing
 from ..device.trace import Tracer, WallClockRecorder, merge_wall_records
 from ..errors import ConfigError
 from ..seq.scoring import Scoring
 from ..sw.batched import KernelWorkspace, validate_kernel
 from ..sw.kernel import BestCell
+from ..sw.pruning import BlockPruner
 from .partition import proportional_partition
 from .procchain import (
     TRANSPORTS,
@@ -47,24 +49,40 @@ from .procchain import (
 )
 
 
-def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link):
-    """Long-lived slab worker: one task per comparison, ``None`` to exit."""
+def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
+                 scoreboard):
+    """Long-lived slab worker: one task per comparison, ``None`` to exit.
+
+    Result message layout matches the one-shot worker's (see
+    :func:`~repro.multigpu.procchain._worker`): counters sit before the
+    error slot because :func:`collect_results` reads ``msg[-2]`` as err.
+    """
     workspace = KernelWorkspace()  # persists across comparisons
     while True:
         task = task_queue.get()
         if task is None:
             break
         (a_codes, b_slab, slab, scoring, block_rows, origin,
-         border_timeout_s, kernel) = task
+         border_timeout_s, kernel, n_cols, pruning) = task
         recorder = WallClockRecorder(origin)
+        # Fresh pruner per comparison: counters must not leak across runs
+        # (the parent resets the scoreboard before enqueueing the tasks).
+        pruner = BlockPruner(match=scoring.match) if pruning else None
         try:
-            best = sweep_slab(a_codes, b_slab, slab, scoring, block_rows,
-                              recv_link, send_link, recorder, border_timeout_s,
-                              kernel=kernel, workspace=workspace)
+            outcome = sweep_slab(a_codes, b_slab, slab, scoring, block_rows,
+                                 recv_link, send_link, recorder, border_timeout_s,
+                                 kernel=kernel, workspace=workspace,
+                                 n_cols=n_cols,
+                                 pruner=pruner,
+                                 scoreboard=scoreboard if pruning else None,
+                                 slot=worker_id)
+            best = outcome.best
             result_queue.put(
-                (worker_id, best.score, best.row, best.col, None, recorder.records))
+                (worker_id, best.score, best.row, best.col,
+                 outcome.blocks_checked, outcome.blocks_pruned,
+                 None, recorder.records))
         except Exception as exc:
-            result_queue.put((worker_id, 0, -1, -1, repr(exc), recorder.records))
+            result_queue.put((worker_id, 0, -1, -1, 0, 0, repr(exc), recorder.records))
             break  # transport state is suspect; die and let the pool break
 
 
@@ -136,6 +154,8 @@ class WorkerPool:
 
         self._result_queue = self._ctx.Queue()
         self._task_queues = [self._ctx.Queue() for _ in range(workers)]
+        # One scoreboard for the pool's lifetime (reset per pruning run).
+        self._scoreboard = SharedScoreboard(workers, label="pool-scoreboard")
         self._procs = []
         for g in range(workers):
             recv_link = links[g - 1] if g > 0 else None
@@ -143,7 +163,7 @@ class WorkerPool:
             proc = self._ctx.Process(
                 target=_pool_worker,
                 args=(g, self._task_queues[g], self._result_queue,
-                      recv_link, send_link),
+                      recv_link, send_link, self._scoreboard),
                 name=f"mgsw-pool-{g}",
             )
             proc.daemon = True
@@ -187,6 +207,7 @@ class WorkerPool:
                 pass
         for ring in self._rings:
             ring.unlink()
+        self._scoreboard.unlink()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -205,9 +226,14 @@ class WorkerPool:
         timeout_s: float = 300.0,
         tracer: Tracer | None = None,
         kernel: str = "scalar",
+        pruning: bool = False,
     ) -> ProcessChainResult:
         """Exact SW over the pool's worker chain (bit-identical to every
-        other engine); raises ``RuntimeError`` on worker failure/timeout."""
+        other engine); raises ``RuntimeError`` on worker failure/timeout.
+
+        *pruning* turns on distributed block pruning against the pool's
+        shared scoreboard (reset before each comparison, so scores from
+        one pair never prune another)."""
         if self._closed:
             raise ConfigError("pool is closed")
         if self._broken:
@@ -226,11 +252,15 @@ class WorkerPool:
             raise ConfigError("matrix narrower than the worker count")
 
         slabs = proportional_partition(n, self.weights)
+        if pruning:
+            # Safe: no comparison is in flight here (align is serial and
+            # the previous run's workers have all reported).
+            self._scoreboard.reset()
         origin = time.perf_counter()
         for g, slab in enumerate(slabs):
             self._task_queues[g].put(
                 (a_codes, b_codes[slab.col0:slab.col1].copy(), slab, scoring,
-                 block_rows, origin, self.border_timeout_s, kernel))
+                 block_rows, origin, self.border_timeout_s, kernel, n, pruning))
 
         deadline = time.monotonic() + timeout_s
         messages, failures = collect_results(
@@ -243,9 +273,11 @@ class WorkerPool:
 
         result_tracer = tracer if tracer is not None else Tracer()
         best = BestCell.none()
+        worker_blocks = []
         for g in sorted(messages):
-            _wid, score, row, col, _err, records = messages[g]
+            _wid, score, row, col, checked, pruned, _err, records = messages[g]
             merge_wall_records(result_tracer, f"worker{g}", records)
+            worker_blocks.append((int(checked), int(pruned)))
             cell = BestCell(score, row, col)
             if cell.better_than(best):
                 best = cell
@@ -254,6 +286,10 @@ class WorkerPool:
             partition=tuple(slabs), transport=self.transport,
             start_method=self.start_method, tracer=result_tracer,
             kernel=kernel,
+            pruning=pruning,
+            blocks_checked=sum(c for c, _ in worker_blocks),
+            blocks_pruned=sum(p for _, p in worker_blocks),
+            worker_blocks=tuple(worker_blocks),
         )
 
     def map(
@@ -264,10 +300,11 @@ class WorkerPool:
         block_rows: int = 512,
         timeout_s: float = 300.0,
         kernel: str = "scalar",
+        pruning: bool = False,
     ) -> list[ProcessChainResult]:
         """Run every ``(a, b)`` pair through the pool, in order."""
         return [
             self.align(a, b, scoring, block_rows=block_rows,
-                       timeout_s=timeout_s, kernel=kernel)
+                       timeout_s=timeout_s, kernel=kernel, pruning=pruning)
             for a, b in pairs
         ]

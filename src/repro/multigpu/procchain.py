@@ -41,14 +41,17 @@ from typing import Sequence
 
 import numpy as np
 
+from ..comm.scoreboard import SharedScoreboard
 from ..comm.shmring import HEADER_BYTES, HEADER_STRUCT, ShmRing
 from ..device.trace import Tracer, WallClockRecorder, merge_wall_records
 from ..errors import CommError, ConfigError
 from ..perf.metrics import gcups as _metrics_gcups
 from ..seq.scoring import Scoring
 from ..sw.batched import BlockJob, KernelWorkspace, cached_profile, sweep_wavefront, validate_kernel
+from ..sw.blocks import BlockSpec, pruned_border_result
 from ..sw.constants import DTYPE, NEG_INF
 from ..sw.kernel import BestCell, sweep_block
+from ..sw.pruning import BlockPruner
 from .partition import Slab, proportional_partition
 
 #: Supported border transports.
@@ -127,10 +130,20 @@ class ProcessChainResult:
     start_method: str = "fork"
     tracer: Tracer | None = None
     kernel: str = "scalar"
+    #: Distributed-pruning accounting (zeros unless ``pruning`` was on):
+    #: chain-wide totals plus per-worker ``(checked, pruned)`` pairs.
+    pruning: bool = False
+    blocks_checked: int = 0
+    blocks_pruned: int = 0
+    worker_blocks: tuple = ()
 
     @property
     def score(self) -> int:
         return self.best.score if self.best.row >= 0 else 0
+
+    @property
+    def pruned_ratio(self) -> float:
+        return self.blocks_pruned / self.blocks_checked if self.blocks_checked else 0.0
 
     @property
     def gcups(self) -> float:
@@ -153,13 +166,27 @@ class ProcessChainResult:
             transfer = (self.tracer.total(actor, "d2h")
                         + self.tracer.total(actor, "h2d")) / self.wall_time_s
             wait = self.tracer.total(actor, "wait") / self.wall_time_s
-            out.append({
+            entry = {
                 "compute": compute,
                 "transfer": transfer,
                 "wait": wait,
                 "idle": max(0.0, 1.0 - compute - transfer - wait),
-            })
+            }
+            if self.pruning and g < len(self.worker_blocks):
+                checked, pruned = self.worker_blocks[g]
+                entry["blocks_checked"] = float(checked)
+                entry["blocks_pruned"] = float(pruned)
+            out.append(entry)
         return out
+
+
+@dataclass(frozen=True)
+class SlabOutcome:
+    """What one slab sweep found: its best cell + pruning counters."""
+
+    best: BestCell
+    blocks_checked: int = 0
+    blocks_pruned: int = 0
 
 
 def sweep_slab(
@@ -175,7 +202,11 @@ def sweep_slab(
     fault_block: int | None = None,
     kernel: str = "scalar",
     workspace: KernelWorkspace | None = None,
-) -> BestCell:
+    n_cols: int | None = None,
+    pruner: BlockPruner | None = None,
+    scoreboard: SharedScoreboard | None = None,
+    slot: int = 0,
+) -> SlabOutcome:
     """One slab's sweep loop (the body of every real-process worker).
 
     *recv_link* / *send_link* are border transports (``None`` at the chain
@@ -186,12 +217,22 @@ def sweep_slab(
     workspace, so persistent pool workers stop reallocating scratch.
     The profile is content-LRU-cached per process, so a pool worker that
     sees the same slab repeatedly skips the rebuild.
+
+    Distributed pruning: pass a :class:`~repro.sw.pruning.BlockPruner`, a
+    :class:`~repro.comm.scoreboard.SharedScoreboard`, this worker's *slot*
+    and the full matrix width *n_cols* (the bound needs ``n - col0``, and
+    a worker only sees its own slab).  Each block row is checked against
+    the chain-wide best before sweeping; pruned rows emit restart borders
+    (:func:`~repro.sw.blocks.pruned_border_result`) and are recorded as
+    zero-length ``pruned`` spans.  Scoreboard reads may be stale — safe by
+    monotonicity (see :mod:`repro.comm.scoreboard`).
     """
     profile = cached_profile(b_slab, scoring)
     if kernel == "batched" and workspace is None:
         workspace = KernelWorkspace()
     w = slab.cols
     m = int(a_codes.size)
+    n = int(n_cols) if n_cols is not None else slab.col1
     h_top = np.zeros(w, dtype=DTYPE)
     f_top = np.full(w, NEG_INF, dtype=DTYPE)
     prev_right_last = 0
@@ -214,29 +255,50 @@ def sweep_slab(
         if fault_block is not None and block_index == fault_block:
             os._exit(3)  # simulated hard crash: no exception, no result
 
-        with recorder.span("compute"):
-            if kernel == "batched":
-                job = BlockJob(a_codes[r0:r1], profile, h_top, f_top,
-                               h_left, e_left, corner)
-                result = sweep_wavefront([job], scoring, local=True,
-                                         workspace=workspace)[0]
-            else:
-                result = sweep_block(
-                    a_codes[r0:r1], profile, h_top, f_top, h_left, e_left,
-                    corner, scoring, local=True,
-                )
+        pruned = False
+        if pruner is not None:
+            spec = BlockSpec(r0, r1, slab.col0, slab.col1)
+            pruned = pruner.should_prune(
+                spec,
+                m,
+                n,
+                int(h_top.max(initial=NEG_INF)),
+                int(h_left.max(initial=NEG_INF)),
+                scoreboard.read(),
+            )
+        if pruned:
+            with recorder.span("pruned"):
+                result = pruned_border_result(spec)
+        else:
+            with recorder.span("compute"):
+                if kernel == "batched":
+                    job = BlockJob(a_codes[r0:r1], profile, h_top, f_top,
+                                   h_left, e_left, corner)
+                    result = sweep_wavefront([job], scoring, local=True,
+                                             workspace=workspace)[0]
+                else:
+                    result = sweep_block(
+                        a_codes[r0:r1], profile, h_top, f_top, h_left, e_left,
+                        corner, scoring, local=True,
+                    )
         h_top = result.h_bottom
         f_top = result.f_bottom
         cell = result.best.shifted(r0, slab.col0)
         if cell.better_than(best):
             best = cell
+            if scoreboard is not None:
+                scoreboard.publish(slot, best.score)
 
         if send_link is not None:
             with recorder.span("d2h"):
                 send_link.send_border(result.h_right, result.e_right,
                                       prev_right_last, timeout=border_timeout_s)
             prev_right_last = int(result.h_right[-1])
-    return best
+    return SlabOutcome(
+        best=best,
+        blocks_checked=pruner.blocks_checked if pruner is not None else 0,
+        blocks_pruned=pruner.blocks_pruned if pruner is not None else 0,
+    )
 
 
 def _worker(
@@ -253,17 +315,34 @@ def _worker(
     border_timeout_s: float,
     fault_block: int | None,
     kernel: str,
+    n_cols: int | None = None,
+    scoreboard: SharedScoreboard | None = None,
 ) -> None:
-    """One-shot slab worker (runs in a child process)."""
+    """One-shot slab worker (runs in a child process).
+
+    Result message layout (parsed positionally by :func:`collect_results`,
+    which reads ``msg[0]`` as the key and ``msg[-2]`` as the error):
+    ``(worker_id, score, row, col, blocks_checked, blocks_pruned, err, records)``.
+    """
     recorder = WallClockRecorder(origin)
+    pruner = (BlockPruner(match=scoring.match)
+              if scoreboard is not None else None)
     try:
-        best = sweep_slab(a_codes, b_slab, slab, scoring, block_rows,
-                          recv_link, send_link, recorder, border_timeout_s,
-                          fault_block, kernel)
+        outcome = sweep_slab(a_codes, b_slab, slab, scoring, block_rows,
+                             recv_link, send_link, recorder, border_timeout_s,
+                             fault_block, kernel, n_cols=n_cols,
+                             pruner=pruner, scoreboard=scoreboard,
+                             slot=worker_id)
+        best = outcome.best
         result_queue.put(
-            (worker_id, best.score, best.row, best.col, None, recorder.records))
+            (worker_id, best.score, best.row, best.col,
+             outcome.blocks_checked, outcome.blocks_pruned,
+             None, recorder.records))
     except Exception as exc:  # surface the failure to the parent
-        result_queue.put((worker_id, 0, -1, -1, repr(exc), recorder.records))
+        result_queue.put((worker_id, 0, -1, -1, 0, 0, repr(exc), recorder.records))
+    finally:
+        if scoreboard is not None:
+            scoreboard.close()
 
 
 def _validate_args(a_codes, b_codes, workers, block_rows, transport, weights,
@@ -358,6 +437,7 @@ def align_multi_process(
     border_timeout_s: float = 60.0,
     tracer: Tracer | None = None,
     kernel: str = "scalar",
+    pruning: bool = False,
     _fault: tuple[int, int] | None = None,
 ) -> ProcessChainResult:
     """Exact SW across *workers* real processes (see module docstring).
@@ -368,7 +448,10 @@ def align_multi_process(
     *capacity* is the border ring depth, *transport* picks shared memory
     or pipes, *start_method* overrides the fork-else-spawn default,
     *kernel* selects the scalar or batched block sweep (bit-identical;
-    see :func:`sweep_slab`).  Pass a :class:`~repro.device.trace.Tracer`
+    see :func:`sweep_slab`).  *pruning* enables distributed block pruning
+    against a chain-wide :class:`~repro.comm.scoreboard.SharedScoreboard`
+    (exact: scores and end cells are unchanged; see INTERNALS.md
+    section 7).  Pass a :class:`~repro.device.trace.Tracer`
     to collect per-worker wall-clock intervals (one is created on the
     result regardless).
 
@@ -400,6 +483,7 @@ def align_multi_process(
 
     procs = []
     result_tracer = tracer if tracer is not None else Tracer()
+    scoreboard = SharedScoreboard(workers) if pruning else None
     clean_exit = False
     try:
         origin = time.perf_counter()
@@ -411,7 +495,8 @@ def align_multi_process(
                 target=_worker,
                 args=(g, a_codes, b_codes[slab.col0:slab.col1].copy(), slab,
                       scoring, block_rows, recv_link, send_link, result_queue,
-                      origin, border_timeout_s, fault_block, kernel),
+                      origin, border_timeout_s, fault_block, kernel,
+                      n, scoreboard),
                 name=f"mgsw-worker-{g}",
             )
             proc.start()
@@ -425,9 +510,11 @@ def align_multi_process(
             raise RuntimeError("; ".join(failures))
 
         best = BestCell.none()
+        worker_blocks = []
         for g in sorted(messages):
-            _wid, score, row, col, _err, records = messages[g]
+            _wid, score, row, col, checked, pruned, _err, records = messages[g]
             merge_wall_records(result_tracer, f"worker{g}", records)
+            worker_blocks.append((int(checked), int(pruned)))
             cell = BestCell(score, row, col)
             if cell.better_than(best):
                 best = cell
@@ -437,6 +524,10 @@ def align_multi_process(
             partition=tuple(slabs), transport=transport,
             start_method=ctx.get_start_method(), tracer=result_tracer,
             kernel=kernel,
+            pruning=pruning,
+            blocks_checked=sum(c for c, _ in worker_blocks),
+            blocks_pruned=sum(p for _, p in worker_blocks),
+            worker_blocks=tuple(worker_blocks),
         )
     finally:
         for proc in procs:
@@ -456,3 +547,5 @@ def align_multi_process(
                 pass
         for ring in rings:
             ring.unlink()
+        if scoreboard is not None:
+            scoreboard.unlink()

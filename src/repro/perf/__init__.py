@@ -1,7 +1,14 @@
 """Metrics and reporting helpers."""
 
 from .dotplot import Dotplot, dotplot
-from .report import chain_report, chain_result_dict, process_report, process_result_dict
+from .report import (
+    chain_report,
+    chain_result_dict,
+    process_report,
+    process_result_dict,
+    single_report,
+    single_result_dict,
+)
 from .metrics import (
     BreakdownRow,
     efficiency,
@@ -19,6 +26,8 @@ __all__ = [
     "chain_result_dict",
     "process_report",
     "process_result_dict",
+    "single_report",
+    "single_result_dict",
     "BreakdownRow",
     "efficiency",
     "format_table",

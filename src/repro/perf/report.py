@@ -29,7 +29,13 @@ def chain_result_dict(result) -> dict:
             "device_slots": result.config.device_slots,
             "async_transfers": result.config.async_transfers,
             "kernel": result.config.kernel,
+            "pruning": result.config.pruning,
         },
+        "pruning": {
+            "blocks_checked": result.blocks_checked,
+            "blocks_pruned": result.blocks_pruned,
+            "pruned_ratio": result.pruned_ratio,
+        } if result.config.pruning else None,
         "devices": [
             {
                 "name": gpu.name,
@@ -40,6 +46,8 @@ def chain_result_dict(result) -> dict:
                 "cells": gpu.counters.cells,
                 "bytes_in": gpu.counters.bytes_in,
                 "bytes_out": gpu.counters.bytes_out,
+                "blocks_checked": gpu.blocks_checked,
+                "blocks_pruned": gpu.blocks_pruned,
             }
             for gpu in result.gpus
         ],
@@ -70,7 +78,14 @@ def process_result_dict(result) -> dict:
             "transport": result.transport,
             "start_method": result.start_method,
             "kernel": result.kernel,
+            "pruning": result.pruning,
         },
+        "pruning": {
+            "blocks_checked": result.blocks_checked,
+            "blocks_pruned": result.blocks_pruned,
+            "pruned_ratio": result.pruned_ratio,
+            "per_worker": [list(wb) for wb in result.worker_blocks],
+        } if result.pruning else None,
         "workers": [
             {
                 "name": f"worker{g}",
@@ -83,6 +98,50 @@ def process_result_dict(result) -> dict:
             for g, slab in enumerate(result.partition)
         ],
     }
+
+
+def single_result_dict(result) -> dict:
+    """JSON-serialisable summary of a
+    :class:`~repro.baselines.single_gpu.SingleGpuResult` — including the
+    :class:`~repro.sw.pruning.BlockPruner` statistics that used to be
+    dropped on the single-engine path."""
+    return {
+        "cells": result.cells,
+        "cells_computed": result.cells_computed,
+        "total_time_s": result.total_time_s,
+        "gcups": result.gcups,
+        "score": result.score if result.best.row >= 0 else None,
+        "end": [result.best.row, result.best.col] if result.best.row >= 0 else None,
+        "pruning": {
+            "blocks_checked": result.blocks_checked,
+            "blocks_pruned": result.blocks_pruned,
+            "pruned_ratio": result.pruned_ratio,
+            "pruned_fraction": result.pruned_fraction,
+        } if result.blocks_checked else None,
+    }
+
+
+def single_report(result, *, title: str = "single-GPU run") -> str:
+    """Text report for a single-device run (same shape as the chain
+    reports, minus partition/channel sections)."""
+    lines: list[str] = [f"== {title} =="]
+    lines.append(
+        f"matrix: {humanize_cells(result.cells)}   "
+        f"virtual time: {humanize_time(result.total_time_s)}   "
+        f"throughput: {result.gcups:.2f} GCUPS"
+    )
+    if result.best.row >= 0:
+        lines.append(
+            f"best score: {result.score} ending at "
+            f"({result.best.row}, {result.best.col})"
+        )
+    if result.blocks_checked:
+        lines.append(
+            f"pruning: {result.blocks_pruned}/{result.blocks_checked} "
+            f"blocks pruned ({result.pruned_ratio:.1%}), "
+            f"{result.pruned_fraction:.1%} of cells skipped"
+        )
+    return "\n".join(lines)
 
 
 def process_report(result, *, title: str = "process chain run") -> str:
@@ -101,8 +160,14 @@ def process_report(result, *, title: str = "process chain run") -> str:
         )
     lines.append(
         f"config: workers={result.workers} transport={result.transport} "
-        f"start_method={result.start_method} kernel={result.kernel}"
+        f"start_method={result.start_method} kernel={result.kernel} "
+        f"pruning={'on' if result.pruning else 'off'}"
     )
+    if result.pruning:
+        lines.append(
+            f"pruning: {result.blocks_pruned}/{result.blocks_checked} "
+            f"blocks pruned ({result.pruned_ratio:.1%})"
+        )
     breakdown = result.breakdown()
     if breakdown:
         lines.append("")
@@ -139,8 +204,13 @@ def chain_report(result, *, title: str = "chain run") -> str:
         f"config: block_rows={cfg.block_rows} buffer={cfg.channel_capacity} "
         f"device_slots={cfg.device_slots} "
         f"transfers={'async' if cfg.async_transfers else 'sync'} "
-        f"kernel={cfg.kernel}"
+        f"kernel={cfg.kernel} pruning={'on' if cfg.pruning else 'off'}"
     )
+    if cfg.pruning:
+        lines.append(
+            f"pruning: {result.blocks_pruned}/{result.blocks_checked} "
+            f"blocks pruned ({result.pruned_ratio:.1%})"
+        )
     lines.append("")
 
     rows = []

@@ -393,6 +393,32 @@ def stage3_align(
     return aln
 
 
+def _stage3_fallback(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    s1,
+    si: int,
+    sj: int,
+    base_cells: int,
+) -> Alignment:
+    """Monolithic traceback reusing stage-1/2 work already in hand.
+
+    The partitioned path computes ``s1`` (full quadratic sweep) and the
+    stage-2 start before it knows whether its crossings telescope.  When
+    they don't, only stage 3 needs redoing monolithically —
+    ``stage2_with_crossings`` finds the same start point as
+    ``stage2_start``, so falling back through :func:`align_local` would
+    pay both quadratic passes a second time for identical answers.
+    """
+    aln = stage3_align(
+        a_codes, b_codes, scoring, s1.score, (si, sj), (s1.end_i, s1.end_j),
+        base_cells=base_cells,
+    )
+    aln.validate(a_codes, b_codes, scoring)
+    return aln
+
+
 def align_local_partitioned(
     a_codes: np.ndarray,
     b_codes: np.ndarray,
@@ -409,8 +435,9 @@ def align_local_partitioned(
     traceback's working set bounded and parallelisable.  The stitched
     alignment is validated against the stage-1 score; if the chosen
     crossings belong to different co-optimal paths and do not telescope
-    (possible under score ties), the function falls back to the monolithic
-    :func:`align_local` — the result is exact either way.
+    (possible under score ties), the function falls back to a monolithic
+    stage-3 traceback that reuses the stage-1 sweep and stage-2 start
+    already computed — the result is exact either way.
     """
     if special_interval <= 0:
         raise ConfigError("align_local_partitioned needs a positive special_interval")
@@ -441,10 +468,9 @@ def align_local_partitioned(
         ops.append(sub.ops)
 
     if total != s1.score:
-        # Co-optimal-path tie: crossings do not telescope; fall back.
-        return align_local(a_codes, b_codes, scoring,
-                           special_interval=special_interval,
-                           base_cells=base_cells)
+        # Co-optimal-path tie: crossings do not telescope; fall back to a
+        # monolithic stage 3 (s1 and the start point are already exact).
+        return _stage3_fallback(a_codes, b_codes, scoring, s1, si, sj, base_cells)
     aln = Alignment(
         score=s1.score,
         ops="".join(ops),
@@ -456,9 +482,7 @@ def align_local_partitioned(
     # Stitching at shared vertices can only merge gaps (raising the score);
     # rescore equality is therefore a hard validity check.
     if aln.rescore(a_codes, b_codes, scoring) != s1.score:
-        return align_local(a_codes, b_codes, scoring,
-                           special_interval=special_interval,
-                           base_cells=base_cells)
+        return _stage3_fallback(a_codes, b_codes, scoring, s1, si, sj, base_cells)
     return aln
 
 

@@ -271,3 +271,65 @@ class TestBatchedKernelDifferential:
             assert batched.best == oracle
         else:
             assert batched.best.row == -1  # no positive cell anywhere
+
+
+class TestDistributedPruningDifferential:
+    """Hypothesis proves distributed pruning is a pure optimisation.
+
+    High-similarity mutated self-comparisons (the workload pruning is for)
+    run with pruning on and off through the simulated chain and the
+    real-process backend, under both block kernels.  Every combination
+    must report the bit-identical score AND end cell; the end cell is
+    further cross-checked against the full traceback pipeline
+    (``align_local``), so a pruning bug that shifted the optimum's
+    endpoint — and thus every stage-2/3 special row downstream — cannot
+    hide behind a coincidentally equal score.
+    """
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        m=st.integers(min_value=80, max_value=200),
+        workers=st.integers(min_value=1, max_value=3),
+        block_rows=st.integers(min_value=8, max_value=48),
+        kernel=st.sampled_from(["scalar", "batched"]),
+    )
+    def test_pruning_on_equals_off(self, seed, m, workers, block_rows, kernel):
+        rng = np.random.default_rng(seed)
+        a = random_dna(m, rng=rng)
+        b = mutate(a, HUMAN_CHIMP, rng=rng)
+        n = int(b.size)
+        scoring = DNA_DEFAULT
+
+        ref = align_multi_gpu(
+            a, b, scoring, [TESLA_M2090] * workers,
+            config=ChainConfig(block_rows=block_rows, kernel=kernel))
+
+        sim = align_multi_gpu(
+            a, b, scoring, [TESLA_M2090] * workers,
+            config=ChainConfig(block_rows=block_rows, kernel=kernel,
+                               pruning=True))
+        assert sim.score == ref.score
+        assert (sim.best.row, sim.best.col) == (ref.best.row, ref.best.col)
+        assert sim.blocks_checked > 0
+
+        real_off = align_multi_process(a, b, scoring, workers=min(workers, n),
+                                       block_rows=block_rows, kernel=kernel)
+        real_on = align_multi_process(a, b, scoring, workers=min(workers, n),
+                                      block_rows=block_rows, kernel=kernel,
+                                      pruning=True)
+        assert real_off.score == ref.score
+        assert real_on.score == ref.score
+        assert (real_on.best.row, real_on.best.col) == \
+            (ref.best.row, ref.best.col)
+        assert real_on.blocks_checked > 0
+        assert not real_off.pruning and real_off.blocks_checked == 0
+
+        # Traceback cross-check: the endpoint every engine agreed on is the
+        # one the stage-2/3 pipeline actually walks back from.
+        if ref.score > 0:
+            aln = align_local(a, b, scoring)
+            assert aln.score == ref.score
+            assert (aln.end_i - 1, aln.end_j - 1) == \
+                (ref.best.row, ref.best.col)

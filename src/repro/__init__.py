@@ -27,10 +27,11 @@ Sub-packages:
 ``repro.multigpu``   the paper's multi-GPU chain (core contribution)
 ``repro.baselines``  single-GPU / CPU / inter-task comparators
 ``repro.perf``       GCUPS metrics and report tables
+``repro.obs``        telemetry: metrics, manifests, traces, watchdogs
 ===================  ====================================================
 """
 
-from . import baselines, comm, device, multigpu, perf, seq, stats, sw, workloads
+from . import baselines, comm, device, multigpu, obs, perf, seq, stats, sw, workloads
 from .errors import ReproError
 from .multigpu import (
     ChainConfig,
@@ -50,6 +51,7 @@ __all__ = [
     "comm",
     "device",
     "multigpu",
+    "obs",
     "perf",
     "seq",
     "stats",

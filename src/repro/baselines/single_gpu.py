@@ -22,6 +22,7 @@ from ..device.engine import Engine
 from ..device.gpu import SimulatedGPU
 from ..device.spec import DeviceSpec
 from ..errors import ConfigError
+from ..obs.instruments import EngineInstruments, finalize_run_metrics
 from ..seq.scoring import Scoring
 from ..sw.blocks import BlockedOutcome, compute_blocked
 from ..sw.kernel import BestCell
@@ -68,12 +69,16 @@ def run_single_gpu(
     block_rows: int = 512,
     block_cols: int | None = None,
     prune: bool = False,
+    metrics=None,
 ) -> SingleGpuResult:
     """Compute-mode single-GPU run: exact score, virtual-clock timing.
 
     ``block_cols`` defaults to ``block_rows``; pruning operates per block,
     so 2-D blocking (not full-width stripes) is what lets similar-sequence
-    runs skip off-diagonal work.
+    runs skip off-diagonal work.  Pass a
+    :class:`~repro.obs.registry.MetricsRegistry` as *metrics* for the
+    standard instrument set (virtual-clock latencies, no border traffic —
+    a single device has no neighbours).
     """
     m, n = int(a_codes.size), int(b_codes.size)
     if block_cols is None:
@@ -86,6 +91,8 @@ def run_single_gpu(
     computed = outcome.cells_total - outcome.cells_pruned
     engine = Engine()
     gpu = SimulatedGPU(engine, spec)
+    instruments = (EngineInstruments(metrics, "single-gpu")
+                   if metrics is not None else None)
 
     def proc():
         # One compute charge per block row over the full width; pruned
@@ -96,13 +103,16 @@ def run_single_gpu(
             rows = min(block_rows, m - rows_done)
             cells = min(remaining, rows * n)
             if cells > 0:
+                t0 = engine.now
                 yield from gpu.compute(cells, n, block_rows=rows)
+                if instruments is not None:
+                    instruments.block_computed(engine.now - t0, cells=cells)
                 remaining -= cells
             rows_done += rows
 
     engine.process(proc(), "single-gpu")
     total = engine.run()
-    return SingleGpuResult(
+    result = SingleGpuResult(
         best=outcome.best,
         total_time_s=total,
         cells=m * n,
@@ -111,6 +121,17 @@ def run_single_gpu(
         blocks_checked=pruner.blocks_checked if pruner is not None else 0,
         blocks_pruned=pruner.blocks_pruned if pruner is not None else 0,
     )
+    if metrics is not None:
+        # 2-D-block pruning decisions happen inside compute_blocked, so
+        # the per-block counters are bulk-recorded from its outcome.
+        if result.blocks_pruned:
+            instruments.block_pruned(result.blocks_pruned)
+        finalize_run_metrics(
+            metrics, backend="single",
+            blocks_checked=result.blocks_checked,
+            blocks_pruned=result.blocks_pruned,
+            wall_time_s=total, gcups=result.gcups)
+    return result
 
 
 def time_single_gpu(

@@ -14,7 +14,16 @@ Subcommands:
 * ``mgsw campaign`` — the 4-pair paper campaign, both strategies;
 * ``mgsw stats`` — Karlin-Altschul significance thresholds;
 * ``mgsw dotplot A.fa B.fa`` — coarse text dotplot;
-* ``mgsw devices`` — list the built-in device presets and environments.
+* ``mgsw devices`` — list the built-in device presets and environments;
+* ``mgsw perf trace-export`` — run a comparison and export its timeline
+  as Chrome trace-event JSON (loadable in Perfetto / ``chrome://tracing``);
+* ``mgsw perf diff OLD NEW`` — regression diff between two telemetry /
+  benchmark JSON documents (report-only unless ``--fail-on-regression``).
+
+``mgsw align --telemetry DIR`` additionally writes the full telemetry
+bundle for the run — ``manifest.json``, ``metrics.json``,
+``metrics.prom``, ``trace.json`` — and, on the process backend, arms the
+live heartbeat watchdog (``--heartbeat-s``).
 """
 
 from __future__ import annotations
@@ -74,13 +83,68 @@ def _add_device_args(p: argparse.ArgumentParser) -> None:
                    help="circular-buffer capacity in segments")
 
 
+def _write_telemetry(outdir, *, backend, config, res, registry, tracer,
+                     a, b, wall_time_s, command=None):
+    """Write the full telemetry bundle for one run into *outdir*."""
+    from pathlib import Path
+
+    from .obs import (
+        build_manifest,
+        sequence_digest,
+        tracer_to_chrome,
+        write_chrome_trace,
+        write_manifest,
+    )
+    from .perf.report import result_dict
+
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    manifest = build_manifest(
+        backend=backend,
+        config=config,
+        result=result_dict(res),
+        sequences={"a": sequence_digest(a), "b": sequence_digest(b)},
+        metrics=registry.snapshot(),
+        command=command,
+        wall_time_s=wall_time_s,
+    )
+    write_manifest(outdir / "manifest.json", manifest)
+    (outdir / "metrics.json").write_text(registry.to_json(indent=2) + "\n")
+    (outdir / "metrics.prom").write_text(registry.to_prometheus())
+    write_chrome_trace(outdir / "trace.json", tracer_to_chrome(tracer))
+    print(f"telemetry written to {outdir}/ "
+          "(manifest.json, metrics.json, metrics.prom, trace.json)")
+
+
 def cmd_align(args: argparse.Namespace) -> int:
+    import time as time_mod
+
     a = seq.read_single(args.seq_a).codes
     b = seq.read_single(args.seq_b).codes
     title = f"{args.seq_a} vs {args.seq_b}"
+    telemetry = args.telemetry is not None
+    registry = tracer = None
+    if telemetry:
+        from .device.trace import Tracer
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
     if args.backend == "process":
         from .perf.report import process_report
 
+        heartbeat_s = args.heartbeat_s
+        if heartbeat_s is None and telemetry:
+            from .obs import DEFAULT_STALL_AFTER_S
+
+            heartbeat_s = DEFAULT_STALL_AFTER_S
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            heartbeat_s = None  # --heartbeat-s 0 disables the watchdog
+
+        def on_stall(report):
+            print(f"[mgsw] {report.describe()}", file=sys.stderr)
+
+        t0 = time_mod.perf_counter()
         res = align_multi_process(
             a, b, seq.DNA_DEFAULT,
             workers=args.workers,
@@ -90,16 +154,46 @@ def cmd_align(args: argparse.Namespace) -> int:
             start_method=args.start_method,
             kernel=args.kernel,
             pruning=args.pruning,
+            tracer=tracer,
+            metrics=registry,
+            heartbeat_s=heartbeat_s,
+            on_stall=on_stall if heartbeat_s is not None else None,
         )
+        wall = time_mod.perf_counter() - t0
         print(process_report(res, title=title))
+        if telemetry:
+            config = {
+                "backend": "process", "workers": args.workers,
+                "block_rows": args.block_rows, "capacity": args.buffer,
+                "transport": args.transport,
+                "start_method": res.start_method, "kernel": args.kernel,
+                "pruning": args.pruning, "heartbeat_s": heartbeat_s,
+            }
+            _write_telemetry(args.telemetry, backend="process", config=config,
+                             res=res, registry=registry, tracer=res.tracer,
+                             a=a, b=b, wall_time_s=wall,
+                             command=getattr(args, "_argv", None))
     else:
         from .perf.report import chain_report
 
         devices = _devices_from_args(args)
         cfg = ChainConfig(block_rows=args.block_rows, channel_capacity=args.buffer,
                           kernel=args.kernel, pruning=args.pruning)
-        res = align_multi_gpu(a, b, seq.DNA_DEFAULT, devices, config=cfg)
+        t0 = time_mod.perf_counter()
+        res = align_multi_gpu(a, b, seq.DNA_DEFAULT, devices, config=cfg,
+                              tracer=tracer, metrics=registry)
+        wall = time_mod.perf_counter() - t0
         print(chain_report(res, title=title))
+        if telemetry:
+            config = {
+                "backend": "sim", "devices": [d.name for d in devices],
+                "block_rows": args.block_rows, "buffer": args.buffer,
+                "kernel": args.kernel, "pruning": args.pruning,
+            }
+            _write_telemetry(args.telemetry, backend="sim", config=config,
+                             res=res, registry=registry, tracer=tracer,
+                             a=a, b=b, wall_time_s=wall,
+                             command=getattr(args, "_argv", None))
     if args.trace and res.score > 0:
         aln = align_local(a, b, seq.DNA_DEFAULT)
         print(aln.pretty(a, b))
@@ -197,6 +291,52 @@ def cmd_dotplot(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf_trace_export(args: argparse.Namespace) -> int:
+    from .device.trace import Tracer
+    from .obs import tracer_to_chrome, write_chrome_trace
+
+    a = seq.read_single(args.seq_a).codes
+    b = seq.read_single(args.seq_b).codes
+    tracer = Tracer()
+    if args.backend == "process":
+        res = align_multi_process(
+            a, b, seq.DNA_DEFAULT, workers=args.workers,
+            block_rows=args.block_rows, capacity=args.buffer,
+            transport=args.transport, kernel=args.kernel,
+            pruning=args.pruning, tracer=tracer)
+    else:
+        devices = _devices_from_args(args)
+        cfg = ChainConfig(block_rows=args.block_rows,
+                          channel_capacity=args.buffer,
+                          kernel=args.kernel, pruning=args.pruning)
+        res = align_multi_gpu(a, b, seq.DNA_DEFAULT, devices, config=cfg,
+                              tracer=tracer)
+    doc = tracer_to_chrome(tracer)
+    write_chrome_trace(args.out, doc)
+    print(f"score {res.score}; wrote {len(doc['traceEvents'])} trace events "
+          f"for {len(tracer.actors())} actor(s) to {args.out} "
+          "(load in Perfetto or chrome://tracing)")
+    return 0
+
+
+def cmd_perf_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import diff_documents, format_diff
+
+    with open(args.old) as fh:
+        old = json.load(fh)
+    with open(args.new) as fh:
+        new = json.load(fh)
+    entries = diff_documents(old, new, threshold=args.threshold)
+    print(f"diff: {args.old} -> {args.new}")
+    print(format_diff(entries, threshold=args.threshold))
+    if args.fail_on_regression and any(
+            e.regressed(args.threshold) for e in entries):
+        return 1
+    return 0
+
+
 def cmd_devices(_args: argparse.Namespace) -> int:
     rows = [
         [name, d.name, f"{d.gcups:.1f}", f"{d.pcie_gbps:.1f}", str(d.copy_engines)]
@@ -238,6 +378,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="distributed block pruning against a chain-wide "
                         "best-score scoreboard (exact: same score and end "
                         "cell; pays off on similar sequences)")
+    p.add_argument("--telemetry", metavar="DIR", default=None,
+                   help="write the telemetry bundle (manifest.json, "
+                        "metrics.json, metrics.prom, trace.json) into DIR")
+    p.add_argument("--heartbeat-s", type=float, default=None,
+                   help="stall threshold for the process-backend heartbeat "
+                        "watchdog (default: on with --telemetry; 0 disables)")
     _add_device_args(p)
     p.set_defaults(func=cmd_align)
 
@@ -284,12 +430,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("devices", help="list device presets and environments")
     p.set_defaults(func=cmd_devices)
+
+    p = sub.add_parser("perf", help="telemetry tooling: trace export and run diffs")
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+
+    q = perf_sub.add_parser(
+        "trace-export",
+        help="run a comparison and export its timeline as Chrome trace JSON")
+    q.add_argument("seq_a")
+    q.add_argument("seq_b")
+    q.add_argument("--out", default="trace.json",
+                   help="output path for the Chrome trace-event JSON")
+    q.add_argument("--backend", choices=("sim", "process"), default="process")
+    q.add_argument("--workers", type=int, default=2,
+                   help="slab worker count for --backend process")
+    q.add_argument("--transport", choices=TRANSPORTS, default="shm")
+    q.add_argument("--kernel", choices=KERNELS, default="scalar")
+    q.add_argument("--pruning", action=argparse.BooleanOptionalAction,
+                   default=False)
+    _add_device_args(q)
+    q.set_defaults(func=cmd_perf_trace_export)
+
+    q = perf_sub.add_parser(
+        "diff",
+        help="regression diff between two telemetry/benchmark JSON files")
+    q.add_argument("old")
+    q.add_argument("new")
+    q.add_argument("--threshold", type=float, default=0.05,
+                   help="relative-change tolerance (default 5%%)")
+    q.add_argument("--fail-on-regression", action="store_true",
+                   help="exit non-zero when any key regresses (default: "
+                        "report only)")
+    q.set_defaults(func=cmd_perf_diff)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     try:
         return args.func(args)
     except (ReproError, OSError) as exc:

@@ -2,6 +2,7 @@
 
 from .channel import BorderChannel, BorderSegment
 from .network import InterNodeChannel, NetworkLink
+from .progress import PHASES, ProgressBoard, ProgressSample
 from .ringbuf import RingBuffer, RingStats, SimRingBuffer
 from .scoreboard import LocalScoreboard, SharedScoreboard
 from .shmring import ShmRing
@@ -12,6 +13,9 @@ __all__ = [
     "InterNodeChannel",
     "LocalScoreboard",
     "NetworkLink",
+    "PHASES",
+    "ProgressBoard",
+    "ProgressSample",
     "RingBuffer",
     "RingStats",
     "SharedScoreboard",

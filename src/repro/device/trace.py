@@ -53,6 +53,11 @@ class Tracer:
 
     intervals: list[Interval] = field(default_factory=list)
     enabled: bool = True
+    #: Records whose negative cross-process clock jitter was clamped by
+    #: :func:`merge_wall_records` — nonzero values mean the worker clocks
+    #: disagreed beyond ``perf_counter`` resolution, worth investigating
+    #: rather than silently swallowing.
+    clamped_records: int = 0
 
     def record(self, actor: str, kind: str, start: float, end: float) -> None:
         """Record one span (no-op when disabled; zero-length spans kept)."""
@@ -181,15 +186,31 @@ class WallClockRecorder:
 
 def merge_wall_records(
     tracer: Tracer, actor: str, records: list[tuple[str, float, float]]
-) -> None:
-    """Fold one worker's :class:`WallClockRecorder` output into *tracer*."""
+) -> int:
+    """Fold one worker's :class:`WallClockRecorder` output into *tracer*.
+
+    Sub-resolution clock jitter across processes can produce spans that
+    start before the shared origin or end before they start; those are
+    clamped to legal intervals, **counted**, and the count is both
+    returned and accumulated on ``tracer.clamped_records`` — cross-process
+    clock skew stays visible instead of being swallowed.
+    """
+    clamped = 0
     for kind, start, end in records:
-        # Guard against sub-resolution clock jitter across processes.
+        if start < 0.0 or end < start:
+            clamped += 1
         tracer.record(actor, kind, max(0.0, start), max(0.0, start, end))
+    tracer.clamped_records += clamped
+    return clamped
 
 
 #: Glyph per interval kind in the Gantt rendering.
 _GLYPHS = {"compute": "#", "d2h": ">", "h2d": "<", "wait": ".", "pruned": "x"}
+
+#: Fixed tie-break priority for bucket glyphs: on equal durations the
+#: *earlier* kind in :data:`KINDS` wins (compute over transfers over
+#: waits), so charts are deterministic regardless of recording order.
+_KIND_PRIORITY = {kind: len(KINDS) - i for i, kind in enumerate(KINDS)}
 
 
 def render_gantt(tracer: Tracer, *, width: int = 100, makespan: float | None = None) -> str:
@@ -227,7 +248,8 @@ def render_gantt(tracer: Tracer, *, width: int = 100, makespan: float | None = N
             if not per_bucket[b]:
                 row.append(" ")
             else:
-                kind = max(per_bucket[b], key=per_bucket[b].get)  # type: ignore[arg-type]
+                kind = max(per_bucket[b],
+                           key=lambda k: (per_bucket[b][k], _KIND_PRIORITY[k]))
                 row.append(_GLYPHS[kind])
         lines.append(f"{actor.ljust(label_w)} |{''.join(row)}|")
     legend = "legend: # compute   > D2H   < H2D   . wait   x pruned   (space) idle"

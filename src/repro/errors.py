@@ -55,3 +55,8 @@ class AlignmentError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid run configuration (block sizes, buffer capacities, etc.)."""
+
+
+class ObsError(ReproError):
+    """Telemetry subsystem misuse or malformed telemetry artifact
+    (metric type conflicts, manifest/trace schema violations)."""

@@ -100,6 +100,7 @@ def align_batch_process(
     start_method: str | None = None,
     timeout_s: float = 300.0,
     pruning: bool = False,
+    metrics=None,
 ) -> list[ProcessChainResult]:
     """Run many real comparisons through ONE persistent worker pool.
 
@@ -109,14 +110,15 @@ def align_batch_process(
     batch (the reason :class:`~repro.multigpu.pool.WorkerPool` exists).
     Results are bit-identical to running each pair through
     :func:`~repro.multigpu.procchain.align_multi_process` (with or
-    without *pruning* — distributed pruning is exact).
+    without *pruning* — distributed pruning is exact).  A *metrics*
+    registry accumulates across the whole batch (counters are additive).
     """
     if not pairs:
         raise ConfigError("batch needs at least one pair")
     with WorkerPool(workers, weights=weights, max_block_rows=block_rows,
                     transport=transport, start_method=start_method) as pool:
         return pool.map(pairs, scoring, block_rows=block_rows,
-                        timeout_s=timeout_s, pruning=pruning)
+                        timeout_s=timeout_s, pruning=pruning, metrics=metrics)
 
 
 def run_campaign_split(

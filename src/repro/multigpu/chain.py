@@ -36,6 +36,7 @@ from ..device.engine import Engine
 from ..device.gpu import GpuCounters, SimulatedGPU
 from ..device.spec import DeviceSpec
 from ..errors import ConfigError
+from ..obs.instruments import EngineInstruments, finalize_run_metrics
 from ..seq.scoring import Scoring
 from ..sw.batched import BlockJob, KernelWorkspace, cached_profile, sweep_wavefront, validate_kernel
 from ..sw.blocks import BlockSpec, pruned_border_result
@@ -232,6 +233,7 @@ class MultiGpuChain:
         tracer=None,
         resume=None,
         stop_row: int | None = None,
+        metrics=None,
     ) -> ChainResult:
         """Execute the workload; pass a :class:`repro.device.trace.Tracer`
         to record per-device activity intervals.
@@ -241,6 +243,11 @@ class MultiGpuChain:
         that matrix row (the block row containing it is truncated, and the
         result carries a ``checkpoint`` to resume from).  Virtual time
         accumulates across segments.
+
+        ``metrics`` accepts a :class:`~repro.obs.registry.MetricsRegistry`
+        to collect the standard per-device instrument set (block and
+        border counters, sweep latency histograms — on the **virtual**
+        clock, matching the rest of this engine's timing).
         """
         cfg = self.config
         m, n = workload.rows, workload.cols
@@ -264,6 +271,8 @@ class MultiGpuChain:
         engine = Engine()
         gpus = [SimulatedGPU(engine, spec, i, tracer) for i, spec in enumerate(self.specs)]
         channels = [self._make_channel(engine, gpus, g) for g in range(len(gpus) - 1)]
+        instruments = ([EngineInstruments(metrics, gpu.name) for gpu in gpus]
+                       if metrics is not None else None)
 
         row_edges = list(range(start_row, end_row, cfg.block_rows)) + [end_row]
         n_block_rows = len(row_edges) - 1
@@ -326,6 +335,9 @@ class MultiGpuChain:
                     t0 = engine.now
                     payload_in = yield in_ch.consume()
                     gpu.record_wait(t0)
+                    if instruments is not None:
+                        instruments[g].border_received(
+                            rows * BORDER_BYTES_PER_ROW + BORDER_BYTES_FIXED)
                 if out_ch is not None:
                     t0 = engine.now
                     yield out_ch.reserve_out_slot()
@@ -360,6 +372,8 @@ class MultiGpuChain:
                         if gpu.tracer is not None:
                             gpu.tracer.record(gpu.name, "pruned",
                                               engine.now, engine.now)
+                        if instruments is not None:
+                            instruments[g].block_pruned()
                     else:
                         a_slice = workload.a[r0:r1]
                         p_slice = profile[:, slab.col0 : slab.col1]
@@ -377,7 +391,11 @@ class MultiGpuChain:
                                 return sweep_block(a, p, ht, ft, hl, el, c, scoring, local=True)
 
                 if not pruned:
+                    t_c0 = engine.now
                     result = yield from gpu.compute(rows * w, w, work, block_rows=rows)
+                    if instruments is not None:
+                        instruments[g].block_computed(engine.now - t_c0,
+                                                      cells=rows * w)
 
                 if not workload.phantom:
                     h_top = result.h_bottom
@@ -390,6 +408,8 @@ class MultiGpuChain:
 
                 if out_ch is not None:
                     nbytes = rows * BORDER_BYTES_PER_ROW + BORDER_BYTES_FIXED
+                    if instruments is not None:
+                        instruments[g].border_sent(nbytes)
                     if workload.phantom:
                         payload = None
                     else:
@@ -437,7 +457,7 @@ class MultiGpuChain:
             checkpoint = ChainCheckpoint(
                 row=end_row, h_row=h_row, f_row=f_row, best=best, elapsed_s=total
             )
-        return ChainResult(
+        result = ChainResult(
             best=best,
             total_time_s=total,
             # Cumulative across resumed segments: rows [0, end_row) over the
@@ -449,6 +469,13 @@ class MultiGpuChain:
             partition=slabs,
             checkpoint=checkpoint,
         )
+        if metrics is not None:
+            finalize_run_metrics(
+                metrics, backend="sim",
+                blocks_checked=result.blocks_checked,
+                blocks_pruned=result.blocks_pruned,
+                wall_time_s=total, gcups=result.gcups)
+        return result
 
 
 def align_multi_gpu(
@@ -458,10 +485,13 @@ def align_multi_gpu(
     devices: Sequence[DeviceSpec],
     *,
     config: ChainConfig | None = None,
+    tracer=None,
+    metrics=None,
 ) -> ChainResult:
     """Convenience wrapper: compute-mode chain run over real sequences."""
     chain = MultiGpuChain(devices, config=config)
-    return chain.run(MatrixWorkload(a_codes, b_codes, scoring))
+    return chain.run(MatrixWorkload(a_codes, b_codes, scoring),
+                     tracer=tracer, metrics=metrics)
 
 
 def time_multi_gpu(

@@ -30,10 +30,14 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..comm.progress import ProgressBoard
 from ..comm.scoreboard import SharedScoreboard
 from ..comm.shmring import ShmRing
 from ..device.trace import Tracer, WallClockRecorder, merge_wall_records
 from ..errors import ConfigError
+from ..obs.heartbeat import HeartbeatMonitor
+from ..obs.instruments import EngineInstruments, finalize_run_metrics
+from ..obs.registry import MetricsRegistry
 from ..seq.scoring import Scoring
 from ..sw.batched import KernelWorkspace, validate_kernel
 from ..sw.kernel import BestCell
@@ -50,12 +54,15 @@ from .procchain import (
 
 
 def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
-                 scoreboard):
+                 scoreboard, progress=None):
     """Long-lived slab worker: one task per comparison, ``None`` to exit.
 
     Result message layout matches the one-shot worker's (see
-    :func:`~repro.multigpu.procchain._worker`): counters sit before the
-    error slot because :func:`collect_results` reads ``msg[-2]`` as err.
+    :func:`~repro.multigpu.procchain._worker`): the metrics snapshot and
+    counters sit before the error slot because :func:`collect_results`
+    reads ``msg[-2]`` as err.  A fresh per-comparison registry keeps the
+    snapshots additive — the parent merges them, so pool-lifetime totals
+    still accumulate there.
     """
     workspace = KernelWorkspace()  # persists across comparisons
     while True:
@@ -63,8 +70,11 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
         if task is None:
             break
         (a_codes, b_slab, slab, scoring, block_rows, origin,
-         border_timeout_s, kernel, n_cols, pruning) = task
+         border_timeout_s, kernel, n_cols, pruning, collect_metrics) = task
         recorder = WallClockRecorder(origin)
+        registry = MetricsRegistry() if collect_metrics else None
+        instruments = (EngineInstruments(registry, f"worker{worker_id}")
+                       if registry is not None else None)
         # Fresh pruner per comparison: counters must not leak across runs
         # (the parent resets the scoreboard before enqueueing the tasks).
         pruner = BlockPruner(match=scoring.match) if pruning else None
@@ -75,15 +85,22 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
                                  n_cols=n_cols,
                                  pruner=pruner,
                                  scoreboard=scoreboard if pruning else None,
-                                 slot=worker_id)
+                                 slot=worker_id, instruments=instruments,
+                                 progress=progress)
             best = outcome.best
             result_queue.put(
                 (worker_id, best.score, best.row, best.col,
                  outcome.blocks_checked, outcome.blocks_pruned,
+                 registry.snapshot() if registry is not None else None,
                  None, recorder.records))
         except Exception as exc:
-            result_queue.put((worker_id, 0, -1, -1, 0, 0, repr(exc), recorder.records))
+            result_queue.put(
+                (worker_id, 0, -1, -1, 0, 0,
+                 registry.snapshot() if registry is not None else None,
+                 repr(exc), recorder.records))
             break  # transport state is suspect; die and let the pool break
+    if progress is not None:
+        progress.close()
 
 
 class WorkerPool:
@@ -156,6 +173,10 @@ class WorkerPool:
         self._task_queues = [self._ctx.Queue() for _ in range(workers)]
         # One scoreboard for the pool's lifetime (reset per pruning run).
         self._scoreboard = SharedScoreboard(workers, label="pool-scoreboard")
+        # One heartbeat board for the pool's lifetime (reset per run);
+        # workers always beat into it — it is one shared-memory store per
+        # phase transition — and align() decides whether anyone watches.
+        self._progress = ProgressBoard(workers, label="pool-progress")
         self._procs = []
         for g in range(workers):
             recv_link = links[g - 1] if g > 0 else None
@@ -163,7 +184,7 @@ class WorkerPool:
             proc = self._ctx.Process(
                 target=_pool_worker,
                 args=(g, self._task_queues[g], self._result_queue,
-                      recv_link, send_link, self._scoreboard),
+                      recv_link, send_link, self._scoreboard, self._progress),
                 name=f"mgsw-pool-{g}",
             )
             proc.daemon = True
@@ -208,6 +229,7 @@ class WorkerPool:
         for ring in self._rings:
             ring.unlink()
         self._scoreboard.unlink()
+        self._progress.unlink()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -227,13 +249,22 @@ class WorkerPool:
         tracer: Tracer | None = None,
         kernel: str = "scalar",
         pruning: bool = False,
+        metrics: MetricsRegistry | None = None,
+        heartbeat_s: float | None = None,
+        on_stall=None,
     ) -> ProcessChainResult:
         """Exact SW over the pool's worker chain (bit-identical to every
         other engine); raises ``RuntimeError`` on worker failure/timeout.
 
         *pruning* turns on distributed block pruning against the pool's
         shared scoreboard (reset before each comparison, so scores from
-        one pair never prune another)."""
+        one pair never prune another).  Telemetry mirrors
+        :func:`~repro.multigpu.procchain.align_multi_process`: *metrics*
+        collects per-worker counters (merged into the same registry run
+        after run, so pool-lifetime totals accumulate); *heartbeat_s*
+        arms a watchdog over the pool's progress board for this
+        comparison and enriches failure diagnostics with each stalled
+        worker's last completed row."""
         if self._closed:
             raise ConfigError("pool is closed")
         if self._broken:
@@ -256,17 +287,30 @@ class WorkerPool:
             # Safe: no comparison is in flight here (align is serial and
             # the previous run's workers have all reported).
             self._scoreboard.reset()
+        self._progress.reset()  # same serial-point argument as the scoreboard
         origin = time.perf_counter()
         for g, slab in enumerate(slabs):
             self._task_queues[g].put(
                 (a_codes, b_codes[slab.col0:slab.col1].copy(), slab, scoring,
-                 block_rows, origin, self.border_timeout_s, kernel, n, pruning))
+                 block_rows, origin, self.border_timeout_s, kernel, n, pruning,
+                 metrics is not None))
 
-        deadline = time.monotonic() + timeout_s
-        messages, failures = collect_results(
-            self._result_queue, self._procs, set(range(self.workers)), deadline,
-            describe=lambda g: f"pool worker {g}")
-        wall = time.perf_counter() - origin
+        describe = lambda g: f"pool worker {g}"  # noqa: E731
+        monitor = None
+        if heartbeat_s is not None:
+            monitor = HeartbeatMonitor(self._progress, stall_after_s=heartbeat_s,
+                                       on_stall=on_stall, metrics=metrics)
+            monitor.start()
+            describe = lambda g: f"pool worker {g} ({monitor.describe(g)})"  # noqa: E731
+        try:
+            deadline = time.monotonic() + timeout_s
+            messages, failures = collect_results(
+                self._result_queue, self._procs, set(range(self.workers)),
+                deadline, describe=describe)
+            wall = time.perf_counter() - origin
+        finally:
+            if monitor is not None:
+                monitor.stop()
         if failures:
             self._broken = True
             raise RuntimeError("; ".join(failures))
@@ -275,13 +319,16 @@ class WorkerPool:
         best = BestCell.none()
         worker_blocks = []
         for g in sorted(messages):
-            _wid, score, row, col, checked, pruned, _err, records = messages[g]
+            (_wid, score, row, col, checked, pruned,
+             msnap, _err, records) = messages[g]
             merge_wall_records(result_tracer, f"worker{g}", records)
+            if metrics is not None and msnap is not None:
+                metrics.merge_snapshot(msnap)
             worker_blocks.append((int(checked), int(pruned)))
             cell = BestCell(score, row, col)
             if cell.better_than(best):
                 best = cell
-        return ProcessChainResult(
+        result = ProcessChainResult(
             best=best, wall_time_s=wall, cells=m * n, workers=self.workers,
             partition=tuple(slabs), transport=self.transport,
             start_method=self.start_method, tracer=result_tracer,
@@ -291,6 +338,13 @@ class WorkerPool:
             blocks_pruned=sum(p for _, p in worker_blocks),
             worker_blocks=tuple(worker_blocks),
         )
+        if metrics is not None:
+            finalize_run_metrics(
+                metrics, backend="pool",
+                blocks_checked=result.blocks_checked,
+                blocks_pruned=result.blocks_pruned,
+                wall_time_s=wall, gcups=result.gcups)
+        return result
 
     def map(
         self,
@@ -301,10 +355,15 @@ class WorkerPool:
         timeout_s: float = 300.0,
         kernel: str = "scalar",
         pruning: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> list[ProcessChainResult]:
-        """Run every ``(a, b)`` pair through the pool, in order."""
+        """Run every ``(a, b)`` pair through the pool, in order.
+
+        A shared *metrics* registry accumulates across the whole batch
+        (counters are additive; each run's merge adds on top)."""
         return [
             self.align(a, b, scoring, block_rows=block_rows,
-                       timeout_s=timeout_s, kernel=kernel, pruning=pruning)
+                       timeout_s=timeout_s, kernel=kernel, pruning=pruning,
+                       metrics=metrics)
             for a, b in pairs
         ]

@@ -41,10 +41,14 @@ from typing import Sequence
 
 import numpy as np
 
+from ..comm.progress import ProgressBoard
 from ..comm.scoreboard import SharedScoreboard
 from ..comm.shmring import HEADER_BYTES, HEADER_STRUCT, ShmRing
 from ..device.trace import Tracer, WallClockRecorder, merge_wall_records
 from ..errors import CommError, ConfigError
+from ..obs.heartbeat import HeartbeatMonitor
+from ..obs.instruments import EngineInstruments, finalize_run_metrics
+from ..obs.registry import MetricsRegistry
 from ..perf.metrics import gcups as _metrics_gcups
 from ..seq.scoring import Scoring
 from ..sw.batched import BlockJob, KernelWorkspace, cached_profile, sweep_wavefront, validate_kernel
@@ -206,6 +210,8 @@ def sweep_slab(
     pruner: BlockPruner | None = None,
     scoreboard: SharedScoreboard | None = None,
     slot: int = 0,
+    instruments: EngineInstruments | None = None,
+    progress: ProgressBoard | None = None,
 ) -> SlabOutcome:
     """One slab's sweep loop (the body of every real-process worker).
 
@@ -226,6 +232,13 @@ def sweep_slab(
     (:func:`~repro.sw.blocks.pruned_border_result`) and are recorded as
     zero-length ``pruned`` spans.  Scoreboard reads may be stale — safe by
     monotonicity (see :mod:`repro.comm.scoreboard`).
+
+    Telemetry (both optional, off the hot path when ``None``):
+    *instruments* receives per-block counters and sweep latencies
+    (:mod:`repro.obs.instruments`); *progress* is the shared-memory
+    heartbeat board this worker beats into at every phase transition —
+    ``rows_done`` carries the last *completed* matrix row, so the parent
+    watchdog can report exactly where a stalled worker got to.
     """
     profile = cached_profile(b_slab, scoring)
     if kernel == "batched" and workspace is None:
@@ -242,11 +255,16 @@ def sweep_slab(
     for block_index, (r0, r1) in enumerate(zip(row_edges, row_edges[1:])):
         rows = r1 - r0
         if recv_link is not None:
+            if progress is not None:
+                progress.beat(slot, r0, "wait")
             with recorder.span("wait"):
                 h_left, e_left, corner = recv_link.recv_border(timeout=border_timeout_s)
             if h_left.size != rows:
                 raise CommError(
                     f"border for rows [{r0}, {r1}) carried {h_left.size} rows")
+            if instruments is not None:
+                instruments.border_received(
+                    h_left.nbytes + e_left.nbytes + HEADER_BYTES)
         else:
             corner = 0
             h_left = np.zeros(rows, dtype=DTYPE)
@@ -267,9 +285,15 @@ def sweep_slab(
                 scoreboard.read(),
             )
         if pruned:
+            if progress is not None:
+                progress.beat(slot, r0, "pruned")
             with recorder.span("pruned"):
                 result = pruned_border_result(spec)
+            if instruments is not None:
+                instruments.block_pruned()
         else:
+            if progress is not None:
+                progress.beat(slot, r0, "compute")
             with recorder.span("compute"):
                 if kernel == "batched":
                     job = BlockJob(a_codes[r0:r1], profile, h_top, f_top,
@@ -281,6 +305,10 @@ def sweep_slab(
                         a_codes[r0:r1], profile, h_top, f_top, h_left, e_left,
                         corner, scoring, local=True,
                     )
+            if instruments is not None:
+                _, span_start, span_end = recorder.records[-1]
+                instruments.block_computed(span_end - span_start,
+                                           cells=rows * w)
         h_top = result.h_bottom
         f_top = result.f_bottom
         cell = result.best.shifted(r0, slab.col0)
@@ -290,10 +318,19 @@ def sweep_slab(
                 scoreboard.publish(slot, best.score)
 
         if send_link is not None:
+            if progress is not None:
+                progress.beat(slot, r0, "send")
             with recorder.span("d2h"):
                 send_link.send_border(result.h_right, result.e_right,
                                       prev_right_last, timeout=border_timeout_s)
+            if instruments is not None:
+                instruments.border_sent(
+                    result.h_right.nbytes + result.e_right.nbytes + HEADER_BYTES)
             prev_right_last = int(result.h_right[-1])
+        if progress is not None:
+            progress.beat(slot, r1, "idle")
+    if progress is not None:
+        progress.beat(slot, m, "done")
     return SlabOutcome(
         best=best,
         blocks_checked=pruner.blocks_checked if pruner is not None else 0,
@@ -317,14 +354,23 @@ def _worker(
     kernel: str,
     n_cols: int | None = None,
     scoreboard: SharedScoreboard | None = None,
+    progress: ProgressBoard | None = None,
+    collect_metrics: bool = False,
 ) -> None:
     """One-shot slab worker (runs in a child process).
 
     Result message layout (parsed positionally by :func:`collect_results`,
     which reads ``msg[0]`` as the key and ``msg[-2]`` as the error):
-    ``(worker_id, score, row, col, blocks_checked, blocks_pruned, err, records)``.
+    ``(worker_id, score, row, col, blocks_checked, blocks_pruned,
+    metrics_snapshot, err, records)``.  ``metrics_snapshot`` is the
+    worker registry's :meth:`~repro.obs.registry.MetricsRegistry.snapshot`
+    (``None`` unless *collect_metrics*) — a plain dict, so it crosses any
+    start-method's queue; the parent merges it into its own registry.
     """
     recorder = WallClockRecorder(origin)
+    registry = MetricsRegistry() if collect_metrics else None
+    instruments = (EngineInstruments(registry, f"worker{worker_id}")
+                   if registry is not None else None)
     pruner = (BlockPruner(match=scoring.match)
               if scoreboard is not None else None)
     try:
@@ -332,17 +378,24 @@ def _worker(
                              recv_link, send_link, recorder, border_timeout_s,
                              fault_block, kernel, n_cols=n_cols,
                              pruner=pruner, scoreboard=scoreboard,
-                             slot=worker_id)
+                             slot=worker_id, instruments=instruments,
+                             progress=progress)
         best = outcome.best
         result_queue.put(
             (worker_id, best.score, best.row, best.col,
              outcome.blocks_checked, outcome.blocks_pruned,
+             registry.snapshot() if registry is not None else None,
              None, recorder.records))
     except Exception as exc:  # surface the failure to the parent
-        result_queue.put((worker_id, 0, -1, -1, 0, 0, repr(exc), recorder.records))
+        result_queue.put(
+            (worker_id, 0, -1, -1, 0, 0,
+             registry.snapshot() if registry is not None else None,
+             repr(exc), recorder.records))
     finally:
         if scoreboard is not None:
             scoreboard.close()
+        if progress is not None:
+            progress.close()
 
 
 def _validate_args(a_codes, b_codes, workers, block_rows, transport, weights,
@@ -438,6 +491,9 @@ def align_multi_process(
     tracer: Tracer | None = None,
     kernel: str = "scalar",
     pruning: bool = False,
+    metrics: MetricsRegistry | None = None,
+    heartbeat_s: float | None = None,
+    on_stall=None,
     _fault: tuple[int, int] | None = None,
 ) -> ProcessChainResult:
     """Exact SW across *workers* real processes (see module docstring).
@@ -454,6 +510,15 @@ def align_multi_process(
     section 7).  Pass a :class:`~repro.device.trace.Tracer`
     to collect per-worker wall-clock intervals (one is created on the
     result regardless).
+
+    Telemetry (INTERNALS.md section 8): pass a
+    :class:`~repro.obs.registry.MetricsRegistry` to collect per-worker
+    counters/histograms (spawn-safe snapshot-and-merge); *heartbeat_s*
+    turns on the shared-memory progress board plus a parent-side
+    :class:`~repro.obs.heartbeat.HeartbeatMonitor` that flags workers
+    silent beyond that many seconds (calling *on_stall* per episode) and
+    enriches worker-death errors with the victim's last completed row
+    and phase.
 
     Raises :class:`ConfigError` on bad parameters and ``RuntimeError``
     when a worker fails or the run times out.  ``_fault`` is a test-only
@@ -484,6 +549,9 @@ def align_multi_process(
     procs = []
     result_tracer = tracer if tracer is not None else Tracer()
     scoreboard = SharedScoreboard(workers) if pruning else None
+    progress = (ProgressBoard(workers, label="chain-progress")
+                if heartbeat_s is not None else None)
+    monitor = None
     clean_exit = False
     try:
         origin = time.perf_counter()
@@ -496,30 +564,42 @@ def align_multi_process(
                 args=(g, a_codes, b_codes[slab.col0:slab.col1].copy(), slab,
                       scoring, block_rows, recv_link, send_link, result_queue,
                       origin, border_timeout_s, fault_block, kernel,
-                      n, scoreboard),
+                      n, scoreboard, progress, metrics is not None),
                 name=f"mgsw-worker-{g}",
             )
             proc.start()
             procs.append(proc)
 
+        describe = lambda key: f"worker {key}"  # noqa: E731
+        if progress is not None:
+            monitor = HeartbeatMonitor(progress, stall_after_s=heartbeat_s,
+                                       on_stall=on_stall, metrics=metrics)
+            monitor.start()
+            describe = lambda key: f"worker {key} ({monitor.describe(key)})"  # noqa: E731
+
         deadline = time.monotonic() + timeout_s
         messages, failures = collect_results(
-            result_queue, procs, set(range(workers)), deadline)
+            result_queue, procs, set(range(workers)), deadline,
+            describe=describe)
         wall = time.perf_counter() - origin
+        if monitor is not None:
+            monitor.stop()
         if failures:
             raise RuntimeError("; ".join(failures))
 
         best = BestCell.none()
         worker_blocks = []
         for g in sorted(messages):
-            _wid, score, row, col, checked, pruned, _err, records = messages[g]
+            (_wid, score, row, col, checked, pruned,
+             msnap, _err, records) = messages[g]
             merge_wall_records(result_tracer, f"worker{g}", records)
+            if metrics is not None and msnap is not None:
+                metrics.merge_snapshot(msnap)
             worker_blocks.append((int(checked), int(pruned)))
             cell = BestCell(score, row, col)
             if cell.better_than(best):
                 best = cell
-        clean_exit = True
-        return ProcessChainResult(
+        result = ProcessChainResult(
             best=best, wall_time_s=wall, cells=m * n, workers=workers,
             partition=tuple(slabs), transport=transport,
             start_method=ctx.get_start_method(), tracer=result_tracer,
@@ -529,7 +609,17 @@ def align_multi_process(
             blocks_pruned=sum(p for _, p in worker_blocks),
             worker_blocks=tuple(worker_blocks),
         )
+        if metrics is not None:
+            finalize_run_metrics(
+                metrics, backend="process",
+                blocks_checked=result.blocks_checked,
+                blocks_pruned=result.blocks_pruned,
+                wall_time_s=wall, gcups=result.gcups)
+        clean_exit = True
+        return result
     finally:
+        if monitor is not None:
+            monitor.stop()
         for proc in procs:
             # On the failure path neighbours may be blocked on a border
             # that will never arrive — don't wait out their timeouts.
@@ -549,3 +639,5 @@ def align_multi_process(
             ring.unlink()
         if scoreboard is not None:
             scoreboard.unlink()
+        if progress is not None:
+            progress.unlink()

@@ -1,0 +1,67 @@
+"""Unified telemetry: metrics, run manifests, trace export, watchdogs.
+
+The observability subsystem every engine emits into (see INTERNALS.md
+section 8 for the architecture):
+
+* :mod:`repro.obs.registry` — labelled counter/gauge/histogram registry
+  with spawn-safe snapshot-and-merge across worker processes, exported
+  as JSON or Prometheus text;
+* :mod:`repro.obs.instruments` — the standard per-engine instrument set
+  (``blocks_computed{device=...}``, border byte counters, block-sweep
+  latency histograms);
+* :mod:`repro.obs.manifest` — durable per-run manifests (run id, config,
+  sequence digests, versions, result + metrics snapshots);
+* :mod:`repro.obs.chrometrace` — Chrome trace-event export of
+  :class:`~repro.device.trace.Tracer` timelines (loadable in Perfetto);
+* :mod:`repro.obs.heartbeat` — parent-side watchdog over the
+  shared-memory :class:`~repro.comm.progress.ProgressBoard`;
+* :mod:`repro.obs.diff` — regression diff between two manifest/benchmark
+  JSON documents (``mgsw perf diff``).
+"""
+
+from .chrometrace import (
+    KIND_COLOURS,
+    load_chrome_trace,
+    tracer_to_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .diff import DiffEntry, diff_documents, flatten_scalars, format_diff
+from .heartbeat import DEFAULT_STALL_AFTER_S, HeartbeatMonitor, StallReport
+from .instruments import EngineInstruments, finalize_run_metrics
+from .manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    load_manifest,
+    sequence_digest,
+    validate_manifest,
+    write_manifest,
+)
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Counter",
+    "DEFAULT_STALL_AFTER_S",
+    "DiffEntry",
+    "EngineInstruments",
+    "Gauge",
+    "HeartbeatMonitor",
+    "Histogram",
+    "KIND_COLOURS",
+    "MANIFEST_SCHEMA",
+    "MetricsRegistry",
+    "StallReport",
+    "build_manifest",
+    "diff_documents",
+    "finalize_run_metrics",
+    "flatten_scalars",
+    "format_diff",
+    "load_chrome_trace",
+    "load_manifest",
+    "sequence_digest",
+    "tracer_to_chrome",
+    "validate_chrome_trace",
+    "validate_manifest",
+    "write_chrome_trace",
+    "write_manifest",
+]

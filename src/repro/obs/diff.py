@@ -1,0 +1,130 @@
+"""Regression diff between two telemetry/benchmark JSON documents.
+
+``mgsw perf diff OLD NEW`` compares any two of the JSON artifacts this
+repository produces — run manifests, ``BENCH_*.json`` benchmark records,
+or metrics snapshots — by flattening each document to its numeric leaves
+(dotted key paths) and classifying every shared key by direction:
+
+* *higher-better* keys (``gcups``, ``speedup``, ``score``) regress when
+  the new value drops by more than the threshold;
+* *lower-better* keys (``*_time_s``, ``*_seconds``, ``overhead``)
+  regress when the new value grows by more than the threshold;
+* everything else is informational — reported, never failed on.
+
+The CLI runs in report-only mode by default (CI wires it against the
+checked-in ``benchmarks/BENCH_*.json`` files that way);
+``--fail-on-regression`` turns regressions into a non-zero exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..perf.metrics import format_table
+
+#: Key-path fragments that mark a metric where bigger is better.
+_HIGHER_BETTER = ("gcups", "speedup", "score", "rate")
+#: Key-path fragments that mark a metric where smaller is better.
+_LOWER_BETTER = ("time_s", "seconds", "overhead", "latency", "blocked_s")
+#: Key-path fragments that are identity/metadata, not quantities to diff.
+#: Histogram internals (bucket edges and per-bucket counts) are shape, not
+#: performance — without this they would inherit the parent metric's
+#: ``seconds`` fragment and raise false regressions.
+_IGNORED = ("created_unix", "run_id", "length", "end.", ".end",
+            ".counts[", ".buckets[")
+
+
+def flatten_scalars(doc, prefix: str = "") -> dict[str, float]:
+    """All numeric leaves of *doc* as ``dotted.path -> value`` (bools and
+    strings are skipped; list items are indexed)."""
+    out: dict[str, float] = {}
+    if isinstance(doc, Mapping):
+        for key, value in doc.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_scalars(value, path))
+    elif isinstance(doc, (list, tuple)):
+        for i, value in enumerate(doc):
+            out.update(flatten_scalars(value, f"{prefix}[{i}]"))
+    elif isinstance(doc, bool):
+        pass
+    elif isinstance(doc, (int, float)):
+        out[prefix] = float(doc)
+    return out
+
+
+def classify(key: str) -> str:
+    """``"higher"``, ``"lower"`` or ``"info"`` for one flattened key."""
+    low = key.lower()
+    if any(frag in low for frag in _IGNORED):
+        return "info"
+    if any(frag in low for frag in _HIGHER_BETTER):
+        return "higher"
+    if any(frag in low for frag in _LOWER_BETTER):
+        return "lower"
+    return "info"
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One shared numeric key compared across the two documents."""
+
+    key: str
+    old: float
+    new: float
+    direction: str  #: "higher" / "lower" / "info"
+
+    @property
+    def rel_change(self) -> float:
+        """(new - old) / |old|; +/-inf when old == 0 and new differs."""
+        if self.old == 0.0:
+            return 0.0 if self.new == 0.0 else float("inf") * (1 if self.new > 0 else -1)
+        return (self.new - self.old) / abs(self.old)
+
+    def regressed(self, threshold: float) -> bool:
+        if self.direction == "higher":
+            return self.rel_change < -threshold
+        if self.direction == "lower":
+            return self.rel_change > threshold
+        return False
+
+
+def diff_documents(old: Mapping, new: Mapping, *,
+                   threshold: float = 0.05) -> list[DiffEntry]:
+    """Compare every key present in both documents, sorted worst-first.
+
+    *threshold* is the relative-change tolerance used for the sort and
+    by :meth:`DiffEntry.regressed`.
+    """
+    flat_old = flatten_scalars(old)
+    flat_new = flatten_scalars(new)
+    entries = [
+        DiffEntry(key=key, old=flat_old[key], new=flat_new[key],
+                  direction=classify(key))
+        for key in sorted(set(flat_old) & set(flat_new))
+    ]
+    entries.sort(key=lambda e: (not e.regressed(threshold), -abs(e.rel_change)))
+    return entries
+
+
+def format_diff(entries: list[DiffEntry], *, threshold: float,
+                max_rows: int = 40) -> str:
+    """Human-readable diff report (regressions first, then biggest movers)."""
+    if not entries:
+        return "no shared numeric keys to compare"
+    regressions = [e for e in entries if e.regressed(threshold)]
+    rows = []
+    for e in entries[:max_rows]:
+        change = "n/a" if e.rel_change in (float("inf"), float("-inf")) \
+            else f"{e.rel_change:+.1%}"
+        flag = "REGRESSED" if e.regressed(threshold) else \
+            ("improved" if e.direction != "info" and abs(e.rel_change) > threshold
+             else "")
+        rows.append([e.key, f"{e.old:g}", f"{e.new:g}", change, flag])
+    lines = [format_table(["key", "old", "new", "change", ""], rows)]
+    if len(entries) > max_rows:
+        lines.append(f"... {len(entries) - max_rows} more keys unchanged/omitted")
+    lines.append(
+        f"{len(regressions)} regression(s) at threshold {threshold:.0%} "
+        f"across {len(entries)} shared keys")
+    return "\n".join(lines)

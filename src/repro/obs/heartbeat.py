@@ -1,0 +1,168 @@
+"""Parent-side watchdog over the shared-memory progress board.
+
+The real-process engines already notice *dead* workers (liveness polls)
+and *wedged transports* (border timeouts), but both are slow, and
+neither says what the worker was doing when it went quiet.  The
+:class:`HeartbeatMonitor` closes the loop: slab workers beat into a
+:class:`~repro.comm.progress.ProgressBoard` at every phase transition,
+and a daemon thread in the parent polls the board, surfaces live
+progress, flags workers silent beyond a threshold, and — crucially —
+enriches the existing worker-death diagnostics with the stalled actor's
+last completed row and phase (:meth:`HeartbeatMonitor.describe` feeds
+:func:`~repro.multigpu.procchain.collect_results`'s ``describe`` hook).
+
+The monitor only ever *reads* shared memory (lock-free; see
+:mod:`repro.comm.progress` for why stale reads are safe), so it can
+never slow down or wedge a worker — observability stays off the hot
+path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..comm.progress import ProgressBoard, ProgressSample
+
+#: Default seconds of silence before a started worker counts as stalled.
+DEFAULT_STALL_AFTER_S = 5.0
+
+
+@dataclass(frozen=True)
+class StallReport:
+    """One stalled worker, as the watchdog saw it."""
+
+    worker: int
+    rows_done: int
+    phase: str
+    silent_s: float
+
+    def describe(self) -> str:
+        return (f"worker {self.worker} stalled in phase {self.phase!r} "
+                f"(last completed row {self.rows_done}, "
+                f"silent {self.silent_s:.1f}s)")
+
+
+class HeartbeatMonitor:
+    """Watchdog thread over one :class:`~repro.comm.progress.ProgressBoard`.
+
+    Parameters
+    ----------
+    board:
+        The progress board the workers beat into.
+    stall_after_s:
+        Seconds of silence after which a *started* worker is flagged
+        (workers that never beat are the liveness poll's problem — they
+        may still be importing).
+    poll_interval_s:
+        Watchdog wake-up period; stall detection lags true silence by at
+        most this much.
+    on_stall:
+        Optional callback invoked once per worker per stall episode with
+        a :class:`StallReport` (e.g. the CLI's live stderr warning).  A
+        worker that resumes beating is re-armed.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; the
+        monitor maintains ``worker_rows_done{device=...}`` gauges and a
+        ``worker_stalls`` counter on it.
+    """
+
+    def __init__(
+        self,
+        board: ProgressBoard,
+        *,
+        stall_after_s: float = DEFAULT_STALL_AFTER_S,
+        poll_interval_s: float = 0.2,
+        on_stall: Callable[[StallReport], None] | None = None,
+        metrics=None,
+    ) -> None:
+        if stall_after_s <= 0:
+            raise ValueError("stall_after_s must be positive")
+        self.board = board
+        self.stall_after_s = stall_after_s
+        self.poll_interval_s = max(0.01, poll_interval_s)
+        self.on_stall = on_stall
+        self._metrics = metrics
+        self._flagged: set[int] = set()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- queries (usable with or without the thread running) -----------------
+    def status(self) -> tuple[ProgressSample, ...]:
+        """Live progress: one (possibly slightly stale) sample per worker."""
+        return self.board.snapshot()
+
+    def stalled(self, now: float | None = None) -> list[StallReport]:
+        """Workers that have started, not finished, and gone silent."""
+        now = time.monotonic() if now is None else now
+        out = []
+        for sample in self.board.snapshot():
+            if not sample.started or sample.phase == "done":
+                continue
+            silent = sample.silent_s(now)
+            if silent >= self.stall_after_s:
+                out.append(StallReport(sample.worker, sample.rows_done,
+                                       sample.phase, silent))
+        return out
+
+    def describe(self, worker: int) -> str:
+        """One-line heartbeat diagnosis for *worker* — appended to the
+        engine's worker-death error messages."""
+        sample = self.board.read(worker)
+        if not sample.started:
+            return "never heartbeat"
+        return (f"last completed row {sample.rows_done}, "
+                f"phase {sample.phase!r}, "
+                f"silent {sample.silent_s():.1f}s")
+
+    # -- the watchdog thread -------------------------------------------------
+    def _tick(self) -> None:
+        reports = {r.worker: r for r in self.stalled()}
+        for worker, report in reports.items():
+            if worker not in self._flagged:
+                self._flagged.add(worker)
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "worker_stalls",
+                        help="heartbeat silences beyond the stall threshold",
+                    ).inc(1, device=f"worker{worker}")
+                if self.on_stall is not None:
+                    self.on_stall(report)
+        # Re-arm workers that resumed beating.
+        self._flagged &= set(reports)
+        if self._metrics is not None:
+            gauge = self._metrics.gauge(
+                "worker_rows_done", help="rows completed per worker (live)")
+            for sample in self.board.snapshot():
+                if sample.started:
+                    gauge.set(sample.rows_done, device=f"worker{sample.worker}")
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            self._tick()
+
+    def start(self) -> "HeartbeatMonitor":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="mgsw-heartbeat", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread and take one final sample (idempotent)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self._tick()
+
+    def __enter__(self) -> "HeartbeatMonitor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,152 @@
+"""Run manifests: a durable, machine-readable record of every run.
+
+Every headline number this reproduction prints (GCUPS, pruned ratios,
+speedups) is only as trustworthy as the record of *what produced it*.  A
+manifest freezes that record per alignment: a run id, the full engine
+configuration, content digests of the input sequences, the package /
+NumPy / Python versions, the wall (or virtual) time, the perf-report
+result dict and a final metrics snapshot — enough to re-run the exact
+comparison and to `mgsw perf diff` two runs against each other.
+
+The schema is versioned (:data:`MANIFEST_SCHEMA`) and enforced by
+:func:`validate_manifest`, which the CI telemetry smoke step runs against
+freshly produced artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import time
+import uuid
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ObsError
+
+#: Schema tag written into (and required of) every manifest.
+MANIFEST_SCHEMA = "mgsw.telemetry.manifest/v1"
+
+#: Top-level keys every manifest must carry, with their required types.
+_REQUIRED: tuple[tuple[str, type], ...] = (
+    ("schema", str),
+    ("run_id", str),
+    ("created_unix", (int, float)),
+    ("tool", dict),
+    ("environment", dict),
+    ("backend", str),
+    ("config", dict),
+    ("sequences", dict),
+    ("result", dict),
+)
+
+
+def sequence_digest(codes: np.ndarray) -> dict:
+    """Content digest of an encoded sequence: length + SHA-256 of the bytes.
+
+    Two runs with equal digests compared the same inputs, whatever file
+    they were read from.
+    """
+    arr = np.ascontiguousarray(codes)
+    return {
+        "length": int(arr.size),
+        "dtype": str(arr.dtype),
+        "sha256": hashlib.sha256(arr.tobytes()).hexdigest(),
+    }
+
+
+def build_manifest(
+    *,
+    backend: str,
+    config: Mapping,
+    result: Mapping,
+    sequences: Mapping | None = None,
+    metrics: Mapping | None = None,
+    command: list[str] | None = None,
+    wall_time_s: float | None = None,
+    run_id: str | None = None,
+    extra: Mapping | None = None,
+) -> dict:
+    """Assemble a schema-valid manifest dict for one run.
+
+    ``result`` is the JSON summary from :mod:`repro.perf.report`
+    (``chain_result_dict`` / ``process_result_dict`` /
+    ``single_result_dict``); ``metrics`` is a
+    :meth:`~repro.obs.registry.MetricsRegistry.snapshot`.
+    """
+    from .. import __version__
+
+    doc = {
+        "schema": MANIFEST_SCHEMA,
+        "run_id": run_id if run_id is not None else uuid.uuid4().hex,
+        "created_unix": time.time(),
+        "tool": {"name": "mgsw", "version": __version__},
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "backend": backend,
+        "command": list(command) if command is not None else None,
+        "config": dict(config),
+        "sequences": {k: dict(v) for k, v in (sequences or {}).items()},
+        "wall_time_s": wall_time_s,
+        "result": dict(result),
+        "metrics": dict(metrics) if metrics is not None else None,
+    }
+    if extra:
+        doc["extra"] = dict(extra)
+    validate_manifest(doc)
+    return doc
+
+
+def validate_manifest(doc: Mapping) -> None:
+    """Raise :class:`ObsError` listing every schema violation in *doc*."""
+    problems: list[str] = []
+    if not isinstance(doc, Mapping):
+        raise ObsError(f"manifest must be a mapping, got {type(doc).__name__}")
+    for key, typ in _REQUIRED:
+        if key not in doc:
+            problems.append(f"missing required key {key!r}")
+        elif not isinstance(doc[key], typ):
+            problems.append(
+                f"key {key!r} must be {getattr(typ, '__name__', typ)}, "
+                f"got {type(doc[key]).__name__}")
+    if doc.get("schema") not in (None, MANIFEST_SCHEMA):
+        problems.append(
+            f"unknown schema {doc['schema']!r} (expected {MANIFEST_SCHEMA!r})")
+    tool = doc.get("tool")
+    if isinstance(tool, Mapping) and ("name" not in tool or "version" not in tool):
+        problems.append("tool must carry name and version")
+    env = doc.get("environment")
+    if isinstance(env, Mapping):
+        for key in ("python", "numpy"):
+            if key not in env:
+                problems.append(f"environment must record the {key} version")
+    for name, digest in (doc.get("sequences") or {}).items():
+        if not isinstance(digest, Mapping) or "sha256" not in digest \
+                or "length" not in digest:
+            problems.append(f"sequence {name!r} digest needs sha256 and length")
+    wall = doc.get("wall_time_s")
+    if wall is not None and (not isinstance(wall, (int, float)) or wall < 0):
+        problems.append("wall_time_s must be a non-negative number or null")
+    if problems:
+        raise ObsError("invalid manifest: " + "; ".join(problems))
+
+
+def write_manifest(path: str | Path, manifest: Mapping) -> Path:
+    """Validate and write *manifest* as pretty-printed JSON; returns the path."""
+    validate_manifest(manifest)
+    path = Path(path)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Load a manifest JSON file (no validation — pair with
+    :func:`validate_manifest` when the file is untrusted)."""
+    with open(path) as fh:
+        return json.load(fh)

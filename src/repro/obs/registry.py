@@ -1,0 +1,262 @@
+"""Cross-process metrics registry: counters, gauges and histograms.
+
+Every engine (the blocked single-device executor, the simulated
+:class:`~repro.multigpu.chain.MultiGpuChain`, the real-process chain and
+the persistent :class:`~repro.multigpu.pool.WorkerPool`) emits the same
+instrument set into a :class:`MetricsRegistry` — ``blocks_computed``,
+``blocks_pruned``, ``border_bytes_sent`` counters labelled by device,
+block-sweep latency histograms, ``prune_rate`` gauges — so one pipeline
+feeds the run manifests, the CLI's ``--telemetry`` output and the
+Prometheus text endpoint alike.
+
+Cross-process collection is **snapshot-and-merge**: a worker process
+builds its own registry (nothing shared, nothing locked on the hot
+path), serialises it with :meth:`MetricsRegistry.snapshot` — a plain
+JSON-safe dict, so it crosses a spawn-context result queue without
+custom pickling — and the parent folds it in with
+:meth:`MetricsRegistry.merge_snapshot`.  Merge semantics per type:
+
+* **counters** and **histograms** are additive (series with equal labels
+  sum; histogram bucket layouts must match);
+* **gauges** are last-write-wins (engines label per-worker gauges by
+  device, so distinct workers never collide).
+
+Metric and label names follow the Prometheus data model
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``); :meth:`MetricsRegistry.to_prometheus`
+renders the standard text exposition format and
+:meth:`MetricsRegistry.to_json` the snapshot dict.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+from ..errors import ObsError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds): spans sub-millisecond virtual-clock
+#: block sweeps up to multi-second wall-clock slab rows.
+DEFAULT_BUCKETS = (
+    1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0, 30.0,
+)
+
+
+def _check_name(name: str) -> None:
+    if not _NAME_RE.match(name):
+        raise ObsError(f"invalid metric name {name!r}")
+
+
+def _labelkey(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    for k in labels:
+        if not _LABEL_RE.match(k):
+            raise ObsError(f"invalid label name {k!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _fmt_labels(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing labelled counter family."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        if amount < 0:
+            raise ObsError(f"counter {self.name}: negative increment {amount}")
+        key = _labelkey(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._series.get(_labelkey(labels), 0)
+
+    def total(self) -> float:
+        """Sum over every label combination (e.g. all devices)."""
+        return sum(self._series.values())
+
+
+class Gauge:
+    """A labelled gauge family: set to the latest observed value."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._series[_labelkey(labels)] = float(value)
+
+    def value(self, **labels: str) -> float:
+        key = _labelkey(labels)
+        if key not in self._series:
+            raise ObsError(f"gauge {self.name}: no sample for labels {dict(key)}")
+        return self._series[key]
+
+
+class Histogram:
+    """A labelled histogram family with fixed upper-bound buckets.
+
+    Each series holds per-bucket counts (plus a +Inf overflow bucket),
+    the running sum and the observation count — the Prometheus layout, so
+    merge is element-wise addition and export is mechanical.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ObsError(f"histogram {self.name}: needs at least one bucket")
+        self._series: dict[tuple, dict] = {}
+
+    def _data(self, key: tuple) -> dict:
+        if key not in self._series:
+            self._series[key] = {
+                "counts": [0] * (len(self.buckets) + 1), "sum": 0.0, "count": 0,
+            }
+        return self._series[key]
+
+    def observe(self, value: float, **labels: str) -> None:
+        data = self._data(_labelkey(labels))
+        data["counts"][bisect_left(self.buckets, value)] += 1
+        data["sum"] += float(value)
+        data["count"] += 1
+
+    def count(self, **labels: str) -> int:
+        key = _labelkey(labels)
+        return self._series[key]["count"] if key in self._series else 0
+
+    def sum(self, **labels: str) -> float:
+        key = _labelkey(labels)
+        return self._series[key]["sum"] if key in self._series else 0.0
+
+
+class MetricsRegistry:
+    """One process's metric families, keyed by name (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: str, factory):
+        _check_name(name)
+        fam = self._families.get(name)
+        if fam is None:
+            fam = self._families[name] = factory()
+            return fam
+        if fam.kind != kind:
+            raise ObsError(
+                f"metric {name!r} already registered as a {fam.kind}, "
+                f"requested as a {kind}")
+        return fam
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, "counter", lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, "gauge", lambda: Gauge(name, help))
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        fam = self._get(name, "histogram", lambda: Histogram(name, help, buckets))
+        if fam.buckets != tuple(sorted(float(b) for b in buckets)):
+            raise ObsError(f"histogram {name!r} re-registered with different buckets")
+        return fam
+
+    def families(self) -> list[Counter | Gauge | Histogram]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    # -- snapshot / merge (the spawn-safe cross-process pipeline) ------------
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every family — the worker->parent wire format."""
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for fam in self.families():
+            if fam.kind == "histogram":
+                out["histograms"][fam.name] = {
+                    "help": fam.help,
+                    "buckets": list(fam.buckets),
+                    "series": [
+                        {"labels": dict(key), "counts": list(d["counts"]),
+                         "sum": d["sum"], "count": d["count"]}
+                        for key, d in sorted(fam._series.items())
+                    ],
+                }
+            else:
+                out[fam.kind + "s"][fam.name] = {
+                    "help": fam.help,
+                    "series": [
+                        {"labels": dict(key), "value": value}
+                        for key, value in sorted(fam._series.items())
+                    ],
+                }
+        return out
+
+    def merge_snapshot(self, snap: Mapping) -> None:
+        """Fold one :meth:`snapshot` into this registry (module docstring:
+        counters/histograms add, gauges take the incoming value)."""
+        for name, doc in snap.get("counters", {}).items():
+            fam = self.counter(name, doc.get("help", ""))
+            for series in doc["series"]:
+                fam.inc(series["value"], **series["labels"])
+        for name, doc in snap.get("gauges", {}).items():
+            fam = self.gauge(name, doc.get("help", ""))
+            for series in doc["series"]:
+                fam.set(series["value"], **series["labels"])
+        for name, doc in snap.get("histograms", {}).items():
+            fam = self.histogram(name, doc.get("help", ""), doc["buckets"])
+            for series in doc["series"]:
+                if len(series["counts"]) != len(fam.buckets) + 1:
+                    raise ObsError(
+                        f"histogram {name!r}: snapshot bucket layout mismatch")
+                data = fam._data(_labelkey(series["labels"]))
+                for i, c in enumerate(series["counts"]):
+                    data["counts"][i] += c
+                data["sum"] += series["sum"]
+                data["count"] += series["count"]
+
+    # -- exports -------------------------------------------------------------
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        for fam in self.families():
+            if fam.help:
+                lines.append(f"# HELP {fam.name} {fam.help}")
+            lines.append(f"# TYPE {fam.name} {fam.kind}")
+            if fam.kind == "histogram":
+                for key, data in sorted(fam._series.items()):
+                    cumulative = 0
+                    for bound, count in zip(fam.buckets, data["counts"]):
+                        cumulative += count
+                        le_key = key + (("le", f"{bound:g}"),)
+                        lines.append(
+                            f"{fam.name}_bucket{_fmt_labels(le_key)} {cumulative}")
+                    cumulative += data["counts"][-1]
+                    inf_key = key + (("le", "+Inf"),)
+                    lines.append(f"{fam.name}_bucket{_fmt_labels(inf_key)} {cumulative}")
+                    lines.append(f"{fam.name}_sum{_fmt_labels(key)} {data['sum']:g}")
+                    lines.append(f"{fam.name}_count{_fmt_labels(key)} {data['count']}")
+            else:
+                for key, value in sorted(fam._series.items()):
+                    lines.append(f"{fam.name}{_fmt_labels(key)} {value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -6,6 +6,7 @@ from .report import (
     chain_result_dict,
     process_report,
     process_result_dict,
+    result_dict,
     single_report,
     single_result_dict,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "chain_result_dict",
     "process_report",
     "process_result_dict",
+    "result_dict",
     "single_report",
     "single_result_dict",
     "BreakdownRow",

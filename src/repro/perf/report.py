@@ -86,6 +86,9 @@ def process_result_dict(result) -> dict:
             "pruned_ratio": result.pruned_ratio,
             "per_worker": [list(wb) for wb in result.worker_blocks],
         } if result.pruning else None,
+        # Cross-process clock-skew spans clamped during trace merging —
+        # nonzero values flag workers whose perf_counter drifted.
+        "clamped_records": result.tracer.clamped_records if result.tracer else 0,
         "workers": [
             {
                 "name": f"worker{g}",
@@ -119,6 +122,22 @@ def single_result_dict(result) -> dict:
             "pruned_fraction": result.pruned_fraction,
         } if result.blocks_checked else None,
     }
+
+
+def result_dict(result) -> dict:
+    """Dispatch any engine result to its ``*_result_dict`` by shape.
+
+    The manifest builder (:mod:`repro.obs.manifest`) and the CLI call
+    this so they never need to know which backend produced the result:
+    a ``config`` attribute marks the simulated chain, ``wall_time_s``
+    the real-process engines, and anything else (``cells_computed``)
+    the single-device baseline.
+    """
+    if hasattr(result, "config"):
+        return chain_result_dict(result)
+    if hasattr(result, "wall_time_s"):
+        return process_result_dict(result)
+    return single_result_dict(result)
 
 
 def single_report(result, *, title: str = "single-GPU run") -> str:

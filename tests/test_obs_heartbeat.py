@@ -1,0 +1,213 @@
+"""Tests: shared-memory ProgressBoard + parent-side HeartbeatMonitor."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.comm.progress import PHASES, ProgressBoard, ProgressSample
+from repro.errors import CommError
+from repro.obs import MetricsRegistry
+from repro.obs.heartbeat import DEFAULT_STALL_AFTER_S, HeartbeatMonitor, StallReport
+
+
+def _beat_worker(board: ProgressBoard, slot: int, rows: int, phase: str) -> None:
+    """Attach to the pickled board in a spawned child and beat once."""
+    board.beat(slot, rows, phase)
+    board.close()
+
+
+@pytest.fixture
+def board():
+    b = ProgressBoard(3, label="test-progress")
+    yield b
+    b.unlink()
+
+
+class TestProgressBoard:
+    def test_fresh_board_reads_never_started(self, board):
+        for sample in board.snapshot():
+            assert not sample.started
+            assert sample.rows_done == 0
+            assert sample.phase == "idle"
+            assert sample.silent_s() == 0.0
+
+    def test_beat_then_read_roundtrips(self, board):
+        board.beat(1, 17, "compute")
+        sample = board.read(1)
+        assert sample.worker == 1
+        assert sample.rows_done == 17
+        assert sample.phase == "compute"
+        assert sample.started
+        # The other slots are untouched.
+        assert not board.read(0).started
+        assert not board.read(2).started
+
+    def test_beat_timestamp_is_monotonic_clock(self, board):
+        before = time.monotonic()
+        board.beat(0, 1, "wait")
+        after = time.monotonic()
+        assert before <= board.read(0).last_beat <= after
+
+    def test_silent_s_measures_from_last_beat(self, board):
+        board.beat(0, 1, "compute")
+        beat = board.read(0).last_beat
+        assert board.read(0).silent_s(now=beat + 2.5) == pytest.approx(2.5)
+        # Clock skew never goes negative.
+        assert board.read(0).silent_s(now=beat - 1.0) == 0.0
+
+    def test_all_phases_accepted(self, board):
+        for i, phase in enumerate(PHASES):
+            board.beat(0, i, phase)
+            assert board.read(0).phase == phase
+
+    def test_unknown_phase_rejected(self, board):
+        with pytest.raises(CommError, match="unknown phase"):
+            board.beat(0, 1, "sleeping")
+
+    def test_out_of_range_slot_rejected(self, board):
+        with pytest.raises(CommError):
+            board.beat(3, 1, "compute")
+        with pytest.raises(CommError):
+            board.read(-1)
+
+    def test_reset_zeroes_every_slot(self, board):
+        for slot in range(3):
+            board.beat(slot, 10 + slot, "send")
+        board.reset()
+        for sample in board.snapshot():
+            assert not sample.started
+            assert sample.rows_done == 0
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(CommError):
+            ProgressBoard(0)
+
+    def test_spawned_child_beats_into_parent_board(self, board):
+        """The board pickles by segment name; a spawned child re-attaches
+        and its stores are visible to the parent without any sync."""
+        ctx = mp.get_context("spawn")
+        p = ctx.Process(target=_beat_worker, args=(board, 2, 42, "send"))
+        p.start()
+        p.join(timeout=60.0)
+        assert p.exitcode == 0
+        sample = board.read(2)
+        assert sample.rows_done == 42
+        assert sample.phase == "send"
+        assert sample.started
+
+    def test_context_manager_unlinks_for_owner(self):
+        with ProgressBoard(1) as b:
+            b.beat(0, 1, "compute")
+        # Segment gone: re-attach by name must fail.
+        from multiprocessing import shared_memory
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=b.name)
+
+
+class TestHeartbeatMonitor:
+    def test_invalid_threshold_rejected(self, board):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(board, stall_after_s=0.0)
+
+    def test_never_started_workers_are_not_stalled(self, board):
+        monitor = HeartbeatMonitor(board, stall_after_s=0.01)
+        assert monitor.stalled() == []
+        assert monitor.describe(0) == "never heartbeat"
+
+    def test_done_workers_are_not_stalled(self, board):
+        board.beat(0, 5, "done")
+        monitor = HeartbeatMonitor(board, stall_after_s=0.01)
+        beat = board.read(0).last_beat
+        assert monitor.stalled(now=beat + 100.0) == []
+
+    def test_silent_started_worker_is_stalled(self, board):
+        board.beat(1, 7, "wait")
+        monitor = HeartbeatMonitor(board, stall_after_s=1.0)
+        beat = board.read(1).last_beat
+        assert monitor.stalled(now=beat + 0.5) == []
+        reports = monitor.stalled(now=beat + 1.5)
+        assert len(reports) == 1
+        assert reports[0] == StallReport(1, 7, "wait", pytest.approx(1.5))
+        assert "last completed row 7" in reports[0].describe()
+
+    def test_describe_reports_row_phase_silence(self, board):
+        board.beat(2, 31, "compute")
+        monitor = HeartbeatMonitor(board)
+        text = monitor.describe(2)
+        assert "last completed row 31" in text
+        assert "phase 'compute'" in text
+        assert "silent" in text
+
+    def test_watchdog_fires_on_stall_once_per_episode(self, board):
+        """on_stall fires once when the threshold trips; resuming beats
+        re-arms the worker so a second stall fires again."""
+        hits: list[StallReport] = []
+        board.beat(0, 3, "compute")
+        monitor = HeartbeatMonitor(board, stall_after_s=0.15,
+                                   poll_interval_s=0.02,
+                                   on_stall=hits.append)
+        with monitor:
+            deadline = time.monotonic() + 5.0
+            while not hits and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert len(hits) == 1
+            assert hits[0].worker == 0
+            assert hits[0].rows_done == 3
+            # Resume beating: the flag clears...
+            board.beat(0, 4, "compute")
+            time.sleep(0.1)
+            assert len(hits) == 1
+            # ...and a fresh silence trips a second report.
+            deadline = time.monotonic() + 5.0
+            while len(hits) < 2 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert len(hits) == 2
+            assert hits[1].rows_done == 4
+
+    def test_metrics_gauges_and_stall_counter(self, board):
+        reg = MetricsRegistry()
+        board.beat(0, 12, "send")
+        monitor = HeartbeatMonitor(board, stall_after_s=0.05,
+                                   poll_interval_s=0.02, metrics=reg)
+        monitor.start()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if reg.counter("worker_stalls").total() >= 1:
+                break
+            time.sleep(0.02)
+        monitor.stop()
+        assert reg.counter("worker_stalls").value(device="worker0") == 1
+        assert reg.gauge("worker_rows_done").value(device="worker0") == 12
+
+    def test_start_stop_idempotent(self, board):
+        monitor = HeartbeatMonitor(board, stall_after_s=10.0)
+        assert monitor.start() is monitor
+        assert monitor.start() is monitor  # second start is a no-op
+        monitor.stop()
+        monitor.stop()  # second stop is a no-op
+        assert monitor._thread is None
+
+    def test_stop_takes_final_sample(self, board):
+        """stop() runs one last tick so short-lived runs still populate
+        the metrics even if the poll never fired."""
+        reg = MetricsRegistry()
+        board.beat(1, 8, "done")
+        monitor = HeartbeatMonitor(board, stall_after_s=10.0,
+                                   poll_interval_s=60.0, metrics=reg)
+        monitor.start()
+        monitor.stop()
+        assert reg.gauge("worker_rows_done").value(device="worker1") == 8
+
+    def test_status_mirrors_board_snapshot(self, board):
+        board.beat(0, 2, "wait")
+        monitor = HeartbeatMonitor(board)
+        status = monitor.status()
+        assert len(status) == 3
+        assert isinstance(status[0], ProgressSample)
+        assert status[0].rows_done == 2
+
+    def test_default_threshold_exported(self):
+        assert DEFAULT_STALL_AFTER_S == 5.0

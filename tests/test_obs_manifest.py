@@ -1,0 +1,175 @@
+"""Unit tests: repro.obs.manifest + repro.obs.diff."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ObsError
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    DiffEntry,
+    build_manifest,
+    diff_documents,
+    flatten_scalars,
+    format_diff,
+    load_manifest,
+    sequence_digest,
+    validate_manifest,
+    write_manifest,
+)
+
+
+def _manifest(**overrides):
+    kwargs = dict(
+        backend="process",
+        config={"workers": 2, "block_rows": 64},
+        result={"score": 10, "gcups": 0.5},
+        sequences={"a": sequence_digest(np.zeros(8, dtype=np.int8))},
+        wall_time_s=1.25,
+    )
+    kwargs.update(overrides)
+    return build_manifest(**kwargs)
+
+
+class TestSequenceDigest:
+    def test_digest_depends_on_content_not_container(self):
+        a = np.array([0, 1, 2, 3], dtype=np.int8)
+        assert sequence_digest(a) == sequence_digest(a.copy())
+        b = np.array([0, 1, 2, 0], dtype=np.int8)
+        assert sequence_digest(a)["sha256"] != sequence_digest(b)["sha256"]
+
+    def test_digest_records_length_and_dtype(self):
+        d = sequence_digest(np.zeros(17, dtype=np.int8))
+        assert d["length"] == 17
+        assert d["dtype"] == "int8"
+        assert len(d["sha256"]) == 64
+
+
+class TestBuildManifest:
+    def test_build_is_schema_valid_and_versioned(self):
+        doc = _manifest()
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert doc["tool"] == {"name": "mgsw", "version": repro.__version__}
+        assert doc["environment"]["numpy"] == np.__version__
+        validate_manifest(doc)  # must not raise
+
+    def test_distinct_run_ids(self):
+        assert _manifest()["run_id"] != _manifest()["run_id"]
+
+    def test_explicit_run_id_and_extra(self):
+        doc = _manifest(run_id="abc123", extra={"note": "x"})
+        assert doc["run_id"] == "abc123"
+        assert doc["extra"] == {"note": "x"}
+
+    def test_command_and_metrics_recorded(self):
+        doc = _manifest(command=["align", "a.fa", "b.fa"],
+                        metrics={"counters": {}, "gauges": {}, "histograms": {}})
+        assert doc["command"] == ["align", "a.fa", "b.fa"]
+        assert doc["metrics"] == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestValidateManifest:
+    def test_missing_key_listed(self):
+        doc = _manifest()
+        del doc["backend"]
+        with pytest.raises(ObsError, match="backend"):
+            validate_manifest(doc)
+
+    def test_wrong_type_listed(self):
+        doc = _manifest()
+        doc["config"] = "not a dict"
+        with pytest.raises(ObsError, match="config"):
+            validate_manifest(doc)
+
+    def test_unknown_schema_rejected(self):
+        doc = _manifest()
+        doc["schema"] = "mgsw.telemetry.manifest/v999"
+        with pytest.raises(ObsError, match="schema"):
+            validate_manifest(doc)
+
+    def test_bad_sequence_digest_rejected(self):
+        doc = _manifest()
+        doc["sequences"]["a"] = {"sha256": "x"}  # no length
+        with pytest.raises(ObsError, match="sequence"):
+            validate_manifest(doc)
+
+    def test_negative_wall_time_rejected(self):
+        doc = _manifest()
+        doc["wall_time_s"] = -1.0
+        with pytest.raises(ObsError, match="wall_time_s"):
+            validate_manifest(doc)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ObsError):
+            validate_manifest([1, 2, 3])
+
+
+class TestWriteLoad:
+    def test_roundtrip(self, tmp_path):
+        doc = _manifest()
+        path = write_manifest(tmp_path / "manifest.json", doc)
+        assert load_manifest(path) == doc
+
+    def test_write_validates_first(self, tmp_path):
+        doc = _manifest()
+        del doc["result"]
+        with pytest.raises(ObsError):
+            write_manifest(tmp_path / "manifest.json", doc)
+        assert not (tmp_path / "manifest.json").exists()
+
+
+class TestFlattenScalars:
+    def test_nested_paths_and_list_indices(self):
+        flat = flatten_scalars({"a": {"b": 1}, "c": [2.5, {"d": 3}]})
+        assert flat == {"a.b": 1.0, "c[0]": 2.5, "c[1].d": 3.0}
+
+    def test_bools_and_strings_skipped(self):
+        assert flatten_scalars({"x": True, "y": "s", "z": 0}) == {"z": 0.0}
+
+
+class TestDiff:
+    def test_gcups_drop_regresses(self):
+        entries = diff_documents({"gcups": 10.0}, {"gcups": 8.0}, threshold=0.05)
+        assert entries[0].regressed(0.05)
+
+    def test_time_growth_regresses(self):
+        entries = diff_documents({"wall_time_s": 1.0}, {"wall_time_s": 2.0})
+        assert entries[0].regressed(0.05)
+
+    def test_within_threshold_ok(self):
+        entries = diff_documents({"gcups": 10.0}, {"gcups": 9.9}, threshold=0.05)
+        assert not any(e.regressed(0.05) for e in entries)
+
+    def test_info_keys_never_regress(self):
+        entries = diff_documents({"workers": 4}, {"workers": 1})
+        assert not any(e.regressed(0.05) for e in entries)
+
+    def test_histogram_bucket_counts_are_ignored(self):
+        """Bucket counts contain 'seconds' in their path but are shape,
+        not performance — they must not raise false regressions."""
+        old = {"block_sweep_seconds": {"series": [{"counts": [5, 0]}]}}
+        new = {"block_sweep_seconds": {"series": [{"counts": [0, 5]}]}}
+        entries = diff_documents(old, new)
+        assert not any(e.regressed(0.05) for e in entries)
+
+    def test_regressions_sort_first(self):
+        old = {"gcups": 10.0, "score": 5.0}
+        new = {"gcups": 5.0, "score": 5.0}
+        entries = diff_documents(old, new)
+        assert entries[0].key == "gcups"
+
+    def test_zero_old_value_is_infinite_change(self):
+        e = DiffEntry(key="wall_time_s", old=0.0, new=1.0, direction="lower")
+        assert e.rel_change == float("inf")
+        assert e.regressed(0.05)
+
+    def test_format_diff_reports_counts(self):
+        entries = diff_documents({"gcups": 10.0}, {"gcups": 8.0})
+        text = format_diff(entries, threshold=0.05)
+        assert "REGRESSED" in text
+        assert "1 regression(s) at threshold 5%" in text
+
+    def test_format_diff_empty(self):
+        assert "no shared numeric keys" in format_diff([], threshold=0.05)

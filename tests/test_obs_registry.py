@@ -1,0 +1,205 @@
+"""Unit tests: repro.obs.registry (counters/gauges/histograms + merge)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import MetricsRegistry
+from repro.obs.instruments import EngineInstruments, finalize_run_metrics
+
+
+class TestCounters:
+    def test_inc_and_value_per_label_set(self):
+        reg = MetricsRegistry()
+        c = reg.counter("blocks_computed", help="swept")
+        c.inc(3, device="gpu0")
+        c.inc(2, device="gpu0")
+        c.inc(7, device="gpu1")
+        assert c.value(device="gpu0") == 5
+        assert c.value(device="gpu1") == 7
+        assert c.value(device="gpu9") == 0
+        assert c.total() == 12
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("n")
+        with pytest.raises(ObsError):
+            c.inc(-1)
+
+    def test_same_name_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObsError):
+            reg.gauge("x")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError):
+            reg.counter("1bad")
+        with pytest.raises(ObsError):
+            reg.counter("has space")
+        with pytest.raises(ObsError):
+            reg.counter("ok").inc(1, **{"bad-label": "v"})
+
+
+class TestGauges:
+    def test_set_is_last_write_wins(self):
+        g = MetricsRegistry().gauge("rate")
+        g.set(0.5, backend="sim")
+        g.set(0.25, backend="sim")
+        assert g.value(backend="sim") == 0.25
+
+    def test_missing_sample_raises(self):
+        g = MetricsRegistry().gauge("rate")
+        with pytest.raises(ObsError):
+            g.value(backend="nope")
+
+
+class TestHistograms:
+    def test_observe_buckets_boundaries_inclusive(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.1)   # == first bound -> first bucket (le is inclusive)
+        h.observe(0.5)
+        h.observe(5.0)   # overflow
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.6)
+
+    def test_rebind_with_different_buckets_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ObsError):
+            reg.histogram("lat", buckets=(1.0, 3.0))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ObsError):
+            MetricsRegistry().histogram("lat", buckets=())
+
+
+class TestSnapshotAndMerge:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("blocks", help="b").inc(4, device="w0")
+        reg.gauge("rate").set(0.5, backend="sim")
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.2, device="w0")
+        return reg
+
+    def test_snapshot_is_json_safe(self):
+        snap = self._populated().snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["counters"]["blocks"]["series"] == [
+            {"labels": {"device": "w0"}, "value": 4}]
+
+    def test_merge_counters_and_histograms_add(self):
+        parent = self._populated()
+        parent.merge_snapshot(self._populated().snapshot())
+        assert parent.counter("blocks").value(device="w0") == 8
+        assert parent.histogram("lat", buckets=(0.1, 1.0)).count(device="w0") == 2
+
+    def test_merge_gauges_take_incoming_value(self):
+        parent = self._populated()
+        child = MetricsRegistry()
+        child.gauge("rate").set(0.75, backend="sim")
+        parent.merge_snapshot(child.snapshot())
+        assert parent.gauge("rate").value(backend="sim") == 0.75
+
+    def test_merge_into_empty_registry_reconstructs_everything(self):
+        parent = MetricsRegistry()
+        parent.merge_snapshot(self._populated().snapshot())
+        assert parent.snapshot() == self._populated().snapshot()
+
+    def test_merge_bucket_layout_mismatch_rejected(self):
+        parent = MetricsRegistry()
+        snap = self._populated().snapshot()
+        snap["histograms"]["lat"]["series"][0]["counts"] = [1, 2]  # wrong len
+        with pytest.raises(ObsError):
+            parent.merge_snapshot(snap)
+
+    def test_merge_roundtrips_through_json(self):
+        """The worker->parent wire format survives serialisation exactly."""
+        parent = MetricsRegistry()
+        parent.merge_snapshot(json.loads(json.dumps(self._populated().snapshot())))
+        assert parent.snapshot() == self._populated().snapshot()
+
+
+class TestPrometheusExport:
+    def test_text_format_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("blocks", help="swept blocks").inc(3, device="w0")
+        reg.histogram("lat", help="latency", buckets=(0.1, 1.0)).observe(0.05)
+        text = reg.to_prometheus()
+        assert "# HELP blocks swept blocks" in text
+        assert "# TYPE blocks counter" in text
+        assert 'blocks{device="w0"} 3' in text
+        assert "# TYPE lat histogram" in text
+        # Cumulative buckets + the +Inf bucket + sum/count.
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 0.05" in text
+        assert "lat_count 1" in text
+
+    def test_cumulative_bucket_counts(self):
+        h_reg = MetricsRegistry()
+        h = h_reg.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = h_reg.to_prometheus()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 3' in text
+        assert 'lat_bucket{le="10"} 4' in text
+        assert 'lat_bucket{le="+Inf"} 5' in text
+
+    def test_empty_registry_exports_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_to_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(1)
+        assert json.loads(reg.to_json()) == reg.snapshot()
+
+
+class TestInstruments:
+    def test_standard_families_and_labels(self):
+        reg = MetricsRegistry()
+        ins = EngineInstruments(reg, "gpu0")
+        ins.block_computed(0.002, cells=4096)
+        ins.block_pruned()
+        ins.border_sent(520)
+        ins.border_received(260)
+        assert reg.counter("blocks_computed").value(device="gpu0") == 1
+        assert reg.counter("blocks_pruned").value(device="gpu0") == 1
+        assert reg.counter("cells_computed").value(device="gpu0") == 4096
+        assert reg.counter("border_bytes_sent").value(device="gpu0") == 520
+        assert reg.counter("border_bytes_received").value(device="gpu0") == 260
+        assert reg.histogram("block_sweep_seconds",
+                             buckets=__import__("repro.obs.instruments",
+                                                fromlist=["SWEEP_BUCKETS"]
+                                                ).SWEEP_BUCKETS
+                             ).count(device="gpu0") == 1
+
+    def test_two_devices_share_families(self):
+        reg = MetricsRegistry()
+        EngineInstruments(reg, "a").block_computed(0.001)
+        EngineInstruments(reg, "b").block_computed(0.001)
+        assert reg.counter("blocks_computed").total() == 2
+
+    def test_finalize_run_metrics(self):
+        reg = MetricsRegistry()
+        finalize_run_metrics(reg, backend="sim", blocks_checked=10,
+                             blocks_pruned=4, wall_time_s=1.5, gcups=2.0)
+        assert reg.counter("alignments_total").value(backend="sim") == 1
+        assert reg.gauge("prune_rate").value(backend="sim") == pytest.approx(0.4)
+        assert reg.gauge("last_run_wall_time_s").value(backend="sim") == 1.5
+        assert reg.gauge("last_run_gcups").value(backend="sim") == 2.0
+
+    def test_finalize_zero_checked_is_zero_rate(self):
+        reg = MetricsRegistry()
+        finalize_run_metrics(reg, backend="sim", blocks_checked=0,
+                             blocks_pruned=0, wall_time_s=1.0, gcups=1.0)
+        assert reg.gauge("prune_rate").value(backend="sim") == 0.0

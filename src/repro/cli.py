@@ -158,6 +158,8 @@ def cmd_align(args: argparse.Namespace) -> int:
             metrics=registry,
             heartbeat_s=heartbeat_s,
             on_stall=on_stall if heartbeat_s is not None else None,
+            max_restarts=args.max_restarts,
+            restart_backoff_s=args.restart_backoff_s,
         )
         wall = time_mod.perf_counter() - t0
         print(process_report(res, title=title))
@@ -168,6 +170,8 @@ def cmd_align(args: argparse.Namespace) -> int:
                 "transport": args.transport,
                 "start_method": res.start_method, "kernel": args.kernel,
                 "pruning": args.pruning, "heartbeat_s": heartbeat_s,
+                "max_restarts": args.max_restarts,
+                "restart_backoff_s": args.restart_backoff_s,
             }
             _write_telemetry(args.telemetry, backend="process", config=config,
                              res=res, registry=registry, tracer=res.tracer,
@@ -384,6 +388,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heartbeat-s", type=float, default=None,
                    help="stall threshold for the process-backend heartbeat "
                         "watchdog (default: on with --telemetry; 0 disables)")
+    p.add_argument("--max-restarts", type=int, default=0,
+                   help="process backend: resume up to this many times after "
+                        "a worker failure from the shared-memory checkpoints "
+                        "instead of aborting (0 = fail fast)")
+    p.add_argument("--restart-backoff-s", type=float, default=0.5,
+                   help="initial backoff before a recovery restart "
+                        "(doubles per restart, capped at 30s)")
     _add_device_args(p)
     p.set_defaults(func=cmd_align)
 

@@ -42,7 +42,7 @@ PROGRESS_NAME_PREFIX = "mgswbeat"
 
 #: Worker phases, in the order they occur inside one block row.  The
 #: board stores the index; readers translate back through this tuple.
-PHASES = ("idle", "wait", "compute", "pruned", "send", "done")
+PHASES = ("idle", "wait", "compute", "pruned", "send", "done", "checkpoint")
 
 #: Bytes per worker slot: rows_done (int64) + phase (int64) + beat (float64).
 SLOT_BYTES = 24

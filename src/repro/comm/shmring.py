@@ -64,6 +64,21 @@ HEADER_STRUCT = struct.Struct("<qq")
 SHM_NAME_PREFIX = "mgswring"
 
 
+def list_segments(prefix: str = SHM_NAME_PREFIX) -> list[str]:
+    """Names of live POSIX shared-memory segments starting with *prefix*.
+
+    Linux exposes them as ``/dev/shm`` entries; on platforms without that
+    directory the check degrades to "none visible" rather than failing.
+    Used by teardown tests and the CI leak check to assert that every
+    ``mgswring``/``mgswboard``/``mgswbeat``/``mgswckpt`` segment is gone
+    after a run.
+    """
+    try:
+        return sorted(n for n in os.listdir("/dev/shm") if n.startswith(prefix))
+    except OSError:  # pragma: no cover - non-Linux
+        return []
+
+
 def slot_bytes_for(max_rows: int) -> int:
     """Size of one slot holding up to *max_rows* border rows (H + E int32)."""
     if max_rows <= 0:

@@ -25,8 +25,11 @@ from ..errors import SimulationError
 #: Interval kinds the chain engines report.  ``pruned`` marks a block row
 #: that was skipped by distributed block pruning — recorded as a (near)
 #: zero-length span so traces count pruning decisions without charging
-#: time for work that never ran.
-KINDS = ("compute", "d2h", "h2d", "wait", "pruned")
+#: time for work that never ran.  ``checkpoint`` is a worker publishing
+#: its row state into the shared checkpoint area; ``recovery`` is a
+#: supervisor span covering teardown + re-partition + resume after a
+#: worker failure.
+KINDS = ("compute", "d2h", "h2d", "wait", "pruned", "checkpoint", "recovery")
 
 
 @dataclass(frozen=True)
@@ -205,7 +208,8 @@ def merge_wall_records(
 
 
 #: Glyph per interval kind in the Gantt rendering.
-_GLYPHS = {"compute": "#", "d2h": ">", "h2d": "<", "wait": ".", "pruned": "x"}
+_GLYPHS = {"compute": "#", "d2h": ">", "h2d": "<", "wait": ".", "pruned": "x",
+           "checkpoint": "c", "recovery": "!"}
 
 #: Fixed tie-break priority for bucket glyphs: on equal durations the
 #: *earlier* kind in :data:`KINDS` wins (compute over transfers over
@@ -252,6 +256,7 @@ def render_gantt(tracer: Tracer, *, width: int = 100, makespan: float | None = N
                            key=lambda k: (per_bucket[b][k], _KIND_PRIORITY[k]))
                 row.append(_GLYPHS[kind])
         lines.append(f"{actor.ljust(label_w)} |{''.join(row)}|")
-    legend = "legend: # compute   > D2H   < H2D   . wait   x pruned   (space) idle"
+    legend = ("legend: # compute   > D2H   < H2D   . wait   x pruned"
+              "   c checkpoint   ! recovery   (space) idle")
     scale = f"0 {'-' * (label_w + width - 10)} {end:.3g}s"
     return "\n".join([*lines, legend, scale])

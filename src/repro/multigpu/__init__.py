@@ -20,7 +20,13 @@ from .chain import (
     align_multi_gpu,
     time_multi_gpu,
 )
-from .checkpoint import ChainCheckpoint, load_checkpoint, save_checkpoint
+from .checkpoint import (
+    ChainCheckpoint,
+    CheckpointArea,
+    RetryPolicy,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .cluster import ClusterChain, Node, min_internode_overlap_width
 from .footprint import DeviceFootprint, plan_memory, validate_memory
 from .overlap import (
@@ -48,6 +54,7 @@ from .partition import (
     explicit_partition,
     imbalance,
     proportional_partition,
+    surviving_partition,
 )
 
 __all__ = [
@@ -59,6 +66,8 @@ __all__ = [
     "run_campaign_chained",
     "run_campaign_split",
     "ChainCheckpoint",
+    "CheckpointArea",
+    "RetryPolicy",
     "load_checkpoint",
     "save_checkpoint",
     "ClusterChain",
@@ -99,4 +108,5 @@ __all__ = [
     "explicit_partition",
     "imbalance",
     "proportional_partition",
+    "surviving_partition",
 ]

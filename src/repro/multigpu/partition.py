@@ -112,6 +112,31 @@ def explicit_partition(n_cols: int, widths: Sequence[int]) -> list[Slab]:
     return _validate(slabs, n_cols)
 
 
+def surviving_partition(
+    n_cols: int,
+    weights: Sequence[float],
+    dead: Sequence[int],
+    *,
+    min_cols: int = 1,
+    align: int = 1,
+) -> tuple[list[Slab], list[float]]:
+    """Re-partition *n_cols* across the workers that survived a failure.
+
+    *dead* holds the original worker indices to drop; the remaining
+    weights keep their relative order and the returned slabs are
+    renumbered 0..k'-1 (``device_index`` is the *new* worker index).
+    Returns ``(slabs, surviving_weights)`` so the caller can recurse on
+    a further failure.
+    """
+    gone = set(int(d) for d in dead)
+    survivors = [float(w) for i, w in enumerate(weights) if i not in gone]
+    if not survivors:
+        raise PartitionError("no surviving workers to re-partition across")
+    slabs = proportional_partition(n_cols, survivors,
+                                   min_cols=min_cols, align=align)
+    return slabs, survivors
+
+
 def imbalance(slabs: Sequence[Slab], weights: Sequence[float]) -> float:
     """Worst relative deviation of ``cols/weight`` across slabs.
 

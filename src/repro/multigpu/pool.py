@@ -18,8 +18,14 @@ machine (:mod:`repro.multigpu.batch` campaigns, clustering sweeps).  A
 
 Failure semantics: any worker error or death marks the pool **broken**
 (the transports' cursors can no longer be trusted) and raises
-``RuntimeError``; a broken or closed pool refuses further work.  Use the
-pool as a context manager — ``close()`` always stops the workers and
+``RuntimeError``; a broken or closed pool refuses further work.  With
+``max_restarts > 0`` on :meth:`WorkerPool.align` the pool instead
+*recovers*: the comparison's state is checkpointed into a shared-memory
+:class:`~repro.multigpu.checkpoint.CheckpointArea`, the pool tears down
+and respawns its workers and transports (dropping the dead, re-splitting
+columns across the survivors), and the comparison resumes from the
+newest row every slab had checkpointed (INTERNALS.md section 9).  Use
+the pool as a context manager — ``close()`` always stops the workers and
 unlinks the shared memory.
 """
 
@@ -36,17 +42,19 @@ from ..comm.shmring import ShmRing
 from ..device.trace import Tracer, WallClockRecorder, merge_wall_records
 from ..errors import ConfigError
 from ..obs.heartbeat import HeartbeatMonitor
-from ..obs.instruments import EngineInstruments, finalize_run_metrics
+from ..obs.instruments import EngineInstruments, finalize_run_metrics, record_recovery
 from ..obs.registry import MetricsRegistry
 from ..seq.scoring import Scoring
 from ..sw.batched import KernelWorkspace, validate_kernel
 from ..sw.kernel import BestCell
 from ..sw.pruning import BlockPruner
+from .checkpoint import CheckpointArea, RetryPolicy
 from .partition import proportional_partition
 from .procchain import (
     TRANSPORTS,
     PipeLink,
     ProcessChainResult,
+    checkpoint_history_for,
     collect_results,
     pick_context,
     sweep_slab,
@@ -63,6 +71,11 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
     reads ``msg[-2]`` as err.  A fresh per-comparison registry keeps the
     snapshots additive — the parent merges them, so pool-lifetime totals
     still accumulate there.
+
+    The task tuple's tail carries the recovery fields: *resume_state*
+    (``(start_row, h_init, f_init)`` or ``None``), the per-attempt
+    *checkpoints* area (attached on unpickle, closed after the task),
+    *checkpoint_blocks*, and the test-only *fault_block* crash hook.
     """
     workspace = KernelWorkspace()  # persists across comparisons
     while True:
@@ -70,7 +83,8 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
         if task is None:
             break
         (a_codes, b_slab, slab, scoring, block_rows, origin,
-         border_timeout_s, kernel, n_cols, pruning, collect_metrics) = task
+         border_timeout_s, kernel, n_cols, pruning, collect_metrics,
+         resume_state, checkpoints, checkpoint_blocks, fault_block) = task
         recorder = WallClockRecorder(origin)
         registry = MetricsRegistry() if collect_metrics else None
         instruments = (EngineInstruments(registry, f"worker{worker_id}")
@@ -78,15 +92,21 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
         # Fresh pruner per comparison: counters must not leak across runs
         # (the parent resets the scoreboard before enqueueing the tasks).
         pruner = BlockPruner(match=scoring.match) if pruning else None
+        start_row, h_init, f_init = (resume_state if resume_state is not None
+                                     else (0, None, None))
         try:
             outcome = sweep_slab(a_codes, b_slab, slab, scoring, block_rows,
                                  recv_link, send_link, recorder, border_timeout_s,
+                                 fault_block,
                                  kernel=kernel, workspace=workspace,
                                  n_cols=n_cols,
                                  pruner=pruner,
                                  scoreboard=scoreboard if pruning else None,
                                  slot=worker_id, instruments=instruments,
-                                 progress=progress)
+                                 progress=progress,
+                                 start_row=start_row, h_init=h_init,
+                                 f_init=f_init, checkpoints=checkpoints,
+                                 checkpoint_blocks=checkpoint_blocks)
             best = outcome.best
             result_queue.put(
                 (worker_id, best.score, best.row, best.col,
@@ -98,7 +118,11 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
                 (worker_id, 0, -1, -1, 0, 0,
                  registry.snapshot() if registry is not None else None,
                  repr(exc), recorder.records))
+            if checkpoints is not None:
+                checkpoints.close()
             break  # transport state is suspect; die and let the pool break
+        if checkpoints is not None:
+            checkpoints.close()
     if progress is not None:
         progress.close()
 
@@ -146,6 +170,7 @@ class WorkerPool:
         self.workers = workers
         self.weights = list(weights) if weights is not None else [1.0] * workers
         self.max_block_rows = max_block_rows
+        self.capacity = capacity
         self.transport = transport
         self.border_timeout_s = border_timeout_s
         self._ctx = pick_context(start_method)
@@ -153,12 +178,27 @@ class WorkerPool:
         self._broken = False
         self._closed = False
 
+        # One scoreboard for the pool's lifetime (reset per pruning run).
+        # Sized for the initial worker count — a recovery re-spawn only
+        # ever shrinks the chain, so the slots stay sufficient.
+        self._scoreboard = SharedScoreboard(workers, label="pool-scoreboard")
+        # One heartbeat board for the pool's lifetime (reset per run);
+        # workers always beat into it — it is one shared-memory store per
+        # phase transition — and align() decides whether anyone watches.
+        self._progress = ProgressBoard(workers, label="pool-progress")
+        self._spawn_workers()
+
+    def _spawn_workers(self) -> None:
+        """Create the transports, queues and worker processes for the
+        current ``self.workers``/``self.weights`` (construction, and again
+        after a recovery re-spawn)."""
+        workers = self.workers
         self._rings: list[ShmRing] = []
         links: list = []
         self._parent_conns: list = []
-        if transport == "shm":
+        if self.transport == "shm":
             for g in range(workers - 1):
-                ring = ShmRing(self._ctx, capacity, max_block_rows,
+                ring = ShmRing(self._ctx, self.capacity, self.max_block_rows,
                                label=f"pool-border{g}->{g + 1}")
                 self._rings.append(ring)
                 links.append(ring)
@@ -171,12 +211,6 @@ class WorkerPool:
 
         self._result_queue = self._ctx.Queue()
         self._task_queues = [self._ctx.Queue() for _ in range(workers)]
-        # One scoreboard for the pool's lifetime (reset per pruning run).
-        self._scoreboard = SharedScoreboard(workers, label="pool-scoreboard")
-        # One heartbeat board for the pool's lifetime (reset per run);
-        # workers always beat into it — it is one shared-memory store per
-        # phase transition — and align() decides whether anyone watches.
-        self._progress = ProgressBoard(workers, label="pool-progress")
         self._procs = []
         for g in range(workers):
             recv_link = links[g - 1] if g > 0 else None
@@ -190,6 +224,60 @@ class WorkerPool:
             proc.daemon = True
             proc.start()
             self._procs.append(proc)
+
+    def _teardown_workers(self, *, graceful: bool) -> list[str]:
+        """Stop the current workers and release their per-spawn resources
+        (everything except the pool-lifetime scoreboard/progress boards).
+        Every step is attempted; the error strings are returned."""
+        errors: list[str] = []
+        if graceful:
+            for q in self._task_queues:
+                try:
+                    q.put_nowait(None)
+                except Exception:  # pragma: no cover - full/broken queue
+                    pass
+        for proc in self._procs:
+            try:
+                if not graceful and proc.is_alive():
+                    proc.terminate()
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join()
+            except Exception as exc:  # pragma: no cover - platform noise
+                errors.append(f"stopping {proc.name}: {exc!r}")
+        for q in [*self._task_queues, self._result_queue]:
+            try:
+                q.close()
+            except Exception as exc:  # pragma: no cover - platform noise
+                errors.append(f"closing queue: {exc!r}")
+        for conn in self._parent_conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for ring in self._rings:
+            try:
+                ring.unlink()
+            except Exception as exc:
+                errors.append(f"unlinking ring {ring.label!r}: {exc!r}")
+        return errors
+
+    def _rebuild(self, dead: Sequence[int]) -> None:
+        """Recovery re-spawn: kill the current attempt's workers, drop the
+        *dead* ones from the partition weights, and bring up a fresh set
+        of workers and transports (ring cursors of a failed attempt can
+        never be trusted).  Raises :class:`ConfigError` when nobody
+        survives."""
+        self._teardown_workers(graceful=False)
+        if dead:
+            gone = set(int(d) for d in dead)
+            self.weights = [w for i, w in enumerate(self.weights)
+                            if i not in gone]
+            self.workers = len(self.weights)
+        if self.workers == 0:
+            raise ConfigError("no surviving workers to re-spawn")
+        self._spawn_workers()
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -205,31 +293,30 @@ class WorkerPool:
         return [proc.pid for proc in self._procs]
 
     def close(self) -> None:
-        """Stop the workers and release the shared memory (idempotent)."""
+        """Stop the workers and release the shared memory (idempotent).
+
+        Exception-safe: every teardown step is attempted even when an
+        earlier one raises (a ring whose segment is already gone must not
+        leak the scoreboard and progress segments behind it); the errors
+        are aggregated into one ``RuntimeError`` at the end.  A second
+        call is a no-op regardless of how the first one went.
+        """
         if self._closed:
             return
         self._closed = True
-        for q in self._task_queues:
-            try:
-                q.put_nowait(None)
-            except Exception:  # pragma: no cover - full/broken queue
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join()
-        for q in [*self._task_queues, self._result_queue]:
-            q.close()
-        for conn in self._parent_conns:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
-        for ring in self._rings:
-            ring.unlink()
-        self._scoreboard.unlink()
-        self._progress.unlink()
+        errors = self._teardown_workers(graceful=True)
+        try:
+            self._scoreboard.unlink()
+        except Exception as exc:
+            errors.append(f"unlinking scoreboard: {exc!r}")
+        try:
+            self._progress.unlink()
+        except Exception as exc:
+            errors.append(f"unlinking progress board: {exc!r}")
+        if errors:
+            raise RuntimeError(
+                "pool close encountered errors (all teardown steps were "
+                "attempted): " + "; ".join(errors))
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -252,6 +339,11 @@ class WorkerPool:
         metrics: MetricsRegistry | None = None,
         heartbeat_s: float | None = None,
         on_stall=None,
+        max_restarts: int = 0,
+        restart_backoff_s: float = 0.5,
+        retry: RetryPolicy | None = None,
+        checkpoint_blocks: int = 4,
+        _fault: tuple[int, int] | None = None,
     ) -> ProcessChainResult:
         """Exact SW over the pool's worker chain (bit-identical to every
         other engine); raises ``RuntimeError`` on worker failure/timeout.
@@ -264,7 +356,20 @@ class WorkerPool:
         after run, so pool-lifetime totals accumulate); *heartbeat_s*
         arms a watchdog over the pool's progress board for this
         comparison and enriches failure diagnostics with each stalled
-        worker's last completed row."""
+        worker's last completed row.
+
+        Recovery mirrors
+        :func:`~repro.multigpu.procchain.align_multi_process` too: with
+        ``max_restarts > 0`` (or an explicit *retry* policy) a failed
+        attempt checkpoint-resumes instead of breaking the pool — the
+        pool's workers and transports are re-spawned (dead workers
+        dropped from ``self.weights``, so later comparisons inherit the
+        shrunken chain), and the comparison restarts from the newest row
+        every slab had published.  The pool is only marked broken when
+        the policy is exhausted or the failure is permanent.  ``_fault``
+        is the test-only ``(worker_id, block_index)`` crash hook, first
+        attempt only.
+        """
         if self._closed:
             raise ConfigError("pool is closed")
         if self._broken:
@@ -281,70 +386,175 @@ class WorkerPool:
             raise ConfigError("sequences must be non-empty")
         if n < self.workers:
             raise ConfigError("matrix narrower than the worker count")
-
-        slabs = proportional_partition(n, self.weights)
-        if pruning:
-            # Safe: no comparison is in flight here (align is serial and
-            # the previous run's workers have all reported).
-            self._scoreboard.reset()
-        self._progress.reset()  # same serial-point argument as the scoreboard
-        origin = time.perf_counter()
-        for g, slab in enumerate(slabs):
-            self._task_queues[g].put(
-                (a_codes, b_codes[slab.col0:slab.col1].copy(), slab, scoring,
-                 block_rows, origin, self.border_timeout_s, kernel, n, pruning,
-                 metrics is not None))
-
-        describe = lambda g: f"pool worker {g}"  # noqa: E731
-        monitor = None
-        if heartbeat_s is not None:
-            monitor = HeartbeatMonitor(self._progress, stall_after_s=heartbeat_s,
-                                       on_stall=on_stall, metrics=metrics)
-            monitor.start()
-            describe = lambda g: f"pool worker {g} ({monitor.describe(g)})"  # noqa: E731
-        try:
-            deadline = time.monotonic() + timeout_s
-            messages, failures = collect_results(
-                self._result_queue, self._procs, set(range(self.workers)),
-                deadline, describe=describe)
-            wall = time.perf_counter() - origin
-        finally:
-            if monitor is not None:
-                monitor.stop()
-        if failures:
-            self._broken = True
-            raise RuntimeError("; ".join(failures))
+        if retry is None:
+            retry = RetryPolicy(max_restarts=max_restarts,
+                                backoff_s=restart_backoff_s)
+        recovery = retry.max_restarts > 0
 
         result_tracer = tracer if tracer is not None else Tracer()
-        best = BestCell.none()
-        worker_blocks = []
-        for g in sorted(messages):
-            (_wid, score, row, col, checked, pruned,
-             msnap, _err, records) = messages[g]
-            merge_wall_records(result_tracer, f"worker{g}", records)
-            if metrics is not None and msnap is not None:
-                metrics.merge_snapshot(msnap)
-            worker_blocks.append((int(checked), int(pruned)))
-            cell = BestCell(score, row, col)
-            if cell.better_than(best):
-                best = cell
-        result = ProcessChainResult(
-            best=best, wall_time_s=wall, cells=m * n, workers=self.workers,
-            partition=tuple(slabs), transport=self.transport,
-            start_method=self.start_method, tracer=result_tracer,
-            kernel=kernel,
-            pruning=pruning,
-            blocks_checked=sum(c for c, _ in worker_blocks),
-            blocks_pruned=sum(p for _, p in worker_blocks),
-            worker_blocks=tuple(worker_blocks),
-        )
-        if metrics is not None:
-            finalize_run_metrics(
-                metrics, backend="pool",
-                blocks_checked=result.blocks_checked,
-                blocks_pruned=result.blocks_pruned,
-                wall_time_s=wall, gcups=result.gcups)
-        return result
+        restarts = 0
+        rows_recomputed_total = 0
+        resume: tuple | None = None          # (row, h_full, f_full)
+        base_best = BestCell.none()
+        base_checked = base_pruned = 0
+        checkpoints: CheckpointArea | None = None
+        origin = time.perf_counter()
+        try:
+            while True:
+                slabs = proportional_partition(n, self.weights)
+                if pruning:
+                    # Safe: no comparison is in flight here (align is serial
+                    # and the previous run's workers have all reported).
+                    self._scoreboard.reset()
+                self._progress.reset()  # same serial-point argument
+                if recovery:
+                    checkpoints = CheckpointArea(
+                        [s.cols for s in slabs],
+                        history=checkpoint_history_for(
+                            len(slabs), self.capacity, checkpoint_blocks),
+                        label="pool-ckpt")
+                for g, slab in enumerate(slabs):
+                    resume_state = None
+                    if resume is not None:
+                        row, h_full, f_full = resume
+                        resume_state = (row,
+                                        h_full[slab.col0:slab.col1].copy(),
+                                        f_full[slab.col0:slab.col1].copy())
+                    fault_block = (_fault[1] if _fault is not None
+                                   and _fault[0] == g and restarts == 0
+                                   else None)
+                    self._task_queues[g].put(
+                        (a_codes, b_codes[slab.col0:slab.col1].copy(), slab,
+                         scoring, block_rows, origin, self.border_timeout_s,
+                         kernel, n, pruning, metrics is not None,
+                         resume_state, checkpoints, checkpoint_blocks,
+                         fault_block))
+
+                describe = lambda g: f"pool worker {g}"  # noqa: E731
+                monitor = None
+                if heartbeat_s is not None:
+                    on_hard = None
+                    hard_stall_s = None
+                    if recovery:
+                        hard_stall_s = 2.0 * heartbeat_s
+                        procs_now = self._procs
+
+                        def on_hard(report, _procs=procs_now):
+                            proc = _procs[report.worker]
+                            if proc.is_alive():
+                                proc.kill()
+
+                    monitor = HeartbeatMonitor(
+                        self._progress, stall_after_s=heartbeat_s,
+                        on_stall=on_stall, hard_stall_s=hard_stall_s,
+                        on_hard_stall=on_hard, metrics=metrics)
+                    monitor.start()
+                    describe = lambda g: f"pool worker {g} ({monitor.describe(g)})"  # noqa: E731
+                try:
+                    deadline = time.monotonic() + timeout_s
+                    messages, failures = collect_results(
+                        self._result_queue, self._procs,
+                        set(range(self.workers)), deadline, describe=describe)
+                    wall = time.perf_counter() - origin
+                finally:
+                    if monitor is not None:
+                        monitor.stop()
+
+                attempt_best = BestCell.none()
+                worker_blocks = []
+                for g in sorted(messages):
+                    (_wid, score, row, col, checked, pruned,
+                     msnap, _err, records) = messages[g]
+                    merge_wall_records(result_tracer, f"worker{g}", records)
+                    if metrics is not None and msnap is not None:
+                        metrics.merge_snapshot(msnap)
+                    worker_blocks.append((int(checked), int(pruned)))
+                    cell = BestCell(score, row, col)
+                    if cell.better_than(attempt_best):
+                        attempt_best = cell
+
+                if not failures:
+                    if checkpoints is not None:
+                        checkpoints.unlink()
+                        checkpoints = None
+                    best = (attempt_best
+                            if attempt_best.better_than(base_best)
+                            else base_best)
+                    result = ProcessChainResult(
+                        best=best, wall_time_s=wall, cells=m * n,
+                        workers=self.workers,
+                        partition=tuple(slabs), transport=self.transport,
+                        start_method=self.start_method, tracer=result_tracer,
+                        kernel=kernel,
+                        pruning=pruning,
+                        blocks_checked=base_checked
+                        + sum(c for c, _ in worker_blocks),
+                        blocks_pruned=base_pruned
+                        + sum(p for _, p in worker_blocks),
+                        worker_blocks=tuple(worker_blocks),
+                        restarts=restarts,
+                        rows_recomputed=rows_recomputed_total,
+                    )
+                    if metrics is not None:
+                        finalize_run_metrics(
+                            metrics, backend="pool",
+                            blocks_checked=result.blocks_checked,
+                            blocks_pruned=result.blocks_pruned,
+                            wall_time_s=wall, gcups=result.gcups)
+                    return result
+
+                # -- failed attempt --------------------------------------------
+                descs = [desc for _key, desc, _kind in failures]
+                if (not recovery or restarts >= retry.max_restarts
+                        or any(retry.is_permanent(d) for d in descs)):
+                    self._broken = True
+                    raise RuntimeError("; ".join(descs))
+
+                fail_t = time.perf_counter() - origin
+                died = [key for key, _desc, kind in failures
+                        if kind == "died"]
+                try:
+                    self._rebuild(died)
+                except Exception as exc:
+                    self._broken = True
+                    raise RuntimeError(
+                        "; ".join(descs)
+                        + f"; recovery impossible: {exc!r}") from None
+                # The board still holds this attempt's final beats (reset
+                # happens at the top of the next attempt) — the honest
+                # "how far did each slab get" record.
+                progress_rows = [s.rows_done
+                                 for s in self._progress.snapshot()]
+
+                resume_row = resume[0] if resume is not None else 0
+                r_new = checkpoints.consistent_row()
+                ckpt_best = checkpoints.best_overall()
+                if ckpt_best.better_than(base_best):
+                    base_best = ckpt_best
+                if r_new > resume_row:
+                    h_full, f_full, _b, checked_at, pruned_at = \
+                        checkpoints.assemble(r_new)
+                    base_checked += checked_at
+                    base_pruned += pruned_at
+                    resume = (r_new, h_full, f_full)
+                    resume_row = r_new
+                checkpoints.unlink()
+                checkpoints = None
+
+                rows_recomputed = sum(
+                    max(0, rows_done - resume_row)
+                    for rows_done in progress_rows)
+                rows_recomputed_total += rows_recomputed
+                restarts += 1
+                if metrics is not None:
+                    record_recovery(metrics, backend="pool",
+                                    rows_recomputed=rows_recomputed)
+                time.sleep(retry.delay_s(restarts - 1))
+                result_tracer.record("supervisor", "recovery", fail_t,
+                                     time.perf_counter() - origin)
+        finally:
+            if checkpoints is not None:
+                checkpoints.unlink()
 
     def map(
         self,

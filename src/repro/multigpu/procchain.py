@@ -26,6 +26,17 @@ bounded by a timeout, failures propagate as one deterministic
 :class:`RuntimeError` listing the failed workers in id order, and shared
 memory segments are unlinked on every exit path.
 
+With ``max_restarts > 0`` failures become recoverable (INTERNALS.md
+section 9): workers publish block-row state into a shared-memory
+:class:`~repro.multigpu.checkpoint.CheckpointArea` on a fixed row ladder,
+and on a failed attempt the supervisor tears the attempt down, drops the
+workers that *died* from the partition
+(:func:`~repro.multigpu.partition.surviving_partition`), and resumes
+every survivor from the newest matrix row all slabs had checkpointed —
+under a :class:`~repro.multigpu.checkpoint.RetryPolicy` bounding restart
+count and backoff.  Scores stay exact: the resumed chain recomputes every
+row past the checkpoint from genuine DP state.
+
 For batch workloads prefer :class:`repro.multigpu.pool.WorkerPool`, which
 keeps the slab workers alive across comparisons.
 """
@@ -47,7 +58,7 @@ from ..comm.shmring import HEADER_BYTES, HEADER_STRUCT, ShmRing
 from ..device.trace import Tracer, WallClockRecorder, merge_wall_records
 from ..errors import CommError, ConfigError
 from ..obs.heartbeat import HeartbeatMonitor
-from ..obs.instruments import EngineInstruments, finalize_run_metrics
+from ..obs.instruments import EngineInstruments, finalize_run_metrics, record_recovery
 from ..obs.registry import MetricsRegistry
 from ..perf.metrics import gcups as _metrics_gcups
 from ..seq.scoring import Scoring
@@ -56,7 +67,8 @@ from ..sw.blocks import BlockSpec, pruned_border_result
 from ..sw.constants import DTYPE, NEG_INF
 from ..sw.kernel import BestCell, sweep_block
 from ..sw.pruning import BlockPruner
-from .partition import Slab, proportional_partition
+from .checkpoint import CheckpointArea, RetryPolicy
+from .partition import Slab, proportional_partition, surviving_partition
 
 #: Supported border transports.
 TRANSPORTS = ("shm", "pipe")
@@ -140,6 +152,11 @@ class ProcessChainResult:
     blocks_checked: int = 0
     blocks_pruned: int = 0
     worker_blocks: tuple = ()
+    #: Recovery accounting (zeros unless ``max_restarts`` allowed a resume):
+    #: attempts resumed after a failure, and matrix rows swept again because
+    #: they lay past the newest consistent checkpoint when the failure hit.
+    restarts: int = 0
+    rows_recomputed: int = 0
 
     @property
     def score(self) -> int:
@@ -212,6 +229,11 @@ def sweep_slab(
     slot: int = 0,
     instruments: EngineInstruments | None = None,
     progress: ProgressBoard | None = None,
+    start_row: int = 0,
+    h_init: np.ndarray | None = None,
+    f_init: np.ndarray | None = None,
+    checkpoints: CheckpointArea | None = None,
+    checkpoint_blocks: int = 1,
 ) -> SlabOutcome:
     """One slab's sweep loop (the body of every real-process worker).
 
@@ -239,6 +261,18 @@ def sweep_slab(
     heartbeat board this worker beats into at every phase transition —
     ``rows_done`` carries the last *completed* matrix row, so the parent
     watchdog can report exactly where a stalled worker got to.
+
+    Recovery (INTERNALS.md section 9): pass *checkpoints* to publish this
+    slab's DP state on the checkpoint ladder — after every
+    ``checkpoint_blocks``-th block row, plus the final row — so a later
+    attempt can resume; *start_row*/*h_init*/*f_init* resume the sweep at
+    matrix row *start_row* from that published state (``h_init``/``f_init``
+    are H/F of row ``start_row - 1`` across the slab).  The border
+    contract is unchanged: every worker of an attempt resumes from the
+    *same* row, so the first border a resumed worker receives is for rows
+    ``[start_row, start_row + rows)`` and its first corner is
+    ``h_init[-1]`` — exactly ``H[start_row-1, col0-1]`` of its right
+    neighbour's view.
     """
     profile = cached_profile(b_slab, scoring)
     if kernel == "batched" and workspace is None:
@@ -246,12 +280,20 @@ def sweep_slab(
     w = slab.cols
     m = int(a_codes.size)
     n = int(n_cols) if n_cols is not None else slab.col1
-    h_top = np.zeros(w, dtype=DTYPE)
-    f_top = np.full(w, NEG_INF, dtype=DTYPE)
-    prev_right_last = 0
+    if start_row > 0:
+        if h_init is None or f_init is None:
+            raise CommError("resuming needs h_init and f_init")
+        h_top = np.asarray(h_init, dtype=DTYPE).copy()
+        f_top = np.asarray(f_init, dtype=DTYPE).copy()
+        prev_right_last = int(h_top[-1])
+    else:
+        h_top = np.zeros(w, dtype=DTYPE)
+        f_top = np.full(w, NEG_INF, dtype=DTYPE)
+        prev_right_last = 0
     best = BestCell.none()
+    ckpt_stride = max(1, int(checkpoint_blocks)) * block_rows
 
-    row_edges = list(range(0, m, block_rows)) + [m]
+    row_edges = list(range(start_row, m, block_rows)) + [m]
     for block_index, (r0, r1) in enumerate(zip(row_edges, row_edges[1:])):
         rows = r1 - r0
         if recv_link is not None:
@@ -327,6 +369,16 @@ def sweep_slab(
                 instruments.border_sent(
                     result.h_right.nbytes + result.e_right.nbytes + HEADER_BYTES)
             prev_right_last = int(result.h_right[-1])
+        if checkpoints is not None and (r1 == m or r1 % ckpt_stride == 0):
+            if progress is not None:
+                progress.beat(slot, r0, "checkpoint")
+            with recorder.span("checkpoint"):
+                checkpoints.publish(
+                    slot, r1, h_top, f_top, best,
+                    pruner.blocks_checked if pruner is not None else 0,
+                    pruner.blocks_pruned if pruner is not None else 0)
+            if instruments is not None:
+                instruments.checkpoint_published()
         if progress is not None:
             progress.beat(slot, r1, "idle")
     if progress is not None:
@@ -356,6 +408,9 @@ def _worker(
     scoreboard: SharedScoreboard | None = None,
     progress: ProgressBoard | None = None,
     collect_metrics: bool = False,
+    resume_state: tuple | None = None,
+    checkpoints: CheckpointArea | None = None,
+    checkpoint_blocks: int = 1,
 ) -> None:
     """One-shot slab worker (runs in a child process).
 
@@ -366,6 +421,10 @@ def _worker(
     worker registry's :meth:`~repro.obs.registry.MetricsRegistry.snapshot`
     (``None`` unless *collect_metrics*) — a plain dict, so it crosses any
     start-method's queue; the parent merges it into its own registry.
+
+    *resume_state* is ``(start_row, h_init, f_init)`` when this attempt
+    resumes from a checkpoint; *checkpoints* is the shared checkpoint
+    area this worker publishes into (see :func:`sweep_slab`).
     """
     recorder = WallClockRecorder(origin)
     registry = MetricsRegistry() if collect_metrics else None
@@ -373,13 +432,18 @@ def _worker(
                    if registry is not None else None)
     pruner = (BlockPruner(match=scoring.match)
               if scoreboard is not None else None)
+    start_row, h_init, f_init = (resume_state if resume_state is not None
+                                 else (0, None, None))
     try:
         outcome = sweep_slab(a_codes, b_slab, slab, scoring, block_rows,
                              recv_link, send_link, recorder, border_timeout_s,
                              fault_block, kernel, n_cols=n_cols,
                              pruner=pruner, scoreboard=scoreboard,
                              slot=worker_id, instruments=instruments,
-                             progress=progress)
+                             progress=progress,
+                             start_row=start_row, h_init=h_init, f_init=f_init,
+                             checkpoints=checkpoints,
+                             checkpoint_blocks=checkpoint_blocks)
         best = outcome.best
         result_queue.put(
             (worker_id, best.score, best.row, best.col,
@@ -396,6 +460,8 @@ def _worker(
             scoreboard.close()
         if progress is not None:
             progress.close()
+        if checkpoints is not None:
+            checkpoints.close()
 
 
 def _validate_args(a_codes, b_codes, workers, block_rows, transport, weights,
@@ -430,21 +496,49 @@ def collect_results(
     Polls the queue, watching the worker processes for silent deaths; a
     key whose process dies without reporting (grace period for in-flight
     messages) becomes a failure.  Returns ``(messages, failures)`` where
-    *messages* maps key -> the raw queue message and *failures* is a
-    sorted list of human-readable descriptions.  Shared by the one-shot
-    chain and the persistent pool.
+    *messages* maps key -> the raw queue message and *failures* is a list
+    of ``(key, description, kind)`` tuples in key order, with *kind* one
+    of ``"died"`` (process gone without a result), ``"error"`` (worker
+    reported an exception) or ``"timeout"`` (no result by *deadline*).
+    The kind is what recovery keys off: only *died* workers are dropped
+    from the partition.  Shared by the one-shot chain and the persistent
+    pool.
+
+    An already-expired *deadline* is handled deterministically: results
+    that are sitting in the queue are still drained (``get_nowait``) and
+    the blocking get's timeout is clamped to a small positive floor, so a
+    late caller never passes a negative timeout down to the queue and
+    never discards a result that had in fact arrived in time.
     """
     messages: dict = {}
-    failures: list[str] = []
+    failures: list[tuple[int, str, str]] = []
     dead_since: dict = {}
     while pending:
         remaining = deadline - time.monotonic()
         if remaining <= 0:
+            # Deadline elapsed: drain whatever already arrived, then
+            # declare the rest timed out — deterministic even when the
+            # caller's deadline was already in the past on entry.
+            while pending:
+                try:
+                    msg = result_queue.get_nowait()
+                except queue_mod.Empty:
+                    break
+                key, err = msg[0], msg[-2]
+                if key not in pending:
+                    continue
+                pending.discard(key)
+                if err is not None:
+                    failures.append((key, f"{describe(key)}: {err}", "error"))
+                else:
+                    messages[key] = msg
             for key in sorted(pending):
-                failures.append(f"{describe(key)}: no result before the timeout")
+                failures.append(
+                    (key, f"{describe(key)}: no result before the timeout",
+                     "timeout"))
             break
         try:
-            msg = result_queue.get(timeout=min(0.2, remaining))
+            msg = result_queue.get(timeout=min(0.2, max(0.01, remaining)))
         except queue_mod.Empty:
             now = time.monotonic()
             newly_failed = []
@@ -459,8 +553,9 @@ def collect_results(
             for key in newly_failed:
                 pending.discard(key)
                 failures.append(
-                    f"{describe(key)}: died with exit code "
-                    f"{procs[key].exitcode} before reporting a result")
+                    (key, f"{describe(key)}: died with exit code "
+                          f"{procs[key].exitcode} before reporting a result",
+                     "died"))
             if failures and not pending:
                 break
             continue
@@ -469,10 +564,162 @@ def collect_results(
             continue  # stale message from an earlier, failed run
         pending.discard(key)
         if err is not None:
-            failures.append(f"{describe(key)}: {err}")
+            failures.append((key, f"{describe(key)}: {err}", "error"))
         else:
             messages[key] = payload
     return messages, sorted(failures)
+
+
+def checkpoint_history_for(workers: int, capacity: int,
+                           checkpoint_blocks: int) -> int:
+    """Ring depth that keeps the laggard's newest row in every leader's ring.
+
+    Adjacent slabs drift by at most *capacity* block rows (the border
+    ring's depth bounds how far ahead a producer can run), so across a
+    *workers*-long chain the spread is ``(workers - 1) * capacity`` block
+    rows — ``ceil`` of that in checkpoint-ladder units, plus slack for
+    the final-row entry and one in-flight publish.
+    """
+    per_link = -(-capacity // max(1, checkpoint_blocks))  # ceil division
+    return max(4, (workers - 1) * per_link + 2)
+
+
+def _run_attempt(
+    ctx,
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    slabs: Sequence[Slab],
+    *,
+    block_rows: int,
+    transport: str,
+    capacity: int,
+    timeout_s: float,
+    border_timeout_s: float,
+    kernel: str,
+    origin: float,
+    scoreboard: SharedScoreboard | None,
+    checkpoints: CheckpointArea | None,
+    checkpoint_blocks: int,
+    collect_metrics: bool,
+    metrics: MetricsRegistry | None,
+    heartbeat_s: float | None,
+    on_stall,
+    want_progress: bool,
+    resume: tuple | None,
+    fault: tuple[int, int] | None,
+):
+    """Run the slab workers once over ``[resume_row, m)``.
+
+    One *attempt* of :func:`align_multi_process`: fresh result queue,
+    border links and progress board (so no message from a previous,
+    failed attempt can leak in), workers started over the given *slabs*,
+    results collected under the attempt's deadline, everything but the
+    cross-attempt state (scoreboard, checkpoint area) torn down.
+
+    Returns ``(messages, failures, progress_rows)`` where *progress_rows*
+    is the last completed matrix row per worker as the attempt ended —
+    the supervisor's source for ``rows_recomputed``.
+    """
+    workers = len(slabs)
+    n = int(b_codes.size)
+    result_queue = ctx.Queue()
+    rings: list[ShmRing] = []
+    links: list = []
+    parent_conns: list = []
+    if transport == "shm":
+        for g in range(workers - 1):
+            ring = ShmRing(ctx, capacity, block_rows, label=f"border{g}->{g + 1}")
+            rings.append(ring)
+            links.append(ring)
+    else:
+        for g in range(workers - 1):
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            parent_conns.extend([recv_conn, send_conn])
+            links.append(PipeLink(recv_conn, send_conn, label=f"border{g}->{g + 1}"))
+
+    progress = (ProgressBoard(workers, label="chain-progress")
+                if want_progress else None)
+    procs: list = []
+    monitor = None
+    progress_rows: list[int] = [0] * workers
+    clean_exit = False
+    try:
+        for g, slab in enumerate(slabs):
+            recv_link = links[g - 1] if g > 0 else None
+            send_link = links[g] if g < workers - 1 else None
+            fault_block = fault[1] if fault is not None and fault[0] == g else None
+            resume_state = None
+            if resume is not None:
+                row, h_full, f_full = resume
+                resume_state = (row, h_full[slab.col0:slab.col1].copy(),
+                                f_full[slab.col0:slab.col1].copy())
+            proc = ctx.Process(
+                target=_worker,
+                args=(g, a_codes, b_codes[slab.col0:slab.col1].copy(), slab,
+                      scoring, block_rows, recv_link, send_link, result_queue,
+                      origin, border_timeout_s, fault_block, kernel,
+                      n, scoreboard, progress, collect_metrics,
+                      resume_state, checkpoints, checkpoint_blocks),
+                name=f"mgsw-worker-{g}",
+            )
+            proc.start()
+            procs.append(proc)
+
+        describe = lambda key: f"worker {key}"  # noqa: E731
+        if progress is not None and heartbeat_s is not None:
+            # With a checkpoint area armed, a hard stall (a worker wedged
+            # well past the soft threshold) is escalated to a kill so the
+            # ordinary death path — and recovery — takes over.
+            on_hard = None
+            hard_stall_s = None
+            if checkpoints is not None:
+                hard_stall_s = 2.0 * heartbeat_s
+
+                def on_hard(report, _procs=procs):
+                    proc = _procs[report.worker]
+                    if proc.is_alive():
+                        proc.kill()
+
+            monitor = HeartbeatMonitor(progress, stall_after_s=heartbeat_s,
+                                       on_stall=on_stall,
+                                       hard_stall_s=hard_stall_s,
+                                       on_hard_stall=on_hard, metrics=metrics)
+            monitor.start()
+            describe = lambda key: f"worker {key} ({monitor.describe(key)})"  # noqa: E731
+
+        deadline = time.monotonic() + timeout_s
+        messages, failures = collect_results(
+            result_queue, procs, set(range(workers)), deadline,
+            describe=describe)
+        clean_exit = not failures
+        return messages, failures, progress_rows
+    finally:
+        if monitor is not None:
+            monitor.stop()
+        for proc in procs:
+            # On the failure path neighbours may be blocked on a border
+            # that will never arrive — don't wait out their timeouts.
+            if not clean_exit and proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - last resort
+                proc.kill()
+                proc.join()
+        if progress is not None:
+            # Sample after every worker stopped: the honest "how far did
+            # each slab get" record the supervisor charges recomputation to.
+            for sample in progress.snapshot():
+                progress_rows[sample.worker] = sample.rows_done
+            progress.unlink()
+        result_queue.close()
+        for conn in parent_conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for ring in rings:
+            ring.unlink()
 
 
 def align_multi_process(
@@ -494,6 +741,10 @@ def align_multi_process(
     metrics: MetricsRegistry | None = None,
     heartbeat_s: float | None = None,
     on_stall=None,
+    max_restarts: int = 0,
+    restart_backoff_s: float = 0.5,
+    retry: RetryPolicy | None = None,
+    checkpoint_blocks: int = 4,
     _fault: tuple[int, int] | None = None,
 ) -> ProcessChainResult:
     """Exact SW across *workers* real processes (see module docstring).
@@ -520,124 +771,156 @@ def align_multi_process(
     enriches worker-death errors with the victim's last completed row
     and phase.
 
+    Recovery (INTERNALS.md section 9): with ``max_restarts > 0`` (or an
+    explicit :class:`~repro.multigpu.checkpoint.RetryPolicy` via *retry*)
+    workers checkpoint their block-row state every *checkpoint_blocks*
+    block rows into a shared-memory
+    :class:`~repro.multigpu.checkpoint.CheckpointArea`, and a failed
+    attempt is resumed instead of raised: workers that *died* are dropped
+    from the partition (:func:`~repro.multigpu.partition.surviving_partition`),
+    the survivors restart from the newest matrix row every slab had
+    checkpointed, and the run only raises once the policy is exhausted or
+    the failure is classified permanent.  Each attempt gets the full
+    *timeout_s* budget.  Recovery is visible on the result
+    (``restarts``/``rows_recomputed``), in the metrics registry
+    (``worker_restarts``/``rows_recomputed``) and as supervisor
+    ``recovery`` spans on the tracer.  When *heartbeat_s* is also set,
+    workers silent for twice that long are killed by the watchdog so
+    hard stalls enter the same recovery path as crashes.
+
     Raises :class:`ConfigError` on bad parameters and ``RuntimeError``
     when a worker fails or the run times out.  ``_fault`` is a test-only
-    hook: ``(worker_id, block_index)`` crashes that worker at that block.
+    hook: ``(worker_id, block_index)`` crashes that worker at that block
+    (first attempt only, so recovery tests observe exactly one crash).
     """
     _validate_args(a_codes, b_codes, workers, block_rows, transport, weights,
                    capacity, kernel)
+    if retry is None:
+        retry = RetryPolicy(max_restarts=max_restarts,
+                            backoff_s=restart_backoff_s)
     m, n = int(a_codes.size), int(b_codes.size)
-    slabs = proportional_partition(
-        n, list(weights) if weights is not None else [1.0] * workers)
+    weights_now = list(weights) if weights is not None else [1.0] * workers
+    slabs = proportional_partition(n, weights_now)
     ctx = pick_context(start_method)
-    result_queue = ctx.Queue()
-
-    rings: list[ShmRing] = []
-    links: list = []
-    parent_conns = []
-    if transport == "shm":
-        for g in range(workers - 1):
-            ring = ShmRing(ctx, capacity, block_rows, label=f"border{g}->{g + 1}")
-            rings.append(ring)
-            links.append(ring)
-    else:
-        for g in range(workers - 1):
-            recv_conn, send_conn = ctx.Pipe(duplex=False)
-            parent_conns.extend([recv_conn, send_conn])
-            links.append(PipeLink(recv_conn, send_conn, label=f"border{g}->{g + 1}"))
-
-    procs = []
     result_tracer = tracer if tracer is not None else Tracer()
+    recovery = retry.max_restarts > 0
     scoreboard = SharedScoreboard(workers) if pruning else None
-    progress = (ProgressBoard(workers, label="chain-progress")
-                if heartbeat_s is not None else None)
-    monitor = None
-    clean_exit = False
+    checkpoints: CheckpointArea | None = None
+
+    restarts = 0
+    rows_recomputed_total = 0
+    resume: tuple | None = None          # (row, h_full, f_full)
+    base_best = BestCell.none()
+    base_checked = base_pruned = 0
+    origin = time.perf_counter()
     try:
-        origin = time.perf_counter()
-        for g, slab in enumerate(slabs):
-            recv_link = links[g - 1] if g > 0 else None
-            send_link = links[g] if g < workers - 1 else None
-            fault_block = _fault[1] if _fault is not None and _fault[0] == g else None
-            proc = ctx.Process(
-                target=_worker,
-                args=(g, a_codes, b_codes[slab.col0:slab.col1].copy(), slab,
-                      scoring, block_rows, recv_link, send_link, result_queue,
-                      origin, border_timeout_s, fault_block, kernel,
-                      n, scoreboard, progress, metrics is not None),
-                name=f"mgsw-worker-{g}",
-            )
-            proc.start()
-            procs.append(proc)
+        while True:
+            if recovery:
+                checkpoints = CheckpointArea(
+                    [s.cols for s in slabs],
+                    history=checkpoint_history_for(len(slabs), capacity,
+                                                   checkpoint_blocks),
+                    label="chain-ckpt")
+            messages, failures, progress_rows = _run_attempt(
+                ctx, a_codes, b_codes, scoring, slabs,
+                block_rows=block_rows, transport=transport, capacity=capacity,
+                timeout_s=timeout_s, border_timeout_s=border_timeout_s,
+                kernel=kernel, origin=origin, scoreboard=scoreboard,
+                checkpoints=checkpoints, checkpoint_blocks=checkpoint_blocks,
+                collect_metrics=metrics is not None, metrics=metrics,
+                heartbeat_s=heartbeat_s, on_stall=on_stall,
+                want_progress=heartbeat_s is not None or recovery,
+                resume=resume,
+                fault=_fault if restarts == 0 else None)
 
-        describe = lambda key: f"worker {key}"  # noqa: E731
-        if progress is not None:
-            monitor = HeartbeatMonitor(progress, stall_after_s=heartbeat_s,
-                                       on_stall=on_stall, metrics=metrics)
-            monitor.start()
-            describe = lambda key: f"worker {key} ({monitor.describe(key)})"  # noqa: E731
+            # Fold whatever this attempt reported — survivors of a failed
+            # attempt still deliver honest trace records and counters.
+            attempt_best = BestCell.none()
+            worker_blocks = []
+            for g in sorted(messages):
+                (_wid, score, row, col, checked, pruned,
+                 msnap, _err, records) = messages[g]
+                merge_wall_records(result_tracer, f"worker{g}", records)
+                if metrics is not None and msnap is not None:
+                    metrics.merge_snapshot(msnap)
+                worker_blocks.append((int(checked), int(pruned)))
+                cell = BestCell(score, row, col)
+                if cell.better_than(attempt_best):
+                    attempt_best = cell
 
-        deadline = time.monotonic() + timeout_s
-        messages, failures = collect_results(
-            result_queue, procs, set(range(workers)), deadline,
-            describe=describe)
-        wall = time.perf_counter() - origin
-        if monitor is not None:
-            monitor.stop()
-        if failures:
-            raise RuntimeError("; ".join(failures))
+            if not failures:
+                wall = time.perf_counter() - origin
+                best = (attempt_best if attempt_best.better_than(base_best)
+                        else base_best)
+                result = ProcessChainResult(
+                    best=best, wall_time_s=wall, cells=m * n,
+                    workers=len(slabs),
+                    partition=tuple(slabs), transport=transport,
+                    start_method=ctx.get_start_method(), tracer=result_tracer,
+                    kernel=kernel,
+                    pruning=pruning,
+                    blocks_checked=base_checked
+                    + sum(c for c, _ in worker_blocks),
+                    blocks_pruned=base_pruned
+                    + sum(p for _, p in worker_blocks),
+                    worker_blocks=tuple(worker_blocks),
+                    restarts=restarts,
+                    rows_recomputed=rows_recomputed_total,
+                )
+                if metrics is not None:
+                    finalize_run_metrics(
+                        metrics, backend="process",
+                        blocks_checked=result.blocks_checked,
+                        blocks_pruned=result.blocks_pruned,
+                        wall_time_s=wall, gcups=result.gcups)
+                return result
 
-        best = BestCell.none()
-        worker_blocks = []
-        for g in sorted(messages):
-            (_wid, score, row, col, checked, pruned,
-             msnap, _err, records) = messages[g]
-            merge_wall_records(result_tracer, f"worker{g}", records)
-            if metrics is not None and msnap is not None:
-                metrics.merge_snapshot(msnap)
-            worker_blocks.append((int(checked), int(pruned)))
-            cell = BestCell(score, row, col)
-            if cell.better_than(best):
-                best = cell
-        result = ProcessChainResult(
-            best=best, wall_time_s=wall, cells=m * n, workers=workers,
-            partition=tuple(slabs), transport=transport,
-            start_method=ctx.get_start_method(), tracer=result_tracer,
-            kernel=kernel,
-            pruning=pruning,
-            blocks_checked=sum(c for c, _ in worker_blocks),
-            blocks_pruned=sum(p for _, p in worker_blocks),
-            worker_blocks=tuple(worker_blocks),
-        )
-        if metrics is not None:
-            finalize_run_metrics(
-                metrics, backend="process",
-                blocks_checked=result.blocks_checked,
-                blocks_pruned=result.blocks_pruned,
-                wall_time_s=wall, gcups=result.gcups)
-        clean_exit = True
-        return result
+            # -- failed attempt ------------------------------------------------
+            descs = [desc for _key, desc, _kind in failures]
+            if (not recovery or restarts >= retry.max_restarts
+                    or any(retry.is_permanent(d) for d in descs)):
+                raise RuntimeError("; ".join(descs))
+
+            fail_t = time.perf_counter() - origin
+            died = [key for key, _desc, kind in failures if kind == "died"]
+            if died:
+                # PartitionError here means no survivors (or the matrix
+                # cannot host them) — that is a permanent failure too.
+                try:
+                    slabs, weights_now = surviving_partition(
+                        n, weights_now, died)
+                except Exception as exc:
+                    raise RuntimeError(
+                        "; ".join(descs)
+                        + f"; recovery impossible: {exc!r}") from None
+
+            resume_row = resume[0] if resume is not None else 0
+            r_new = checkpoints.consistent_row()
+            ckpt_best = checkpoints.best_overall()
+            if ckpt_best.better_than(base_best):
+                base_best = ckpt_best
+            if r_new > resume_row:
+                h_full, f_full, _b, checked_at, pruned_at = \
+                    checkpoints.assemble(r_new)
+                base_checked += checked_at
+                base_pruned += pruned_at
+                resume = (r_new, h_full, f_full)
+                resume_row = r_new
+            checkpoints.unlink()
+            checkpoints = None
+
+            rows_recomputed = sum(
+                max(0, rows_done - resume_row) for rows_done in progress_rows)
+            rows_recomputed_total += rows_recomputed
+            restarts += 1
+            if metrics is not None:
+                record_recovery(metrics, backend="process",
+                                rows_recomputed=rows_recomputed)
+            time.sleep(retry.delay_s(restarts - 1))
+            result_tracer.record("supervisor", "recovery", fail_t,
+                                 time.perf_counter() - origin)
     finally:
-        if monitor is not None:
-            monitor.stop()
-        for proc in procs:
-            # On the failure path neighbours may be blocked on a border
-            # that will never arrive — don't wait out their timeouts.
-            if not clean_exit and proc.is_alive():
-                proc.terminate()
-            proc.join(timeout=10.0)
-            if proc.is_alive():  # pragma: no cover - last resort
-                proc.kill()
-                proc.join()
-        result_queue.close()
-        for conn in parent_conns:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
-        for ring in rings:
-            ring.unlink()
         if scoreboard is not None:
             scoreboard.unlink()
-        if progress is not None:
-            progress.unlink()
+        if checkpoints is not None:
+            checkpoints.unlink()

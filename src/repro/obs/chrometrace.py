@@ -35,6 +35,8 @@ KIND_COLOURS = {
     "h2d": "thread_state_runnable",
     "wait": "thread_state_sleeping",
     "pruned": "good",
+    "checkpoint": "grey",
+    "recovery": "terrible",
 }
 
 #: Microseconds per tracer time unit (tracer intervals are seconds).

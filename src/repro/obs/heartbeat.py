@@ -63,6 +63,15 @@ class HeartbeatMonitor:
         Optional callback invoked once per worker per stall episode with
         a :class:`StallReport` (e.g. the CLI's live stderr warning).  A
         worker that resumes beating is re-armed.
+    hard_stall_s:
+        Optional escalation threshold (must exceed ``stall_after_s``):
+        a worker silent this long is considered *unrecoverable in place*
+        and ``on_hard_stall`` fires once for it — the recovery-enabled
+        engines pass a callback that kills the wedged process so the
+        normal death path (and checkpoint recovery) takes over.  Hard
+        stalls do not re-arm: killing is one-way.
+    on_hard_stall:
+        Callback for hard stalls (requires ``hard_stall_s``).
     metrics:
         Optional :class:`~repro.obs.registry.MetricsRegistry`; the
         monitor maintains ``worker_rows_done{device=...}`` gauges and a
@@ -76,16 +85,23 @@ class HeartbeatMonitor:
         stall_after_s: float = DEFAULT_STALL_AFTER_S,
         poll_interval_s: float = 0.2,
         on_stall: Callable[[StallReport], None] | None = None,
+        hard_stall_s: float | None = None,
+        on_hard_stall: Callable[[StallReport], None] | None = None,
         metrics=None,
     ) -> None:
         if stall_after_s <= 0:
             raise ValueError("stall_after_s must be positive")
+        if hard_stall_s is not None and hard_stall_s <= stall_after_s:
+            raise ValueError("hard_stall_s must exceed stall_after_s")
         self.board = board
         self.stall_after_s = stall_after_s
+        self.hard_stall_s = hard_stall_s
         self.poll_interval_s = max(0.01, poll_interval_s)
         self.on_stall = on_stall
+        self.on_hard_stall = on_hard_stall
         self._metrics = metrics
         self._flagged: set[int] = set()
+        self._hard_flagged: set[int] = set()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
@@ -132,6 +148,19 @@ class HeartbeatMonitor:
                     self.on_stall(report)
         # Re-arm workers that resumed beating.
         self._flagged &= set(reports)
+        if self.hard_stall_s is not None:
+            for worker, report in reports.items():
+                if (report.silent_s >= self.hard_stall_s
+                        and worker not in self._hard_flagged):
+                    self._hard_flagged.add(worker)
+                    if self._metrics is not None:
+                        self._metrics.counter(
+                            "worker_hard_stalls",
+                            help="silences past the hard-stall threshold "
+                                 "(worker presumed wedged)",
+                        ).inc(1, device=f"worker{worker}")
+                    if self.on_hard_stall is not None:
+                        self.on_hard_stall(report)
         if self._metrics is not None:
             gauge = self._metrics.gauge(
                 "worker_rows_done", help="rows completed per worker (live)")

@@ -70,6 +70,31 @@ class EngineInstruments:
     def border_received(self, nbytes: int) -> None:
         self._received.inc(nbytes, device=self.device)
 
+    def checkpoint_published(self) -> None:
+        self.registry.counter(
+            "checkpoints_published",
+            help="row states published into the shared checkpoint area",
+        ).inc(1, device=self.device)
+
+
+def record_recovery(registry: MetricsRegistry, *, backend: str,
+                    rows_recomputed: int) -> None:
+    """Record one worker-failure recovery on the run's registry.
+
+    ``worker_restarts`` counts recovery episodes (attempt resumptions),
+    ``rows_recomputed`` the matrix rows swept again because they lay past
+    the newest consistent checkpoint when the failure hit.
+    """
+    registry.counter(
+        "worker_restarts",
+        help="recoveries after a worker death (attempt resumptions)",
+    ).inc(1, backend=backend)
+    if rows_recomputed > 0:
+        registry.counter(
+            "rows_recomputed",
+            help="matrix rows recomputed during checkpoint recovery",
+        ).inc(rows_recomputed, backend=backend)
+
 
 def finalize_run_metrics(registry: MetricsRegistry, *, backend: str,
                          blocks_checked: int, blocks_pruned: int,

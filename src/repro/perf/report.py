@@ -86,6 +86,10 @@ def process_result_dict(result) -> dict:
             "pruned_ratio": result.pruned_ratio,
             "per_worker": [list(wb) for wb in result.worker_blocks],
         } if result.pruning else None,
+        "recovery": {
+            "restarts": result.restarts,
+            "rows_recomputed": result.rows_recomputed,
+        } if getattr(result, "restarts", 0) else None,
         # Cross-process clock-skew spans clamped during trace merging —
         # nonzero values flag workers whose perf_counter drifted.
         "clamped_records": result.tracer.clamped_records if result.tracer else 0,
@@ -186,6 +190,11 @@ def process_report(result, *, title: str = "process chain run") -> str:
         lines.append(
             f"pruning: {result.blocks_pruned}/{result.blocks_checked} "
             f"blocks pruned ({result.pruned_ratio:.1%})"
+        )
+    if getattr(result, "restarts", 0):
+        lines.append(
+            f"recovery: {result.restarts} restart(s), "
+            f"{result.rows_recomputed} rows recomputed from checkpoints"
         )
     breakdown = result.breakdown()
     if breakdown:

@@ -1,0 +1,196 @@
+"""X10 — heuristic tier speedup (host wall clock, exact vs heuristics).
+
+The heuristic tier exists to answer "find the good alignment fast"
+queries without paying for the full matrix: on a <= 5%-divergence pair
+the optimal path hugs the main diagonal, the adaptive band computes
+``O((2 hw + 1) m)`` cells instead of ``m * n``, and X-drop extension
+touches only the live window.  This experiment measures host wall clock
+for the four modes on one similar pair and one divergent pair at a
+shared scale, asserts the **>= 5x** banded/xdrop speedup over exact on
+the similar pair, and adds a heuristic-only megabase-scale section the
+exact engines could not touch interactively.
+
+``mode="auto"`` is measured end-to-end both ways: on the similar pair it
+must answer from the banded tier (no exact re-run); on the divergent
+pair it must escalate and still return the exact score.
+
+Set ``MGSW_X10_TINY=1`` for the CI smoke configuration.  Results land in
+``benchmarks/BENCH_heuristic.json`` (`mgsw perf diff` target).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.perf import format_table
+from repro.seq import DNA_DEFAULT
+from repro.sw import compute_blocked
+from repro.sw.xdrop import (
+    DEFAULT_BAND_WIDTH,
+    DEFAULT_XDROP_X,
+    adaptive_banded_score,
+    assess_heuristic,
+    xdrop_score,
+)
+from repro.workloads import random_dna
+
+from bench_helpers import print_header
+
+TINY = bool(os.environ.get("MGSW_X10_TINY"))
+#: Shared scale: large enough that exact wall clock dominates per-stripe
+#: overhead, small enough that the exact reference stays interactive.
+N = 2_000 if TINY else 16_000
+#: Heuristic-only scale (the exact engines would need ~100x the wall
+#: clock of the N-scale run here — the whole point of the tier).
+MEGA_N = 20_000 if TINY else 250_000
+SNP_RATE = 0.03                  # <= 5% divergence: the similar workload
+BLOCK = 512
+MIN_SPEEDUP = 2.0 if TINY else 5.0
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_heuristic.json"
+
+
+def _mutated(rng, codes, rate):
+    out = codes.copy()
+    mask = rng.random(codes.size) < rate
+    shift = rng.integers(1, 4, int(mask.sum()), dtype=np.uint8)
+    out[mask] = (out[mask] + shift) % 4
+    return out
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return time.perf_counter() - t0, out
+
+
+def _run_modes(a, b, *, exact: bool):
+    """Wall-clock one pair through the tiers (exact optionally skipped
+    for the megabase section).  Returns ``{mode: row_dict}``."""
+    m, n = int(a.size), int(b.size)
+    cells = m * n
+    rows: dict[str, dict] = {}
+
+    if exact:
+        wall, out = _timed(compute_blocked, a, b, DNA_DEFAULT,
+                           block_rows=BLOCK, block_cols=BLOCK)
+        rows["exact"] = {
+            "wall_time_s": wall, "score": int(out.best.score),
+            "cells_computed": cells, "gcups": cells / wall / 1e9}
+
+    wall, bo = _timed(adaptive_banded_score, a, b, DNA_DEFAULT,
+                      DEFAULT_BAND_WIDTH, block_rows=BLOCK)
+    rows["banded"] = {
+        "wall_time_s": wall, "score": int(bo.score),
+        "cells_computed": int(bo.cells_computed), "gcups": cells / wall / 1e9,
+        "saturated": bo.saturated}
+
+    wall, xo = _timed(xdrop_score, a, b, DNA_DEFAULT, DEFAULT_XDROP_X)
+    rows["xdrop"] = {
+        "wall_time_s": wall, "score": int(xo.score),
+        "cells_computed": int(xo.cells_computed), "gcups": cells / wall / 1e9}
+
+    # auto: banded heuristic + confidence check, exact re-run on failure.
+    t0 = time.perf_counter()
+    bo2 = adaptive_banded_score(a, b, DNA_DEFAULT, DEFAULT_BAND_WIDTH,
+                                block_rows=BLOCK)
+    decision = assess_heuristic(bo2.best, m, n, DNA_DEFAULT,
+                                saturated=bo2.saturated)
+    if decision.confident:
+        score, tier = int(bo2.score), "banded"
+    else:
+        out = compute_blocked(a, b, DNA_DEFAULT,
+                              block_rows=BLOCK, block_cols=BLOCK)
+        score, tier = int(out.best.score), "exact"
+    wall = time.perf_counter() - t0
+    rows["auto"] = {
+        "wall_time_s": wall, "score": score, "tier": tier,
+        "escalated": tier == "exact", "gcups": cells / wall / 1e9}
+    return rows
+
+
+def test_x10_heuristic_speedup(benchmark):
+    print_header("X10 heuristic tier",
+                 f">= {MIN_SPEEDUP:.0f}x wall-clock speedup of banded/xdrop "
+                 f"over exact on a {SNP_RATE:.0%}-divergence pair")
+    rng = np.random.default_rng(10)
+    a = random_dna(N, rng=rng)
+    similar = _mutated(rng, a, SNP_RATE)
+    divergent = random_dna(N, rng=rng)
+
+    sim_rows = _run_modes(a, similar, exact=True)
+    div_rows = _run_modes(a, divergent, exact=True)
+
+    mega_a = random_dna(MEGA_N, rng=rng)
+    mega_b = _mutated(rng, mega_a, SNP_RATE)
+    mega_rows = _run_modes(mega_a, mega_b, exact=False)
+
+    def table(rows):
+        return format_table(
+            ["mode", "wall time", "GCUPS (matrix)", "score", "cells computed"],
+            [[mode,
+              f"{r['wall_time_s']:.3f}s",
+              f"{r['gcups']:.3f}",
+              str(r["score"]),
+              f"{r.get('cells_computed', 0):,}"] for mode, r in rows.items()])
+
+    print(f"similar pair ({N:,} x {N:,}, {SNP_RATE:.0%} SNPs):")
+    print(table(sim_rows))
+    print(f"\ndivergent pair ({N:,} x {N:,}):")
+    print(table(div_rows))
+    print(f"\nmegabase-scale heuristic-only pair ({MEGA_N:,} x {MEGA_N:,}):")
+    print(table(mega_rows))
+
+    exact_s = sim_rows["exact"]["wall_time_s"]
+    banded_speedup = exact_s / sim_rows["banded"]["wall_time_s"]
+    xdrop_speedup = exact_s / sim_rows["xdrop"]["wall_time_s"]
+    print(f"\nspeedup over exact (similar pair): banded {banded_speedup:.1f}x, "
+          f"xdrop {xdrop_speedup:.1f}x")
+
+    record = {
+        "experiment": "x10_heuristic",
+        "n": N,
+        "mega_n": MEGA_N,
+        "snp_rate": SNP_RATE,
+        "block_rows": BLOCK,
+        "band_width": DEFAULT_BAND_WIDTH,
+        "xdrop_x": DEFAULT_XDROP_X,
+        "tiny": TINY,
+        "similar": sim_rows,
+        "divergent": div_rows,
+        "megabase": mega_rows,
+        "banded_speedup": banded_speedup,
+        "xdrop_speedup": xdrop_speedup,
+        "recorded_unix": time.time(),
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    # The differential contract, at benchmark scale.
+    assert sim_rows["banded"]["score"] == sim_rows["exact"]["score"]
+    assert sim_rows["auto"]["score"] == sim_rows["exact"]["score"]
+    assert sim_rows["auto"]["tier"] == "banded", \
+        "similar pair must not escalate"
+    assert div_rows["auto"]["tier"] == "exact", \
+        "divergent pair must escalate"
+    assert div_rows["auto"]["score"] == div_rows["exact"]["score"]
+    for mode in ("banded", "xdrop"):
+        assert sim_rows[mode]["score"] <= sim_rows["exact"]["score"]
+        assert div_rows[mode]["score"] <= div_rows["exact"]["score"]
+
+    # The speedup claim.  X-drop's per-anti-diagonal Python overhead only
+    # amortises at real scale, so its wall-clock bound is full-size only
+    # (the TINY smoke still pins its correctness above).
+    assert banded_speedup >= MIN_SPEEDUP, (
+        f"banded only {banded_speedup:.1f}x over exact "
+        f"(bound {MIN_SPEEDUP:.0f}x)")
+    if not TINY:
+        assert xdrop_speedup >= MIN_SPEEDUP, (
+            f"xdrop only {xdrop_speedup:.1f}x over exact "
+            f"(bound {MIN_SPEEDUP:.0f}x)")
+
+    benchmark(adaptive_banded_score, a[:1024], similar[:1024], DNA_DEFAULT,
+              DEFAULT_BAND_WIDTH, block_rows=128)

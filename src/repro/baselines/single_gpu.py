@@ -22,11 +22,15 @@ from ..device.engine import Engine
 from ..device.gpu import SimulatedGPU
 from ..device.spec import DeviceSpec
 from ..errors import ConfigError
-from ..obs.instruments import EngineInstruments, finalize_run_metrics
+from ..obs.instruments import (EngineInstruments, finalize_run_metrics,
+                               record_heuristic)
 from ..seq.scoring import Scoring
 from ..sw.blocks import BlockedOutcome, compute_blocked
 from ..sw.kernel import BestCell
 from ..sw.pruning import BlockPruner
+from ..sw.xdrop import (DEFAULT_BAND_WIDTH, DEFAULT_XDROP_X,
+                        adaptive_banded_score, assess_heuristic, validate_mode,
+                        xdrop_score)
 
 
 @dataclass
@@ -41,6 +45,12 @@ class SingleGpuResult:
     #: Per-block pruning decisions (zeros when pruning was off).
     blocks_checked: int = 0
     blocks_pruned: int = 0
+    #: Heuristic-tier fields: the requested *mode*, the tier that produced
+    #: the reported score, and whether ``mode="auto"`` fell back to exact.
+    mode: str = "exact"
+    tier: str = "exact"
+    escalated: bool = False
+    blocks_skipped_band: int = 0
 
     @property
     def pruned_ratio(self) -> float:
@@ -69,9 +79,12 @@ def run_single_gpu(
     block_rows: int = 512,
     block_cols: int | None = None,
     prune: bool = False,
+    mode: str = "exact",
+    band_width: int = DEFAULT_BAND_WIDTH,
+    xdrop_x: int = DEFAULT_XDROP_X,
     metrics=None,
 ) -> SingleGpuResult:
-    """Compute-mode single-GPU run: exact score, virtual-clock timing.
+    """Compute-mode single-GPU run: virtual-clock timing.
 
     ``block_cols`` defaults to ``block_rows``; pruning operates per block,
     so 2-D blocking (not full-width stripes) is what lets similar-sequence
@@ -79,7 +92,23 @@ def run_single_gpu(
     :class:`~repro.obs.registry.MetricsRegistry` as *metrics* for the
     standard instrument set (virtual-clock latencies, no border traffic —
     a single device has no neighbours).
+
+    *mode* selects the tier: ``"exact"`` (default, full matrix),
+    ``"banded"`` (the adaptive band of
+    :func:`~repro.sw.xdrop.adaptive_banded_score`, half-width
+    *band_width*), ``"xdrop"`` (origin-anchored X-drop extension with
+    threshold *xdrop_x*), or ``"auto"`` (heuristic first, exact re-run
+    only when the :func:`~repro.sw.xdrop.assess_heuristic` confidence
+    check fails; the result's ``tier``/``escalated`` fields say which
+    tier answered).  Heuristic scores are lower bounds of the exact one.
     """
+    validate_mode(mode)
+    if mode != "exact":
+        return _run_single_heuristic(
+            a_codes, b_codes, scoring, spec,
+            block_rows=block_rows, block_cols=block_cols, prune=prune,
+            mode=mode, band_width=band_width, xdrop_x=xdrop_x,
+            metrics=metrics)
     m, n = int(a_codes.size), int(b_codes.size)
     if block_cols is None:
         block_cols = block_rows
@@ -130,6 +159,94 @@ def run_single_gpu(
             metrics, backend="single",
             blocks_checked=result.blocks_checked,
             blocks_pruned=result.blocks_pruned,
+            wall_time_s=total, gcups=result.gcups)
+    return result
+
+
+def _run_single_heuristic(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    spec: DeviceSpec,
+    *,
+    block_rows: int,
+    block_cols: int | None,
+    prune: bool,
+    mode: str,
+    band_width: int,
+    xdrop_x: int,
+    metrics,
+) -> SingleGpuResult:
+    """The banded/xdrop/auto tiers of :func:`run_single_gpu`.
+
+    The heuristic sweeps run on the host (they are tiny next to the full
+    matrix); the device is charged their actual cell count so the virtual
+    clock stays comparable to the exact tier.  ``mode="auto"`` re-runs the
+    exact engine when the confidence check fails and reports the *summed*
+    virtual time of both tiers.
+    """
+    m, n = int(a_codes.size), int(b_codes.size)
+    saturated = False
+    if mode == "xdrop":
+        xo = xdrop_score(a_codes, b_codes, scoring, xdrop_x)
+        best, computed = xo.best, xo.cells_computed
+    else:  # banded or auto: the adaptive band is the heuristic
+        bo = adaptive_banded_score(a_codes, b_codes, scoring, band_width,
+                                   block_rows=block_rows)
+        best, computed = bo.best, bo.cells_computed
+        saturated = bo.saturated
+
+    engine = Engine()
+    gpu = SimulatedGPU(engine, spec)
+    instruments = (EngineInstruments(metrics, "single-gpu")
+                   if metrics is not None else None)
+
+    def proc():
+        t0 = engine.now
+        yield from gpu.compute(max(1, computed), n, block_rows=block_rows)
+        if instruments is not None:
+            instruments.block_computed(engine.now - t0, cells=computed)
+
+    engine.process(proc(), "single-gpu")
+    total = engine.run()
+
+    tier = "xdrop" if mode == "xdrop" else "banded"
+    escalated = False
+    pruned_fraction = 0.0
+    blocks_checked = blocks_pruned = 0
+    if mode == "auto":
+        decision = assess_heuristic(best, m, n, scoring, saturated=saturated)
+        if not decision.confident:
+            exact = run_single_gpu(
+                a_codes, b_codes, scoring, spec,
+                block_rows=block_rows, block_cols=block_cols, prune=prune)
+            best = exact.best
+            computed += exact.cells_computed
+            total += exact.total_time_s
+            tier, escalated = "exact", True
+            pruned_fraction = exact.pruned_fraction
+            blocks_checked = exact.blocks_checked
+            blocks_pruned = exact.blocks_pruned
+
+    result = SingleGpuResult(
+        best=best,
+        total_time_s=total,
+        cells=m * n,
+        cells_computed=computed,
+        pruned_fraction=pruned_fraction,
+        blocks_checked=blocks_checked,
+        blocks_pruned=blocks_pruned,
+        mode=mode,
+        tier=tier,
+        escalated=escalated,
+    )
+    if metrics is not None:
+        if mode == "auto":
+            record_heuristic(metrics, backend="single",
+                             tier=tier, escalated=escalated)
+        finalize_run_metrics(
+            metrics, backend="single",
+            blocks_checked=blocks_checked, blocks_pruned=blocks_pruned,
             wall_time_s=total, gcups=result.gcups)
     return result
 

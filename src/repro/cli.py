@@ -48,6 +48,7 @@ from .multigpu import (
 )
 from .perf import format_table, humanize_cells, humanize_time
 from .sw import KERNELS, align_local
+from .sw.xdrop import DEFAULT_BAND_WIDTH, DEFAULT_XDROP_X, MODES
 
 #: Name -> preset mapping for --gpu flags.
 PRESETS: dict[str, DeviceSpec] = {
@@ -154,6 +155,9 @@ def cmd_align(args: argparse.Namespace) -> int:
             start_method=args.start_method,
             kernel=args.kernel,
             pruning=args.pruning,
+            mode=args.mode,
+            band_width=args.band_width,
+            xdrop_x=args.xdrop_x,
             tracer=tracer,
             metrics=registry,
             heartbeat_s=heartbeat_s,
@@ -172,6 +176,8 @@ def cmd_align(args: argparse.Namespace) -> int:
                 "pruning": args.pruning, "heartbeat_s": heartbeat_s,
                 "max_restarts": args.max_restarts,
                 "restart_backoff_s": args.restart_backoff_s,
+                "mode": args.mode, "band_width": args.band_width,
+                "xdrop_x": args.xdrop_x,
             }
             _write_telemetry(args.telemetry, backend="process", config=config,
                              res=res, registry=registry, tracer=res.tracer,
@@ -182,7 +188,9 @@ def cmd_align(args: argparse.Namespace) -> int:
 
         devices = _devices_from_args(args)
         cfg = ChainConfig(block_rows=args.block_rows, channel_capacity=args.buffer,
-                          kernel=args.kernel, pruning=args.pruning)
+                          kernel=args.kernel, pruning=args.pruning,
+                          mode=args.mode, band_width=args.band_width,
+                          xdrop_x=args.xdrop_x)
         t0 = time_mod.perf_counter()
         res = align_multi_gpu(a, b, seq.DNA_DEFAULT, devices, config=cfg,
                               tracer=tracer, metrics=registry)
@@ -193,6 +201,8 @@ def cmd_align(args: argparse.Namespace) -> int:
                 "backend": "sim", "devices": [d.name for d in devices],
                 "block_rows": args.block_rows, "buffer": args.buffer,
                 "kernel": args.kernel, "pruning": args.pruning,
+                "mode": args.mode, "band_width": args.band_width,
+                "xdrop_x": args.xdrop_x,
             }
             _write_telemetry(args.telemetry, backend="sim", config=config,
                              res=res, registry=registry, tracer=tracer,
@@ -382,6 +392,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="distributed block pruning against a chain-wide "
                         "best-score scoreboard (exact: same score and end "
                         "cell; pays off on similar sequences)")
+    p.add_argument("--mode", choices=MODES, default="exact",
+                   help="alignment tier: exact (default), banded (static "
+                        "diagonal band, heuristic lower bound), xdrop "
+                        "(origin-anchored X-drop extension), or auto "
+                        "(heuristic first, exact re-run only when the "
+                        "confidence check fails)")
+    p.add_argument("--band-width", type=int, default=DEFAULT_BAND_WIDTH,
+                   help="band half-width for --mode banded/auto "
+                        f"(default {DEFAULT_BAND_WIDTH})")
+    p.add_argument("--xdrop-x", type=int, default=DEFAULT_XDROP_X,
+                   help="X-drop termination threshold for --mode xdrop "
+                        f"(default {DEFAULT_XDROP_X})")
     p.add_argument("--telemetry", metavar="DIR", default=None,
                    help="write the telemetry bundle (manifest.json, "
                         "metrics.json, metrics.prom, trace.json) into DIR")

@@ -28,8 +28,11 @@ from ..errors import SimulationError
 #: time for work that never ran.  ``checkpoint`` is a worker publishing
 #: its row state into the shared checkpoint area; ``recovery`` is a
 #: supervisor span covering teardown + re-partition + resume after a
-#: worker failure.
-KINDS = ("compute", "d2h", "h2d", "wait", "pruned", "checkpoint", "recovery")
+#: worker failure.  ``band-skip`` marks a block skipped because it lies
+#: entirely outside the static alignment band (``mode="banded"``) — like
+#: ``pruned``, a zero-length bookkeeping span.
+KINDS = ("compute", "d2h", "h2d", "wait", "pruned", "checkpoint", "recovery",
+         "band-skip")
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,8 @@ Two execution modes share this engine:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import copy
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
@@ -36,13 +37,16 @@ from ..device.engine import Engine
 from ..device.gpu import GpuCounters, SimulatedGPU
 from ..device.spec import DeviceSpec
 from ..errors import ConfigError
-from ..obs.instruments import EngineInstruments, finalize_run_metrics
+from ..obs.instruments import (EngineInstruments, finalize_run_metrics,
+                               record_heuristic)
 from ..seq.scoring import Scoring
 from ..sw.batched import BlockJob, KernelWorkspace, cached_profile, sweep_wavefront, validate_kernel
 from ..sw.blocks import BlockSpec, pruned_border_result
 from ..sw.constants import DTYPE, NEG_INF
 from ..sw.kernel import BestCell, sweep_block
 from ..sw.pruning import BlockPruner
+from ..sw.xdrop import (DEFAULT_BAND_WIDTH, DEFAULT_XDROP_X, assess_heuristic,
+                        band_intersects, validate_mode, xdrop_score)
 from .partition import Slab, proportional_partition
 
 #: Bytes per border row: H (int32) + E (int32).
@@ -83,6 +87,19 @@ class ChainConfig:
         and skips block rows that provably cannot improve it, emitting
         restart borders instead.  Scores and end points are unchanged
         (see INTERNALS.md section 7); only similar sequences prune much.
+    mode:
+        Alignment tier (compute mode only): ``"exact"`` (default),
+        ``"banded"`` (restrict to the static band ``|j - i| <=
+        band_width``; slab block rows that miss the band are skipped
+        outright, compounding with pruning), ``"xdrop"`` (origin-anchored
+        X-drop extension — the sequential frontier runs inline and is
+        charged to the first device), or ``"auto"`` (banded first, exact
+        re-run when the confidence check fails; see INTERNALS.md
+        section 10).  Heuristic scores never exceed the exact score.
+    band_width:
+        Half-width of the static band for ``mode="banded"``/``"auto"``.
+    xdrop_x:
+        Drop threshold for ``mode="xdrop"``.
     """
 
     block_rows: int = 512
@@ -91,6 +108,9 @@ class ChainConfig:
     async_transfers: bool = True
     kernel: str = "scalar"
     pruning: bool = False
+    mode: str = "exact"
+    band_width: int = DEFAULT_BAND_WIDTH
+    xdrop_x: int = DEFAULT_XDROP_X
 
     def __post_init__(self) -> None:
         if self.block_rows <= 0:
@@ -100,6 +120,11 @@ class ChainConfig:
         if self.device_slots <= 0:
             raise ConfigError("device_slots must be positive")
         validate_kernel(self.kernel)
+        validate_mode(self.mode)
+        if self.band_width < 0:
+            raise ConfigError("band_width must be >= 0")
+        if self.xdrop_x <= 0:
+            raise ConfigError("xdrop_x must be positive")
 
 
 class MatrixWorkload:
@@ -140,6 +165,9 @@ class GpuReport:
     #: mode with ``ChainConfig.pruning`` only; zero otherwise).
     blocks_checked: int = 0
     blocks_pruned: int = 0
+    #: Slab block rows skipped because they miss the static band
+    #: (``ChainConfig.mode == "banded"`` only).
+    blocks_skipped_band: int = 0
 
 
 @dataclass
@@ -161,6 +189,11 @@ class ChainResult:
     #: set when the run stopped early (``stop_row``): resume with
     #: ``chain.run(workload, resume=result.checkpoint)``.
     checkpoint: "object | None" = None
+    #: Heuristic-tier fields: the requested mode, the tier that produced
+    #: the reported score, and whether ``mode="auto"`` fell back to exact.
+    mode: str = "exact"
+    tier: str = "exact"
+    escalated: bool = False
 
     @property
     def gcups(self) -> float:
@@ -180,6 +213,11 @@ class ChainResult:
     @property
     def blocks_pruned(self) -> int:
         return sum(g.blocks_pruned for g in self.gpus)
+
+    @property
+    def blocks_skipped_band(self) -> int:
+        """Slab block rows skipped by the static band (0 unless banded)."""
+        return sum(g.blocks_skipped_band for g in self.gpus)
 
     @property
     def pruned_ratio(self) -> float:
@@ -234,6 +272,7 @@ class MultiGpuChain:
         resume=None,
         stop_row: int | None = None,
         metrics=None,
+        _finalize_metrics: bool = True,
     ) -> ChainResult:
         """Execute the workload; pass a :class:`repro.device.trace.Tracer`
         to record per-device activity intervals.
@@ -251,6 +290,20 @@ class MultiGpuChain:
         """
         cfg = self.config
         m, n = workload.rows, workload.cols
+        if cfg.mode != "exact":
+            if workload.phantom:
+                raise ConfigError(
+                    "heuristic modes require a compute-mode workload")
+            if resume is not None or stop_row is not None:
+                raise ConfigError(
+                    "heuristic modes do not support resume/stop_row")
+            if cfg.mode == "xdrop":
+                return self._run_xdrop(workload, tracer=tracer,
+                                       metrics=metrics,
+                                       _finalize_metrics=_finalize_metrics)
+            if cfg.mode == "auto":
+                return self._run_auto(workload, tracer=tracer,
+                                      metrics=metrics)
         slabs = self.partition_for(n)
         if len(slabs) != len(self.specs):
             raise ConfigError("partition size != device count")
@@ -299,6 +352,13 @@ class MultiGpuChain:
         # one in-process scoreboard (the lock-free SharedScoreboard plays
         # this role for the real-process engines).  Seeded from the resume
         # best so a continued run prunes against everything already found.
+        # Static band (mode="banded"): slab block rows whose block misses
+        # |j - i| <= band_width are skipped outright — before the pruner
+        # even looks — and emit the same restart borders.
+        band_hw = (cfg.band_width
+                   if cfg.mode == "banded" and not workload.phantom else None)
+        band_skips = [0] * len(gpus)
+
         scoreboard = None
         pruners: list[BlockPruner] | None = None
         if cfg.pruning and not workload.phantom:
@@ -353,8 +413,14 @@ class MultiGpuChain:
                         e_left = np.full(rows, NEG_INF, dtype=DTYPE)
                         corner = 0
 
-                    if pruners is not None:
-                        spec = BlockSpec(r0, r1, slab.col0, slab.col1)
+                    spec = BlockSpec(r0, r1, slab.col0, slab.col1)
+                    skipped_band = (band_hw is not None
+                                    and not band_intersects(spec, band_hw))
+                    if skipped_band:
+                        band_skips[g] += 1
+                        if instruments is not None:
+                            instruments[g].block_skipped_band()
+                    elif pruners is not None:
                         pruned = pruners[g].should_prune(
                             spec,
                             m,
@@ -364,16 +430,18 @@ class MultiGpuChain:
                             scoreboard.read(),
                         )
 
-                    if pruned:
+                    if pruned or skipped_band:
                         # Skip the device sweep entirely: emit restart
                         # borders (legal lower bounds) and charge no
-                        # virtual compute time — the pruning payoff.
+                        # virtual compute time — the pruning/band payoff.
                         result = pruned_border_result(spec)
                         if gpu.tracer is not None:
-                            gpu.tracer.record(gpu.name, "pruned",
-                                              engine.now, engine.now)
-                        if instruments is not None:
+                            gpu.tracer.record(
+                                gpu.name, "band-skip" if skipped_band else "pruned",
+                                engine.now, engine.now)
+                        if pruned and instruments is not None:
                             instruments[g].block_pruned()
+                        pruned = True
                     else:
                         a_slice = workload.a[r0:r1]
                         p_slice = profile[:, slab.col0 : slab.col1]
@@ -442,7 +510,8 @@ class MultiGpuChain:
             GpuReport(name=gpus[g].name, slab=slabs[g], counters=gpus[g].counters,
                       finished_at=finished_at[g],
                       blocks_checked=pruners[g].blocks_checked if pruners else 0,
-                      blocks_pruned=pruners[g].blocks_pruned if pruners else 0)
+                      blocks_pruned=pruners[g].blocks_pruned if pruners else 0,
+                      blocks_skipped_band=band_skips[g])
             for g in range(len(gpus))
         ]
         checkpoint = None
@@ -468,13 +537,113 @@ class MultiGpuChain:
             config=cfg,
             partition=slabs,
             checkpoint=checkpoint,
+            mode=cfg.mode,
+            tier="banded" if cfg.mode == "banded" else "exact",
         )
-        if metrics is not None:
+        if metrics is not None and _finalize_metrics:
             finalize_run_metrics(
                 metrics, backend="sim",
                 blocks_checked=result.blocks_checked,
                 blocks_pruned=result.blocks_pruned,
                 wall_time_s=total, gcups=result.gcups)
+        return result
+
+    def _run_xdrop(
+        self,
+        workload: MatrixWorkload,
+        *,
+        tracer=None,
+        metrics=None,
+        _finalize_metrics: bool = True,
+    ) -> ChainResult:
+        """``mode="xdrop"``: the extension frontier is a sequential
+        anti-diagonal sweep with no block decomposition, so it runs
+        inline and its cells are charged to the first device (the rest of
+        the chain stays idle — a documented scheduling decision, not a
+        limitation of the virtual clock)."""
+        cfg = self.config
+        m, n = workload.rows, workload.cols
+        slabs = self.partition_for(n)
+        xo = xdrop_score(workload.a, workload.b, workload.scoring, cfg.xdrop_x)
+
+        engine = Engine()
+        gpus = [SimulatedGPU(engine, spec, i, tracer)
+                for i, spec in enumerate(self.specs)]
+        instruments = ([EngineInstruments(metrics, gpu.name) for gpu in gpus]
+                       if metrics is not None else None)
+
+        def proc():
+            t0 = engine.now
+            yield from gpus[0].compute(max(1, xo.cells_computed), n,
+                                       block_rows=cfg.block_rows)
+            if instruments is not None:
+                instruments[0].block_computed(engine.now - t0,
+                                              cells=xo.cells_computed)
+
+        engine.process(proc(), "gpu0")
+        total = engine.run()
+        reports = [
+            GpuReport(name=gpus[g].name, slab=slabs[g],
+                      counters=gpus[g].counters,
+                      finished_at=total if g == 0 else 0.0)
+            for g in range(len(gpus))
+        ]
+        result = ChainResult(
+            best=xo.best,
+            total_time_s=total,
+            cells=m * n,
+            gpus=reports,
+            channels=[],
+            config=cfg,
+            partition=slabs,
+            mode="xdrop",
+            tier="xdrop",
+        )
+        if metrics is not None and _finalize_metrics:
+            finalize_run_metrics(
+                metrics, backend="sim", blocks_checked=0, blocks_pruned=0,
+                wall_time_s=total, gcups=result.gcups)
+        return result
+
+    def _run_auto(
+        self,
+        workload: MatrixWorkload,
+        *,
+        tracer=None,
+        metrics=None,
+    ) -> ChainResult:
+        """``mode="auto"``: banded heuristic first; re-run exact only when
+        the confidence check fails.  The reported virtual time sums the
+        tiers actually run, and ``tier``/``escalated`` say who answered."""
+        cfg = self.config
+        m, n = workload.rows, workload.cols
+        sub = copy.copy(self)  # preserves cluster subclasses' channels
+        sub.config = replace(cfg, mode="banded")
+        heur = sub.run(workload, tracer=tracer, metrics=metrics,
+                       _finalize_metrics=False)
+        decision = assess_heuristic(heur.best, m, n, workload.scoring,
+                                    band_half_width=cfg.band_width)
+        if decision.confident:
+            result = heur
+            result.config = cfg
+            result.mode, result.tier = "auto", "banded"
+        else:
+            sub.config = replace(cfg, mode="exact")
+            exact = sub.run(workload, tracer=tracer, metrics=metrics,
+                            _finalize_metrics=False)
+            result = exact
+            result.config = cfg
+            result.total_time_s += heur.total_time_s
+            result.mode, result.tier = "auto", "exact"
+            result.escalated = True
+        if metrics is not None:
+            record_heuristic(metrics, backend="sim",
+                             tier=result.tier, escalated=result.escalated)
+            finalize_run_metrics(
+                metrics, backend="sim",
+                blocks_checked=result.blocks_checked,
+                blocks_pruned=result.blocks_pruned,
+                wall_time_s=result.total_time_s, gcups=result.gcups)
         return result
 
 

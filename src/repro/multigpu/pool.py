@@ -36,18 +36,23 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from dataclasses import replace
+
 from ..comm.progress import ProgressBoard
 from ..comm.scoreboard import SharedScoreboard
 from ..comm.shmring import ShmRing
 from ..device.trace import Tracer, WallClockRecorder, merge_wall_records
 from ..errors import ConfigError
 from ..obs.heartbeat import HeartbeatMonitor
-from ..obs.instruments import EngineInstruments, finalize_run_metrics, record_recovery
+from ..obs.instruments import (EngineInstruments, finalize_run_metrics,
+                               record_heuristic, record_recovery)
 from ..obs.registry import MetricsRegistry
 from ..seq.scoring import Scoring
 from ..sw.batched import KernelWorkspace, validate_kernel
 from ..sw.kernel import BestCell
 from ..sw.pruning import BlockPruner
+from ..sw.xdrop import (DEFAULT_BAND_WIDTH, DEFAULT_XDROP_X, assess_heuristic,
+                        validate_mode, xdrop_score)
 from .checkpoint import CheckpointArea, RetryPolicy
 from .partition import proportional_partition
 from .procchain import (
@@ -75,7 +80,8 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
     The task tuple's tail carries the recovery fields: *resume_state*
     (``(start_row, h_init, f_init)`` or ``None``), the per-attempt
     *checkpoints* area (attached on unpickle, closed after the task),
-    *checkpoint_blocks*, and the test-only *fault_block* crash hook.
+    *checkpoint_blocks*, the test-only *fault_block* crash hook, and the
+    static *band_half_width* (``None`` unless ``mode="banded"``).
     """
     workspace = KernelWorkspace()  # persists across comparisons
     while True:
@@ -84,7 +90,8 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
             break
         (a_codes, b_slab, slab, scoring, block_rows, origin,
          border_timeout_s, kernel, n_cols, pruning, collect_metrics,
-         resume_state, checkpoints, checkpoint_blocks, fault_block) = task
+         resume_state, checkpoints, checkpoint_blocks, fault_block,
+         band_half_width) = task
         recorder = WallClockRecorder(origin)
         registry = MetricsRegistry() if collect_metrics else None
         instruments = (EngineInstruments(registry, f"worker{worker_id}")
@@ -106,16 +113,18 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
                                  progress=progress,
                                  start_row=start_row, h_init=h_init,
                                  f_init=f_init, checkpoints=checkpoints,
-                                 checkpoint_blocks=checkpoint_blocks)
+                                 checkpoint_blocks=checkpoint_blocks,
+                                 band_half_width=band_half_width)
             best = outcome.best
             result_queue.put(
                 (worker_id, best.score, best.row, best.col,
                  outcome.blocks_checked, outcome.blocks_pruned,
+                 outcome.blocks_skipped_band,
                  registry.snapshot() if registry is not None else None,
                  None, recorder.records))
         except Exception as exc:
             result_queue.put(
-                (worker_id, 0, -1, -1, 0, 0,
+                (worker_id, 0, -1, -1, 0, 0, 0,
                  registry.snapshot() if registry is not None else None,
                  repr(exc), recorder.records))
             if checkpoints is not None:
@@ -343,10 +352,22 @@ class WorkerPool:
         restart_backoff_s: float = 0.5,
         retry: RetryPolicy | None = None,
         checkpoint_blocks: int = 4,
+        mode: str = "exact",
+        band_width: int = DEFAULT_BAND_WIDTH,
+        xdrop_x: int = DEFAULT_XDROP_X,
         _fault: tuple[int, int] | None = None,
+        _finalize_metrics: bool = True,
     ) -> ProcessChainResult:
         """Exact SW over the pool's worker chain (bit-identical to every
         other engine); raises ``RuntimeError`` on worker failure/timeout.
+
+        *mode* selects the alignment tier, exactly as in
+        :func:`~repro.multigpu.procchain.align_multi_process`:
+        ``"banded"`` skips slab block rows outside the static band of
+        half-width *band_width*, ``"xdrop"`` runs the origin-anchored
+        X-drop extension inline in the parent (threshold *xdrop_x*), and
+        ``"auto"`` answers with the banded heuristic unless the
+        confidence check fails, in which case the exact chain re-runs.
 
         *pruning* turns on distributed block pruning against the pool's
         shared scoreboard (reset before each comparison, so scores from
@@ -375,6 +396,38 @@ class WorkerPool:
         if self._broken:
             raise ConfigError("pool is broken by an earlier failure")
         validate_kernel(kernel)
+        validate_mode(mode)
+        if band_width < 0:
+            raise ConfigError("band_width must be non-negative")
+        if xdrop_x <= 0:
+            raise ConfigError("xdrop_x must be positive")
+        if a_codes.size == 0 or b_codes.size == 0:
+            raise ConfigError("sequences must be non-empty")
+        if mode == "xdrop":
+            t0 = time.perf_counter()
+            xo = xdrop_score(a_codes, b_codes, scoring, xdrop_x)
+            wall = time.perf_counter() - t0
+            result = ProcessChainResult(
+                best=xo.best, wall_time_s=wall,
+                cells=int(a_codes.size) * int(b_codes.size),
+                workers=0, partition=(), transport=self.transport,
+                start_method=self.start_method,
+                tracer=tracer or Tracer(), kernel=kernel,
+                mode="xdrop", tier="xdrop")
+            if metrics is not None and _finalize_metrics:
+                finalize_run_metrics(
+                    metrics, backend="pool", blocks_checked=0,
+                    blocks_pruned=0, wall_time_s=wall, gcups=result.gcups)
+            return result
+        if mode == "auto":
+            return self._align_auto(
+                a_codes, b_codes, scoring, block_rows=block_rows,
+                timeout_s=timeout_s, tracer=tracer, kernel=kernel,
+                pruning=pruning, metrics=metrics, heartbeat_s=heartbeat_s,
+                on_stall=on_stall, max_restarts=max_restarts,
+                restart_backoff_s=restart_backoff_s, retry=retry,
+                checkpoint_blocks=checkpoint_blocks, band_width=band_width)
+        band_half_width = band_width if mode == "banded" else None
         if block_rows <= 0:
             raise ConfigError("block_rows must be positive")
         if block_rows > self.max_block_rows:
@@ -428,7 +481,7 @@ class WorkerPool:
                          scoring, block_rows, origin, self.border_timeout_s,
                          kernel, n, pruning, metrics is not None,
                          resume_state, checkpoints, checkpoint_blocks,
-                         fault_block))
+                         fault_block, band_half_width))
 
                 describe = lambda g: f"pool worker {g}"  # noqa: E731
                 monitor = None
@@ -462,13 +515,15 @@ class WorkerPool:
 
                 attempt_best = BestCell.none()
                 worker_blocks = []
+                attempt_skipped_band = 0
                 for g in sorted(messages):
-                    (_wid, score, row, col, checked, pruned,
+                    (_wid, score, row, col, checked, pruned, skipped_band,
                      msnap, _err, records) = messages[g]
                     merge_wall_records(result_tracer, f"worker{g}", records)
                     if metrics is not None and msnap is not None:
                         metrics.merge_snapshot(msnap)
                     worker_blocks.append((int(checked), int(pruned)))
+                    attempt_skipped_band += int(skipped_band)
                     cell = BestCell(score, row, col)
                     if cell.better_than(attempt_best):
                         attempt_best = cell
@@ -494,8 +549,11 @@ class WorkerPool:
                         worker_blocks=tuple(worker_blocks),
                         restarts=restarts,
                         rows_recomputed=rows_recomputed_total,
+                        mode=mode,
+                        tier="banded" if mode == "banded" else "exact",
+                        blocks_skipped_band=attempt_skipped_band,
                     )
-                    if metrics is not None:
+                    if metrics is not None and _finalize_metrics:
                         finalize_run_metrics(
                             metrics, backend="pool",
                             blocks_checked=result.blocks_checked,
@@ -555,6 +613,45 @@ class WorkerPool:
         finally:
             if checkpoints is not None:
                 checkpoints.unlink()
+
+    def _align_auto(
+        self,
+        a_codes: np.ndarray,
+        b_codes: np.ndarray,
+        scoring: Scoring,
+        *,
+        band_width: int,
+        metrics: MetricsRegistry | None,
+        **kwargs,
+    ) -> ProcessChainResult:
+        """``mode="auto"`` on the pool: banded heuristic first, exact
+        re-run over the same live workers only when
+        :func:`~repro.sw.xdrop.assess_heuristic` rejects the answer."""
+        m, n = int(a_codes.size), int(b_codes.size)
+        heur = self.align(a_codes, b_codes, scoring, mode="banded",
+                          band_width=band_width, metrics=metrics,
+                          _finalize_metrics=False, **kwargs)
+        decision = assess_heuristic(heur.best, m, n, scoring,
+                                    band_half_width=band_width)
+        if decision.confident:
+            result = replace(heur, mode="auto", tier="banded")
+        else:
+            exact = self.align(a_codes, b_codes, scoring, mode="exact",
+                               metrics=metrics, _finalize_metrics=False,
+                               **kwargs)
+            result = replace(
+                exact,
+                wall_time_s=heur.wall_time_s + exact.wall_time_s,
+                mode="auto", tier="exact", escalated=True)
+        if metrics is not None:
+            record_heuristic(metrics, backend="pool",
+                             tier=result.tier, escalated=result.escalated)
+            finalize_run_metrics(
+                metrics, backend="pool",
+                blocks_checked=result.blocks_checked,
+                blocks_pruned=result.blocks_pruned,
+                wall_time_s=result.wall_time_s, gcups=result.gcups)
+        return result
 
     def map(
         self,

@@ -58,7 +58,8 @@ from ..comm.shmring import HEADER_BYTES, HEADER_STRUCT, ShmRing
 from ..device.trace import Tracer, WallClockRecorder, merge_wall_records
 from ..errors import CommError, ConfigError
 from ..obs.heartbeat import HeartbeatMonitor
-from ..obs.instruments import EngineInstruments, finalize_run_metrics, record_recovery
+from ..obs.instruments import (EngineInstruments, finalize_run_metrics,
+                               record_heuristic, record_recovery)
 from ..obs.registry import MetricsRegistry
 from ..perf.metrics import gcups as _metrics_gcups
 from ..seq.scoring import Scoring
@@ -67,6 +68,8 @@ from ..sw.blocks import BlockSpec, pruned_border_result
 from ..sw.constants import DTYPE, NEG_INF
 from ..sw.kernel import BestCell, sweep_block
 from ..sw.pruning import BlockPruner
+from ..sw.xdrop import (DEFAULT_BAND_WIDTH, DEFAULT_XDROP_X, assess_heuristic,
+                        band_intersects, validate_mode, xdrop_score)
 from .checkpoint import CheckpointArea, RetryPolicy
 from .partition import Slab, proportional_partition, surviving_partition
 
@@ -157,6 +160,13 @@ class ProcessChainResult:
     #: they lay past the newest consistent checkpoint when the failure hit.
     restarts: int = 0
     rows_recomputed: int = 0
+    #: Heuristic-tier fields: the requested mode, the tier that produced
+    #: the reported score, whether ``mode="auto"`` fell back to exact, and
+    #: slab block rows skipped because they miss the static band.
+    mode: str = "exact"
+    tier: str = "exact"
+    escalated: bool = False
+    blocks_skipped_band: int = 0
 
     @property
     def score(self) -> int:
@@ -203,11 +213,12 @@ class ProcessChainResult:
 
 @dataclass(frozen=True)
 class SlabOutcome:
-    """What one slab sweep found: its best cell + pruning counters."""
+    """What one slab sweep found: its best cell + skip/prune counters."""
 
     best: BestCell
     blocks_checked: int = 0
     blocks_pruned: int = 0
+    blocks_skipped_band: int = 0
 
 
 def sweep_slab(
@@ -234,6 +245,7 @@ def sweep_slab(
     f_init: np.ndarray | None = None,
     checkpoints: CheckpointArea | None = None,
     checkpoint_blocks: int = 1,
+    band_half_width: int | None = None,
 ) -> SlabOutcome:
     """One slab's sweep loop (the body of every real-process worker).
 
@@ -254,6 +266,12 @@ def sweep_slab(
     (:func:`~repro.sw.blocks.pruned_border_result`) and are recorded as
     zero-length ``pruned`` spans.  Scoreboard reads may be stale — safe by
     monotonicity (see :mod:`repro.comm.scoreboard`).
+
+    Static band (``mode="banded"``): with *band_half_width*, block rows
+    whose slab block misses the band ``|j - i| <= band_half_width`` are
+    skipped outright — before the pruner even looks — emitting the same
+    restart borders (``band-skip`` spans; the result is the banded best,
+    a lower bound of the unrestricted optimum).
 
     Telemetry (both optional, off the hot path when ``None``):
     *instruments* receives per-block counters and sweep latencies
@@ -292,6 +310,7 @@ def sweep_slab(
         prev_right_last = 0
     best = BestCell.none()
     ckpt_stride = max(1, int(checkpoint_blocks)) * block_rows
+    blocks_skipped_band = 0
 
     row_edges = list(range(start_row, m, block_rows)) + [m]
     for block_index, (r0, r1) in enumerate(zip(row_edges, row_edges[1:])):
@@ -316,8 +335,13 @@ def sweep_slab(
             os._exit(3)  # simulated hard crash: no exception, no result
 
         pruned = False
-        if pruner is not None:
-            spec = BlockSpec(r0, r1, slab.col0, slab.col1)
+        skipped_band = False
+        spec = BlockSpec(r0, r1, slab.col0, slab.col1)
+        if band_half_width is not None and not band_intersects(
+                spec, band_half_width):
+            skipped_band = True
+            blocks_skipped_band += 1
+        elif pruner is not None:
             pruned = pruner.should_prune(
                 spec,
                 m,
@@ -326,7 +350,14 @@ def sweep_slab(
                 int(h_left.max(initial=NEG_INF)),
                 scoreboard.read(),
             )
-        if pruned:
+        if skipped_band:
+            if progress is not None:
+                progress.beat(slot, r0, "pruned")
+            with recorder.span("band-skip"):
+                result = pruned_border_result(spec)
+            if instruments is not None:
+                instruments.block_skipped_band()
+        elif pruned:
             if progress is not None:
                 progress.beat(slot, r0, "pruned")
             with recorder.span("pruned"):
@@ -387,6 +418,7 @@ def sweep_slab(
         best=best,
         blocks_checked=pruner.blocks_checked if pruner is not None else 0,
         blocks_pruned=pruner.blocks_pruned if pruner is not None else 0,
+        blocks_skipped_band=blocks_skipped_band,
     )
 
 
@@ -411,13 +443,15 @@ def _worker(
     resume_state: tuple | None = None,
     checkpoints: CheckpointArea | None = None,
     checkpoint_blocks: int = 1,
+    band_half_width: int | None = None,
 ) -> None:
     """One-shot slab worker (runs in a child process).
 
     Result message layout (parsed positionally by :func:`collect_results`,
     which reads ``msg[0]`` as the key and ``msg[-2]`` as the error):
     ``(worker_id, score, row, col, blocks_checked, blocks_pruned,
-    metrics_snapshot, err, records)``.  ``metrics_snapshot`` is the
+    blocks_skipped_band, metrics_snapshot, err, records)``.
+    ``metrics_snapshot`` is the
     worker registry's :meth:`~repro.obs.registry.MetricsRegistry.snapshot`
     (``None`` unless *collect_metrics*) — a plain dict, so it crosses any
     start-method's queue; the parent merges it into its own registry.
@@ -443,16 +477,18 @@ def _worker(
                              progress=progress,
                              start_row=start_row, h_init=h_init, f_init=f_init,
                              checkpoints=checkpoints,
-                             checkpoint_blocks=checkpoint_blocks)
+                             checkpoint_blocks=checkpoint_blocks,
+                             band_half_width=band_half_width)
         best = outcome.best
         result_queue.put(
             (worker_id, best.score, best.row, best.col,
              outcome.blocks_checked, outcome.blocks_pruned,
+             outcome.blocks_skipped_band,
              registry.snapshot() if registry is not None else None,
              None, recorder.records))
     except Exception as exc:  # surface the failure to the parent
         result_queue.put(
-            (worker_id, 0, -1, -1, 0, 0,
+            (worker_id, 0, -1, -1, 0, 0, 0,
              registry.snapshot() if registry is not None else None,
              repr(exc), recorder.records))
     finally:
@@ -608,6 +644,7 @@ def _run_attempt(
     want_progress: bool,
     resume: tuple | None,
     fault: tuple[int, int] | None,
+    band_half_width: int | None = None,
 ):
     """Run the slab workers once over ``[resume_row, m)``.
 
@@ -660,7 +697,8 @@ def _run_attempt(
                       scoring, block_rows, recv_link, send_link, result_queue,
                       origin, border_timeout_s, fault_block, kernel,
                       n, scoreboard, progress, collect_metrics,
-                      resume_state, checkpoints, checkpoint_blocks),
+                      resume_state, checkpoints, checkpoint_blocks,
+                      band_half_width),
                 name=f"mgsw-worker-{g}",
             )
             proc.start()
@@ -745,7 +783,11 @@ def align_multi_process(
     restart_backoff_s: float = 0.5,
     retry: RetryPolicy | None = None,
     checkpoint_blocks: int = 4,
+    mode: str = "exact",
+    band_width: int = DEFAULT_BAND_WIDTH,
+    xdrop_x: int = DEFAULT_XDROP_X,
     _fault: tuple[int, int] | None = None,
+    _finalize_metrics: bool = True,
 ) -> ProcessChainResult:
     """Exact SW across *workers* real processes (see module docstring).
 
@@ -788,6 +830,16 @@ def align_multi_process(
     workers silent for twice that long are killed by the watchdog so
     hard stalls enter the same recovery path as crashes.
 
+    Heuristic tier (INTERNALS.md section 10): *mode* selects ``"exact"``
+    (default), ``"banded"`` (slab block rows that miss the static band
+    ``|j - i| <= band_width`` are skipped outright, compounding with
+    pruning), ``"xdrop"`` (origin-anchored X-drop extension with
+    threshold *xdrop_x*; the sequential frontier runs inline in the
+    parent — no workers are spawned), or ``"auto"`` (banded first, exact
+    re-run when the confidence check fails; the result's
+    ``tier``/``escalated`` fields say which tier answered).  Heuristic
+    scores never exceed the exact score.
+
     Raises :class:`ConfigError` on bad parameters and ``RuntimeError``
     when a worker fails or the run times out.  ``_fault`` is a test-only
     hook: ``(worker_id, block_index)`` crashes that worker at that block
@@ -795,6 +847,42 @@ def align_multi_process(
     """
     _validate_args(a_codes, b_codes, workers, block_rows, transport, weights,
                    capacity, kernel)
+    validate_mode(mode)
+    if band_width < 0:
+        raise ConfigError("band_width must be >= 0")
+    if xdrop_x <= 0:
+        raise ConfigError("xdrop_x must be positive")
+    if mode == "xdrop":
+        # The X-drop frontier is one sequential anti-diagonal sweep with
+        # no block decomposition to distribute — it runs inline in the
+        # parent (a documented scheduling decision; no workers spawn).
+        t0 = time.perf_counter()
+        xo = xdrop_score(a_codes, b_codes, scoring, xdrop_x)
+        wall = time.perf_counter() - t0
+        result = ProcessChainResult(
+            best=xo.best, wall_time_s=wall,
+            cells=int(a_codes.size) * int(b_codes.size),
+            workers=0, partition=(), transport=transport,
+            start_method=pick_context(start_method).get_start_method(),
+            tracer=tracer if tracer is not None else Tracer(),
+            kernel=kernel, mode="xdrop", tier="xdrop")
+        if metrics is not None and _finalize_metrics:
+            finalize_run_metrics(
+                metrics, backend="process", blocks_checked=0,
+                blocks_pruned=0, wall_time_s=wall, gcups=result.gcups)
+        return result
+    if mode == "auto":
+        return _align_process_auto(
+            a_codes, b_codes, scoring,
+            workers=workers, block_rows=block_rows, timeout_s=timeout_s,
+            transport=transport, start_method=start_method, weights=weights,
+            capacity=capacity, border_timeout_s=border_timeout_s,
+            tracer=tracer, kernel=kernel, pruning=pruning, metrics=metrics,
+            heartbeat_s=heartbeat_s, on_stall=on_stall,
+            max_restarts=max_restarts, restart_backoff_s=restart_backoff_s,
+            retry=retry, checkpoint_blocks=checkpoint_blocks,
+            band_width=band_width)
+    band_half_width = band_width if mode == "banded" else None
     if retry is None:
         retry = RetryPolicy(max_restarts=max_restarts,
                             backoff_s=restart_backoff_s)
@@ -831,19 +919,22 @@ def align_multi_process(
                 heartbeat_s=heartbeat_s, on_stall=on_stall,
                 want_progress=heartbeat_s is not None or recovery,
                 resume=resume,
-                fault=_fault if restarts == 0 else None)
+                fault=_fault if restarts == 0 else None,
+                band_half_width=band_half_width)
 
             # Fold whatever this attempt reported — survivors of a failed
             # attempt still deliver honest trace records and counters.
             attempt_best = BestCell.none()
             worker_blocks = []
+            attempt_skipped_band = 0
             for g in sorted(messages):
-                (_wid, score, row, col, checked, pruned,
+                (_wid, score, row, col, checked, pruned, skipped_band,
                  msnap, _err, records) = messages[g]
                 merge_wall_records(result_tracer, f"worker{g}", records)
                 if metrics is not None and msnap is not None:
                     metrics.merge_snapshot(msnap)
                 worker_blocks.append((int(checked), int(pruned)))
+                attempt_skipped_band += int(skipped_band)
                 cell = BestCell(score, row, col)
                 if cell.better_than(attempt_best):
                     attempt_best = cell
@@ -866,8 +957,11 @@ def align_multi_process(
                     worker_blocks=tuple(worker_blocks),
                     restarts=restarts,
                     rows_recomputed=rows_recomputed_total,
+                    mode=mode,
+                    tier="banded" if mode == "banded" else "exact",
+                    blocks_skipped_band=attempt_skipped_band,
                 )
-                if metrics is not None:
+                if metrics is not None and _finalize_metrics:
                     finalize_run_metrics(
                         metrics, backend="process",
                         blocks_checked=result.blocks_checked,
@@ -924,3 +1018,45 @@ def align_multi_process(
             scoreboard.unlink()
         if checkpoints is not None:
             checkpoints.unlink()
+
+
+def _align_process_auto(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    scoring: Scoring,
+    *,
+    band_width: int,
+    metrics: MetricsRegistry | None,
+    **kwargs,
+) -> ProcessChainResult:
+    """``mode="auto"`` for the process chain: banded heuristic first, exact
+    re-run only when :func:`~repro.sw.xdrop.assess_heuristic` rejects the
+    heuristic answer.  The reported wall time sums the tiers actually run;
+    ``tier``/``escalated`` say which one answered."""
+    from dataclasses import replace as _replace
+
+    m, n = int(a_codes.size), int(b_codes.size)
+    heur = align_multi_process(
+        a_codes, b_codes, scoring, mode="banded", band_width=band_width,
+        metrics=metrics, _finalize_metrics=False, **kwargs)
+    decision = assess_heuristic(heur.best, m, n, scoring,
+                                band_half_width=band_width)
+    if decision.confident:
+        result = _replace(heur, mode="auto", tier="banded")
+    else:
+        exact = align_multi_process(
+            a_codes, b_codes, scoring, mode="exact",
+            metrics=metrics, _finalize_metrics=False, **kwargs)
+        result = _replace(
+            exact,
+            wall_time_s=heur.wall_time_s + exact.wall_time_s,
+            mode="auto", tier="exact", escalated=True)
+    if metrics is not None:
+        record_heuristic(metrics, backend="process",
+                         tier=result.tier, escalated=result.escalated)
+        finalize_run_metrics(
+            metrics, backend="process",
+            blocks_checked=result.blocks_checked,
+            blocks_pruned=result.blocks_pruned,
+            wall_time_s=result.wall_time_s, gcups=result.gcups)
+    return result

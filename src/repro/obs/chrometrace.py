@@ -37,6 +37,7 @@ KIND_COLOURS = {
     "pruned": "good",
     "checkpoint": "grey",
     "recovery": "terrible",
+    "band-skip": "good",
 }
 
 #: Microseconds per tracer time unit (tracer intervals are seconds).

@@ -13,6 +13,9 @@ same metric families under the same names, labelled by ``device``:
 ``border_bytes_received``      counter   border payload bytes consumed
 ``block_sweep_seconds``        histogram per-block sweep latency
 ``prune_rate``                 gauge     pruned / checked blocks (per run)
+``blocks_skipped_band``        counter   blocks skipped by the static band
+``heuristic_hits``             counter   auto runs answered by the heuristic
+``escalations``                counter   auto runs re-run on the exact tier
 =============================  ========= ====================================
 
 Centralising the names here is what makes the cross-engine invariant
@@ -64,6 +67,12 @@ class EngineInstruments:
     def block_pruned(self, count: int = 1) -> None:
         self._pruned.inc(count, device=self.device)
 
+    def block_skipped_band(self, count: int = 1) -> None:
+        self.registry.counter(
+            "blocks_skipped_band",
+            help="blocks skipped because they miss the diagonal band",
+        ).inc(count, device=self.device)
+
     def border_sent(self, nbytes: int) -> None:
         self._sent.inc(nbytes, device=self.device)
 
@@ -94,6 +103,27 @@ def record_recovery(registry: MetricsRegistry, *, backend: str,
             "rows_recomputed",
             help="matrix rows recomputed during checkpoint recovery",
         ).inc(rows_recomputed, backend=backend)
+
+
+def record_heuristic(registry: MetricsRegistry, *, backend: str,
+                     tier: str, escalated: bool) -> None:
+    """Record which tier answered a ``mode="auto"`` run.
+
+    ``heuristic_hits`` counts runs the heuristic tier answered outright;
+    ``escalations`` counts runs re-run on the exact tier because the
+    confidence check failed.  Exactly one of the two increments per
+    auto-mode run.
+    """
+    if escalated:
+        registry.counter(
+            "escalations",
+            help="auto-mode runs escalated to the exact tier",
+        ).inc(1, backend=backend, tier=tier)
+    else:
+        registry.counter(
+            "heuristic_hits",
+            help="auto-mode runs answered by the heuristic tier",
+        ).inc(1, backend=backend, tier=tier)
 
 
 def finalize_run_metrics(registry: MetricsRegistry, *, backend: str,

@@ -36,6 +36,12 @@ def chain_result_dict(result) -> dict:
             "blocks_pruned": result.blocks_pruned,
             "pruned_ratio": result.pruned_ratio,
         } if result.config.pruning else None,
+        "heuristic": {
+            "mode": result.mode,
+            "tier": result.tier,
+            "escalated": result.escalated,
+            "blocks_skipped_band": result.blocks_skipped_band,
+        } if getattr(result, "mode", "exact") != "exact" else None,
         "devices": [
             {
                 "name": gpu.name,
@@ -90,6 +96,12 @@ def process_result_dict(result) -> dict:
             "restarts": result.restarts,
             "rows_recomputed": result.rows_recomputed,
         } if getattr(result, "restarts", 0) else None,
+        "heuristic": {
+            "mode": result.mode,
+            "tier": result.tier,
+            "escalated": result.escalated,
+            "blocks_skipped_band": result.blocks_skipped_band,
+        } if getattr(result, "mode", "exact") != "exact" else None,
         # Cross-process clock-skew spans clamped during trace merging —
         # nonzero values flag workers whose perf_counter drifted.
         "clamped_records": result.tracer.clamped_records if result.tracer else 0,
@@ -125,6 +137,12 @@ def single_result_dict(result) -> dict:
             "pruned_ratio": result.pruned_ratio,
             "pruned_fraction": result.pruned_fraction,
         } if result.blocks_checked else None,
+        "heuristic": {
+            "mode": result.mode,
+            "tier": result.tier,
+            "escalated": result.escalated,
+            "blocks_skipped_band": result.blocks_skipped_band,
+        } if getattr(result, "mode", "exact") != "exact" else None,
     }
 
 
@@ -142,6 +160,20 @@ def result_dict(result) -> dict:
     if hasattr(result, "wall_time_s"):
         return process_result_dict(result)
     return single_result_dict(result)
+
+
+def _heuristic_line(result) -> str | None:
+    """One report line for a non-exact run: which tier answered, and the
+    static-band skip count when it is nonzero."""
+    mode = getattr(result, "mode", "exact")
+    if mode == "exact":
+        return None
+    line = (f"tier: mode={mode} answered_by={result.tier}"
+            f" escalated={'yes' if result.escalated else 'no'}")
+    skipped = getattr(result, "blocks_skipped_band", 0)
+    if skipped:
+        line += f" blocks_skipped_band={skipped}"
+    return line
 
 
 def single_report(result, *, title: str = "single-GPU run") -> str:
@@ -164,6 +196,9 @@ def single_report(result, *, title: str = "single-GPU run") -> str:
             f"blocks pruned ({result.pruned_ratio:.1%}), "
             f"{result.pruned_fraction:.1%} of cells skipped"
         )
+    tier_line = _heuristic_line(result)
+    if tier_line:
+        lines.append(tier_line)
     return "\n".join(lines)
 
 
@@ -196,6 +231,9 @@ def process_report(result, *, title: str = "process chain run") -> str:
             f"recovery: {result.restarts} restart(s), "
             f"{result.rows_recomputed} rows recomputed from checkpoints"
         )
+    tier_line = _heuristic_line(result)
+    if tier_line:
+        lines.append(tier_line)
     breakdown = result.breakdown()
     if breakdown:
         lines.append("")
@@ -239,6 +277,9 @@ def chain_report(result, *, title: str = "chain run") -> str:
             f"pruning: {result.blocks_pruned}/{result.blocks_checked} "
             f"blocks pruned ({result.pruned_ratio:.1%})"
         )
+    tier_line = _heuristic_line(result)
+    if tier_line:
+        lines.append(tier_line)
     lines.append("")
 
     rows = []

@@ -11,6 +11,8 @@ Layering (bottom up):
 * :mod:`repro.sw.myers_miller` — linear-space global alignment.
 * :mod:`repro.sw.stages` — the multi-stage local-alignment pipeline.
 * :mod:`repro.sw.banded` — banded screen / cross-check.
+* :mod:`repro.sw.xdrop` — heuristic tier: X-drop extension, the adaptive
+  band engine, and the ``mode="auto"`` confidence check.
 """
 
 from .alignment import Alignment, from_ops
@@ -32,6 +34,20 @@ from .naive import align_naive, full_matrices, sw_score_naive
 from .pruning import BlockPruner
 from .rowstore import BudgetedRowStore, StoreStats
 from .semiglobal import SemiGlobalMode, naive_semiglobal, semiglobal_score
+from .xdrop import (
+    DEFAULT_BAND_WIDTH,
+    DEFAULT_XDROP_X,
+    MODES,
+    BandedOutcome,
+    HeuristicDecision,
+    XDropOutcome,
+    adaptive_banded_score,
+    assess_heuristic,
+    band_intersects,
+    significance_threshold,
+    validate_mode,
+    xdrop_score,
+)
 from .stages import (
     CrossingPoint,
     SpecialRowStore,
@@ -88,4 +104,16 @@ __all__ = [
     "stage2_start",
     "stage2_with_crossings",
     "stage3_align",
+    "DEFAULT_BAND_WIDTH",
+    "DEFAULT_XDROP_X",
+    "MODES",
+    "BandedOutcome",
+    "HeuristicDecision",
+    "XDropOutcome",
+    "adaptive_banded_score",
+    "assess_heuristic",
+    "band_intersects",
+    "significance_threshold",
+    "validate_mode",
+    "xdrop_score",
 ]

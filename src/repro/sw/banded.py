@@ -10,7 +10,11 @@ construction), so results are labelled with the band half-width used.
 Implementation: the band is swept row by row over a fixed-width window of
 ``2*half_width + 1`` columns centred on the diagonal; the window shifts by
 one column per row, so the horizontal-gap scan runs inside the window and
-values leaving the band are treated as -inf (standard banded semantics).
+values leaving the band are treated as -inf — for all three DP states, H
+and both gap continuations E/F (standard banded semantics).  A gap that
+crosses the band edge therefore scores -inf and can never re-enter: E
+moves only increase the offset ``j - i``, F moves only decrease it and
+diagonal moves preserve it, so leaving the band is terminal for a path.
 """
 
 from __future__ import annotations
@@ -93,5 +97,12 @@ def banded_score(
             k = int(temp.argmax())
             best = BestCell(mx, i, j0 + k)
 
+        # Re-mask F before storing: window slots outside the matrix (and
+        # the virtual H=0 boundary column) must carry -inf into the next
+        # row, per the band contract above.  Without this the stored F at
+        # dead slots drifts a further -gap_extend per row, eroding the
+        # NEG_INF headroom on long sweeps.
+        f_row[~valid] = NEG_INF
+        f_row[boundary] = NEG_INF
         h_prev, f_prev = temp, f_row
     return best

@@ -23,6 +23,7 @@ from .batched import BlockJob, KernelWorkspace, sweep_wavefront, validate_kernel
 from .constants import DTYPE, NEG_INF
 from .kernel import BestCell, BlockResult, build_profile, sweep_block
 from .pruning import BlockPruner
+from .xdrop import band_intersects
 
 
 @dataclass(frozen=True)
@@ -141,6 +142,10 @@ class BlockedOutcome:
     blocks_pruned: int
     cells_total: int
     cells_pruned: int
+    #: Blocks/cells skipped because they miss the static diagonal band
+    #: (``band_half_width``); disjoint from the pruning counters.
+    blocks_skipped_band: int = 0
+    cells_skipped_band: int = 0
 
     @property
     def pruned_fraction(self) -> float:
@@ -167,6 +172,7 @@ def compute_blocked(
     pruner: BlockPruner | None = None,
     kernel: str = "scalar",
     workspace: KernelWorkspace | None = None,
+    band_half_width: int | None = None,
 ) -> BlockedOutcome:
     """Compute the whole matrix block-by-block on one device.
 
@@ -182,9 +188,20 @@ def compute_blocked(
     points, and borders — pruning *decisions* may differ because the
     batched schedule sees best-so-far updates one diagonal later).  A
     caller-supplied *workspace* lets repeated batched runs share scratch.
+
+    With *band_half_width* (local mode only), blocks that do not intersect
+    the static band ``|j - i| <= band_half_width`` are skipped outright —
+    before the pruner even looks at them — and emit the same restart
+    borders as pruned blocks (H = 0 lower bounds, so in-band scores are
+    never overestimated).  The result is then the *banded* best, a lower
+    bound of the unrestricted optimum.
     """
     if pruner is not None and not local:
         raise ConfigError("block pruning applies to local alignment only")
+    if band_half_width is not None and not local:
+        raise ConfigError("band restriction applies to local alignment only")
+    if band_half_width is not None and band_half_width < 0:
+        raise ConfigError("band_half_width must be >= 0")
     validate_kernel(kernel)
     m, n = int(a_codes.size), int(b_codes.size)
     specs = grid_specs(m, n, block_rows, block_cols)
@@ -192,7 +209,8 @@ def compute_blocked(
     if kernel == "batched":
         return _compute_blocked_wavefront(
             a_codes, profile_full, scoring, specs, m, n,
-            local=local, pruner=pruner, workspace=workspace)
+            local=local, pruner=pruner, workspace=workspace,
+            band_half_width=band_half_width)
     n_brows, n_bcols = len(specs), len(specs[0])
 
     # Rolling borders: bottom borders of the previous block row (per block
@@ -205,11 +223,22 @@ def compute_blocked(
     best = BestCell.none()
     blocks_pruned = 0
     cells_pruned = 0
+    blocks_skipped = 0
+    cells_skipped = 0
     for br in range(n_brows):
         right = None
         row_corner_updates = [0] * (n_bcols + 1)
         for bc in range(n_bcols):
             spec = specs[br][bc]
+            if band_half_width is not None and not band_intersects(
+                    spec, band_half_width):
+                result = pruned_border_result(spec)
+                blocks_skipped += 1
+                cells_skipped += spec.cells
+                bottom[bc] = (result.h_bottom, result.f_bottom)
+                right = (result.h_right, result.e_right)
+                row_corner_updates[bc + 1] = result.corner
+                continue
             if br == 0 or bc == 0:
                 # Only edge blocks keep any origin border; interior blocks
                 # overwrite all four, so skip the allocations entirely.
@@ -266,6 +295,8 @@ def compute_blocked(
         blocks_pruned=blocks_pruned,
         cells_total=m * n,
         cells_pruned=cells_pruned,
+        blocks_skipped_band=blocks_skipped,
+        cells_skipped_band=cells_skipped,
     )
 
 
@@ -300,6 +331,7 @@ def _compute_blocked_wavefront(
     local: bool,
     pruner: BlockPruner | None,
     workspace: KernelWorkspace | None,
+    band_half_width: int | None = None,
 ) -> BlockedOutcome:
     """Wavefront executor: one batched sweep per external anti-diagonal.
 
@@ -317,11 +349,26 @@ def _compute_blocked_wavefront(
     best = BestCell.none()
     blocks_pruned = 0
     cells_pruned = 0
+    blocks_skipped = 0
+    cells_skipped = 0
     for diag in wavefront_order(n_brows, n_bcols):
         jobs: list[BlockJob] = []
         placed: list[tuple[int, int, BlockSpec]] = []
         for br, bc in diag:
             spec = specs[br][bc]
+            if band_half_width is not None and not band_intersects(
+                    spec, band_half_width):
+                # Still pop the incoming borders so the resident set
+                # stays one wavefront deep.
+                bottom.pop((br, bc), None)
+                right.pop((br, bc), None)
+                corner.pop((br, bc), None)
+                result = pruned_border_result(spec)
+                blocks_skipped += 1
+                cells_skipped += spec.cells
+                _store_borders(br, bc, result, n_brows, n_bcols,
+                               bottom, right, corner)
+                continue
             if br == 0 or bc == 0:
                 bnd = origin_boundaries(spec, local=local, scoring=scoring)
                 if br > 0:
@@ -378,4 +425,6 @@ def _compute_blocked_wavefront(
         blocks_pruned=blocks_pruned,
         cells_total=m * n,
         cells_pruned=cells_pruned,
+        blocks_skipped_band=blocks_skipped,
+        cells_skipped_band=cells_skipped,
     )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigError
@@ -67,3 +68,69 @@ class TestBandSemantics:
         a = encode("AC")
         with pytest.raises(ConfigError):
             banded_score(a, a, DNA_DEFAULT, half_width=-1)
+
+
+class TestBandEdgeGaps:
+    """Regression: out-of-band cells must be -inf for the gap states E/F
+    too, not only for H — a gap path that leaves the band and re-enters
+    must be impossible, not merely penalised from a stale value."""
+
+    @staticmethod
+    def _oracle(a, b, sc, hw):
+        """Naive banded local Gotoh: every state of every out-of-band
+        cell is -inf, in-band H clamps at 0."""
+        m, n = int(a.size), int(b.size)
+        NEG = -(10**9)
+        sub = sc.matrix
+        go, ge = int(sc.gap_open), int(sc.gap_extend)
+        hp = [NEG] * (n + 1)
+        fp = [NEG] * (n + 1)
+        best = 0
+        for i in range(m):
+            hc = [NEG] * (n + 1)
+            fc = [NEG] * (n + 1)
+            e = NEG
+            for j in range(n):
+                if abs(j - i) > hw:
+                    e = NEG
+                    continue
+                f = max(max(fp[j + 1], hp[j + 1] - go) - ge, NEG)
+                e = max(max(e, hc[j] - go) - ge, NEG)
+                hd = hp[j] if (i > 0 and j > 0) else NEG
+                if i == 0 or j == 0:
+                    hd = 0  # matrix boundary: local paths may start here
+                h = max(hd + int(sub[a[i], b[j]]), e, f, 0)
+                hc[j + 1], fc[j + 1] = h, f
+                best = max(best, h)
+            hp, fp = hc, fc
+        return best
+
+    def test_matches_oracle_randomised(self, rng):
+        for _ in range(150):
+            m = int(rng.integers(1, 26))
+            n = int(rng.integers(1, 26))
+            a = random_codes(rng, m, with_n=True)
+            b = random_codes(rng, n, with_n=True)
+            sc = random_scoring(rng)
+            hw = int(rng.integers(0, 12))
+            got = banded_score(a, b, sc, half_width=hw)
+            assert (got.score if got.row >= 0 else 0) == \
+                self._oracle(a, b, sc, hw)
+
+    def test_gap_over_band_edge_is_cut_not_carried(self, rng):
+        """a = X + Y, b = X + Z + Y with |Z| far beyond the band: the
+        full-band alignment bridges Z with one long gap, but inside a
+        narrow band that gap would have to leave and re-enter the band —
+        illegal, so the banded score must equal the banded oracle and
+        stay strictly below the unbanded score."""
+        x = random_codes(rng, 100)
+        y = random_codes(rng, 100)
+        z = random_codes(rng, 30)  # gap cost 63 < the 100 matches of Y
+        a = np.concatenate([x, y])
+        b = np.concatenate([x, z, y])
+        hw = 4  # |Z| = 30 >> hw
+        want_full, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+        got = banded_score(a, b, DNA_DEFAULT, half_width=hw)
+        got_score = got.score if got.row >= 0 else 0
+        assert got_score == self._oracle(a, b, DNA_DEFAULT, hw)
+        assert got_score < want_full

@@ -19,6 +19,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.baselines.single_gpu import run_single_gpu
 from repro.comm import NetworkLink
 from repro.device import ENV1_HETEROGENEOUS, TESLA_M2090
 from repro.multigpu import (
@@ -333,3 +334,180 @@ class TestDistributedPruningDifferential:
             assert aln.score == ref.score
             assert (aln.end_i - 1, aln.end_j - 1) == \
                 (ref.best.row, ref.best.col)
+
+
+def _counter_total(registry, name: str) -> float:
+    fam = registry.snapshot()["counters"].get(name)
+    return sum(s["value"] for s in fam["series"]) if fam else 0
+
+
+class TestHeuristicDifferential:
+    """The ``mode="auto"`` contract, differentially, across engines.
+
+    On similar pairs (the <= 5%-divergence traffic the heuristic tier is
+    for) auto must return the bit-exact score of the exact engines while
+    answering from the banded tier; on divergent pairs the confidence
+    check must force an escalation and the final answer must again equal
+    exact.  The tier taken is asserted through the metrics registry
+    (``heuristic_hits`` / ``escalations``), not just the result fields,
+    so the reporting path is pinned too.
+    """
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        m=st.integers(min_value=100, max_value=220),
+        workers=st.integers(min_value=1, max_value=3),
+        block_rows=st.integers(min_value=16, max_value=64),
+        kernel=st.sampled_from(["scalar", "batched"]),
+    )
+    def test_auto_matches_exact_on_similar_pairs(self, seed, m, workers,
+                                                 block_rows, kernel):
+        rng = np.random.default_rng(seed)
+        a = random_dna(m, rng=rng)
+        b = mutate(a, HUMAN_CHIMP, rng=rng)
+        scoring = DNA_DEFAULT
+        want, wi, wj = sw_score_naive(a, b, scoring)
+
+        sim = align_multi_gpu(
+            a, b, scoring, [TESLA_M2090] * workers,
+            config=ChainConfig(block_rows=block_rows, kernel=kernel,
+                               mode="auto"))
+        assert sim.score == want
+        assert sim.mode == "auto" and not sim.escalated
+        assert sim.tier == "banded"
+        assert (sim.best.row, sim.best.col) == (wi, wj)
+
+        real = align_multi_process(
+            a, b, scoring, workers=min(workers, int(b.size)),
+            block_rows=block_rows, kernel=kernel, mode="auto")
+        assert real.score == want
+        assert not real.escalated and real.tier == "banded"
+
+        single = run_single_gpu(a, b, scoring, TESLA_M2090,
+                                block_rows=block_rows, mode="auto")
+        assert single.score == want
+        assert not single.escalated
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        workers=st.integers(min_value=1, max_value=3),
+        kernel=st.sampled_from(["scalar", "batched"]),
+    )
+    def test_divergent_pair_escalates_to_exact(self, seed, workers, kernel):
+        """Unrelated sequences produce an insignificant heuristic score:
+        auto must escalate, and the escalated answer must equal the exact
+        engines bit-for-bit."""
+        rng = np.random.default_rng(seed)
+        a = random_dna(300, rng=rng)
+        b = random_dna(300, rng=rng)
+        scoring = DNA_DEFAULT
+        want, *_ = sw_score_naive(a, b, scoring)
+
+        sim = align_multi_gpu(
+            a, b, scoring, [TESLA_M2090] * workers,
+            config=ChainConfig(block_rows=64, kernel=kernel, mode="auto"))
+        assert sim.escalated and sim.tier == "exact"
+        assert sim.score == want
+
+        real = align_multi_process(a, b, scoring, workers=workers,
+                                   block_rows=64, kernel=kernel, mode="auto")
+        assert real.escalated and real.tier == "exact"
+        assert real.score == want
+
+    def test_heuristic_hit_recorded_once(self, rng):
+        """A similar-pair auto run answers from the heuristic tier:
+        exactly one ``heuristic_hits``, zero ``escalations``, and one
+        ``alignments_total`` (the sub-run must not double-finalize)."""
+        from repro.obs import MetricsRegistry
+
+        a = random_dna(400, rng=rng)
+        b = mutate(a, HUMAN_CHIMP, rng=rng)
+        for run in (
+            lambda reg: align_multi_gpu(
+                a, b, DNA_DEFAULT, [TESLA_M2090] * 2,
+                config=ChainConfig(block_rows=64, mode="auto"), metrics=reg),
+            lambda reg: align_multi_process(
+                a, b, DNA_DEFAULT, workers=2, block_rows=64, mode="auto",
+                metrics=reg),
+            lambda reg: run_single_gpu(
+                a, b, DNA_DEFAULT, TESLA_M2090, block_rows=64, mode="auto",
+                metrics=reg),
+        ):
+            registry = MetricsRegistry()
+            res = run(registry)
+            assert not res.escalated
+            assert _counter_total(registry, "heuristic_hits") == 1
+            assert _counter_total(registry, "escalations") == 0
+            assert _counter_total(registry, "alignments_total") == 1
+
+    def test_escalation_recorded_once(self, rng):
+        """A divergent-pair auto run records exactly one escalation and
+        still finalizes run-level metrics once."""
+        from repro.obs import MetricsRegistry
+
+        a = random_dna(400, rng=rng)
+        b = random_dna(400, rng=rng)
+        registry = MetricsRegistry()
+        res = align_multi_gpu(
+            a, b, DNA_DEFAULT, [TESLA_M2090] * 2,
+            config=ChainConfig(block_rows=64, mode="auto"), metrics=registry)
+        assert res.escalated
+        assert _counter_total(registry, "escalations") == 1
+        assert _counter_total(registry, "heuristic_hits") == 0
+        assert _counter_total(registry, "alignments_total") == 1
+
+    def test_banded_mode_skips_blocks(self, rng):
+        """``mode="banded"`` must actually skip off-band blocks on both
+        multi-engine backends — counted on the result AND in the metrics
+        registry — while still matching exact on a similar pair."""
+        from repro.obs import MetricsRegistry
+
+        a = random_dna(900, rng=rng)
+        b = mutate(a, HUMAN_CHIMP, rng=rng)
+        want, *_ = sw_score_naive(a, b, DNA_DEFAULT)
+
+        registry = MetricsRegistry()
+        sim = align_multi_gpu(
+            a, b, DNA_DEFAULT, [TESLA_M2090] * 3,
+            config=ChainConfig(block_rows=96, mode="banded", band_width=64),
+            metrics=registry)
+        assert sim.score == want
+        assert sim.blocks_skipped_band > 0
+        assert _counter_total(registry, "blocks_skipped_band") == \
+            sim.blocks_skipped_band
+
+        registry = MetricsRegistry()
+        real = align_multi_process(a, b, DNA_DEFAULT, workers=2,
+                                   block_rows=96, mode="banded",
+                                   band_width=64, metrics=registry)
+        assert real.score == want
+        assert real.blocks_skipped_band > 0
+        assert _counter_total(registry, "blocks_skipped_band") == \
+            real.blocks_skipped_band
+
+    def test_banded_compounds_with_pruning(self, rng):
+        """Band skipping and distributed pruning are disjoint counters
+        that compose.  The band handles off-diagonal blocks; to make
+        pruning fire *in-band* the pair shares a strong prefix and then
+        diverges — once the prefix seals a high best score, the divergent
+        tail's diagonal blocks cannot beat it and are pruned."""
+        prefix = random_dna(1200, rng=rng)
+        a = np.concatenate([prefix, random_dna(1200, rng=rng)])
+        b = np.concatenate([prefix, random_dna(1200, rng=rng)])
+        exact = align_multi_gpu(a, b, DNA_DEFAULT, [TESLA_M2090] * 3,
+                                config=ChainConfig(block_rows=96))
+        want = exact.score
+        res = align_multi_gpu(
+            a, b, DNA_DEFAULT, [TESLA_M2090] * 3,
+            config=ChainConfig(block_rows=96, mode="banded", band_width=64,
+                               pruning=True))
+        assert res.score == want
+        assert res.blocks_skipped_band > 0
+        assert res.blocks_pruned > 0
+        # Disjoint: a skipped block is never also counted as pruned.
+        per_gpu_total = sum(g.blocks_checked for g in res.gpus)
+        assert res.blocks_pruned <= per_gpu_total

@@ -23,9 +23,10 @@ from ..device.gpu import SimulatedGPU
 from ..device.spec import DeviceSpec
 from ..errors import ConfigError
 from ..obs.instruments import (EngineInstruments, finalize_run_metrics,
-                               record_heuristic)
+                               record_dtype, record_heuristic)
 from ..seq.scoring import Scoring
 from ..sw.blocks import BlockedOutcome, compute_blocked
+from ..sw.constants import validate_dp_dtype
 from ..sw.kernel import BestCell
 from ..sw.pruning import BlockPruner
 from ..sw.xdrop import (DEFAULT_BAND_WIDTH, DEFAULT_XDROP_X,
@@ -51,6 +52,11 @@ class SingleGpuResult:
     tier: str = "exact"
     escalated: bool = False
     blocks_skipped_band: int = 0
+    #: DP dtype policy the run resolved to and its narrow/wide block split.
+    dp_dtype: str = "int32"
+    blocks_narrow: int = 0
+    blocks_wide: int = 0
+    dtype_escalations: int = 0
 
     @property
     def pruned_ratio(self) -> float:
@@ -82,6 +88,7 @@ def run_single_gpu(
     mode: str = "exact",
     band_width: int = DEFAULT_BAND_WIDTH,
     xdrop_x: int = DEFAULT_XDROP_X,
+    dp_dtype: str = "auto",
     metrics=None,
 ) -> SingleGpuResult:
     """Compute-mode single-GPU run: virtual-clock timing.
@@ -101,14 +108,19 @@ def run_single_gpu(
     only when the :func:`~repro.sw.xdrop.assess_heuristic` confidence
     check fails; the result's ``tier``/``escalated`` fields say which
     tier answered).  Heuristic scores are lower bounds of the exact one.
+
+    ``dp_dtype`` selects the kernel's internal compute dtype (``"auto"``
+    picks the narrowest guaranteed-overflow-free policy; explicit narrow
+    names escalate per block).  Scores stay bit-identical either way.
     """
     validate_mode(mode)
+    validate_dp_dtype(dp_dtype)
     if mode != "exact":
         return _run_single_heuristic(
             a_codes, b_codes, scoring, spec,
             block_rows=block_rows, block_cols=block_cols, prune=prune,
             mode=mode, band_width=band_width, xdrop_x=xdrop_x,
-            metrics=metrics)
+            dp_dtype=dp_dtype, metrics=metrics)
     m, n = int(a_codes.size), int(b_codes.size)
     if block_cols is None:
         block_cols = block_rows
@@ -116,6 +128,7 @@ def run_single_gpu(
     outcome: BlockedOutcome = compute_blocked(
         a_codes, b_codes, scoring,
         block_rows=block_rows, block_cols=block_cols, pruner=pruner,
+        dp_dtype=dp_dtype,
     )
     computed = outcome.cells_total - outcome.cells_pruned
     engine = Engine()
@@ -149,12 +162,21 @@ def run_single_gpu(
         pruned_fraction=outcome.pruned_fraction,
         blocks_checked=pruner.blocks_checked if pruner is not None else 0,
         blocks_pruned=pruner.blocks_pruned if pruner is not None else 0,
+        dp_dtype=outcome.dp_dtype,
+        blocks_narrow=outcome.blocks_narrow,
+        blocks_wide=outcome.blocks_wide,
+        dtype_escalations=outcome.dtype_escalations,
     )
     if metrics is not None:
         # 2-D-block pruning decisions happen inside compute_blocked, so
         # the per-block counters are bulk-recorded from its outcome.
         if result.blocks_pruned:
             instruments.block_pruned(result.blocks_pruned)
+        if outcome.dp_dtype != "int32":
+            record_dtype(metrics, device="single-gpu",
+                         narrow=outcome.blocks_narrow,
+                         wide=outcome.blocks_wide,
+                         escalations=outcome.dtype_escalations)
         finalize_run_metrics(
             metrics, backend="single",
             blocks_checked=result.blocks_checked,
@@ -175,7 +197,8 @@ def _run_single_heuristic(
     mode: str,
     band_width: int,
     xdrop_x: int,
-    metrics,
+    dp_dtype: str = "auto",
+    metrics=None,
 ) -> SingleGpuResult:
     """The banded/xdrop/auto tiers of :func:`run_single_gpu`.
 
@@ -214,12 +237,15 @@ def _run_single_heuristic(
     escalated = False
     pruned_fraction = 0.0
     blocks_checked = blocks_pruned = 0
+    dp_name = "int32"
+    blocks_narrow = blocks_wide = dtype_escalations = 0
     if mode == "auto":
         decision = assess_heuristic(best, m, n, scoring, saturated=saturated)
         if not decision.confident:
             exact = run_single_gpu(
                 a_codes, b_codes, scoring, spec,
-                block_rows=block_rows, block_cols=block_cols, prune=prune)
+                block_rows=block_rows, block_cols=block_cols, prune=prune,
+                dp_dtype=dp_dtype)
             best = exact.best
             computed += exact.cells_computed
             total += exact.total_time_s
@@ -227,6 +253,10 @@ def _run_single_heuristic(
             pruned_fraction = exact.pruned_fraction
             blocks_checked = exact.blocks_checked
             blocks_pruned = exact.blocks_pruned
+            dp_name = exact.dp_dtype
+            blocks_narrow = exact.blocks_narrow
+            blocks_wide = exact.blocks_wide
+            dtype_escalations = exact.dtype_escalations
 
     result = SingleGpuResult(
         best=best,
@@ -239,11 +269,19 @@ def _run_single_heuristic(
         mode=mode,
         tier=tier,
         escalated=escalated,
+        dp_dtype=dp_name,
+        blocks_narrow=blocks_narrow,
+        blocks_wide=blocks_wide,
+        dtype_escalations=dtype_escalations,
     )
     if metrics is not None:
         if mode == "auto":
             record_heuristic(metrics, backend="single",
                              tier=tier, escalated=escalated)
+        if dp_name != "int32":
+            record_dtype(metrics, device="single-gpu",
+                         narrow=blocks_narrow, wide=blocks_wide,
+                         escalations=dtype_escalations)
         finalize_run_metrics(
             metrics, backend="single",
             blocks_checked=blocks_checked, blocks_pruned=blocks_pruned,

@@ -47,7 +47,7 @@ from .multigpu import (
     time_multi_gpu,
 )
 from .perf import format_table, humanize_cells, humanize_time
-from .sw import KERNELS, align_local
+from .sw import DP_DTYPE_CHOICES, KERNELS, align_local
 from .sw.xdrop import DEFAULT_BAND_WIDTH, DEFAULT_XDROP_X, MODES
 
 #: Name -> preset mapping for --gpu flags.
@@ -158,6 +158,7 @@ def cmd_align(args: argparse.Namespace) -> int:
             mode=args.mode,
             band_width=args.band_width,
             xdrop_x=args.xdrop_x,
+            dp_dtype=args.dp_dtype,
             tracer=tracer,
             metrics=registry,
             heartbeat_s=heartbeat_s,
@@ -177,7 +178,7 @@ def cmd_align(args: argparse.Namespace) -> int:
                 "max_restarts": args.max_restarts,
                 "restart_backoff_s": args.restart_backoff_s,
                 "mode": args.mode, "band_width": args.band_width,
-                "xdrop_x": args.xdrop_x,
+                "xdrop_x": args.xdrop_x, "dp_dtype": args.dp_dtype,
             }
             _write_telemetry(args.telemetry, backend="process", config=config,
                              res=res, registry=registry, tracer=res.tracer,
@@ -190,7 +191,7 @@ def cmd_align(args: argparse.Namespace) -> int:
         cfg = ChainConfig(block_rows=args.block_rows, channel_capacity=args.buffer,
                           kernel=args.kernel, pruning=args.pruning,
                           mode=args.mode, band_width=args.band_width,
-                          xdrop_x=args.xdrop_x)
+                          xdrop_x=args.xdrop_x, dp_dtype=args.dp_dtype)
         t0 = time_mod.perf_counter()
         res = align_multi_gpu(a, b, seq.DNA_DEFAULT, devices, config=cfg,
                               tracer=tracer, metrics=registry)
@@ -202,7 +203,7 @@ def cmd_align(args: argparse.Namespace) -> int:
                 "block_rows": args.block_rows, "buffer": args.buffer,
                 "kernel": args.kernel, "pruning": args.pruning,
                 "mode": args.mode, "band_width": args.band_width,
-                "xdrop_x": args.xdrop_x,
+                "xdrop_x": args.xdrop_x, "dp_dtype": args.dp_dtype,
             }
             _write_telemetry(args.telemetry, backend="sim", config=config,
                              res=res, registry=registry, tracer=tracer,
@@ -241,14 +242,21 @@ def cmd_time(args: argparse.Namespace) -> int:
 
 def cmd_tune(args: argparse.Namespace) -> int:
     devices = _devices_from_args(args)
-    result = autotune(devices, args.rows, args.cols)
+    result = autotune(devices, args.rows, args.cols, measured=args.measured)
     print(f"devices: {', '.join(d.name for d in devices)}")
     print(f"matrix : {args.rows:,} x {args.cols:,}")
     print(f"choice : block_rows={result.config.block_rows} "
           f"buffer={result.config.channel_capacity}")
-    print(f"model  : {result.predicted_gcups:.2f} GCUPS predicted "
-          f"({humanize_time(result.predicted_total_s)}), "
+    mode = "measured (event simulator)" if result.measured else "analytic model"
+    print(f"model  : {result.predicted_gcups:.2f} GCUPS predicted by the "
+          f"{mode} ({humanize_time(result.predicted_total_s)}), "
           f"{result.evaluated} candidates evaluated")
+    if args.measured:
+        analytic = autotune(devices, args.rows, args.cols, measured=False)
+        print(f"analytic pick for comparison: "
+              f"block_rows={analytic.config.block_rows} "
+              f"buffer={analytic.config.channel_capacity} "
+              f"({analytic.predicted_gcups:.2f} GCUPS predicted)")
     if args.verify:
         sim = time_multi_gpu(args.rows, args.cols, devices, config=result.config)
         print(f"simulated: {sim.gcups:.2f} GCUPS ({humanize_time(sim.total_time_s)})")
@@ -404,6 +412,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--xdrop-x", type=int, default=DEFAULT_XDROP_X,
                    help="X-drop termination threshold for --mode xdrop "
                         f"(default {DEFAULT_XDROP_X})")
+    p.add_argument("--dp-dtype", choices=DP_DTYPE_CHOICES, default="auto",
+                   help="DP cell dtype: auto (default; narrowest type whose "
+                        "headroom guarantees no escalation), int32, or a "
+                        "saturating narrow type (int16/int8) with per-block "
+                        "escalation back to int32 on overflow — final scores "
+                        "are bit-identical either way")
     p.add_argument("--telemetry", metavar="DIR", default=None,
                    help="write the telemetry bundle (manifest.json, "
                         "metrics.json, metrics.prom, trace.json) into DIR")
@@ -440,6 +454,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("cols", type=int)
     p.add_argument("--verify", action="store_true",
                    help="also run the event simulator on the chosen config")
+    p.add_argument("--measured", action="store_true",
+                   help="score candidates with full event-simulator runs "
+                        "instead of the analytic pipeline model (slower, "
+                        "never worse on the simulated workload)")
     _add_device_args(p)
     p.set_defaults(func=cmd_tune)
 

@@ -1,4 +1,4 @@
-"""Configuration autotuning from the analytic chain model.
+"""Configuration autotuning: analytic model, measured sweeps, re-balancing.
 
 The chain has two tuning knobs the paper's system sets by hand: the block
 row height (border-segment granularity) and the circular-buffer capacity.
@@ -12,27 +12,64 @@ They trade off against each other:
 * **Buffer capacity ≥ 2** pipelines the two PCIe hops; beyond the point
   where the producer never blocks, more slots only cost host memory.
 
-``autotune`` evaluates the analytic model (``predict_chain``) over a
-candidate grid and returns the configuration minimising predicted total
-time, with the footprint constraint checked against device memory.  The
-benchmark ``X3`` validates the choice against the event simulator.
+Three tuners live here, cheapest first:
+
+* :func:`autotune` — evaluates the analytic model (``predict_chain``)
+  over a candidate grid and returns the configuration minimising
+  predicted total time, with the footprint constraint checked against
+  device memory.  With ``measured=True`` every surviving candidate is
+  instead **run** through the event simulator
+  (:func:`~repro.multigpu.chain.time_multi_gpu`) and judged on its
+  simulated makespan — slower per candidate, but exact with respect to
+  the simulator, so it can only match or beat the analytic pick on the
+  simulator's own workload (benchmark ``X3`` asserts exactly that).
+  Measured runs are memoised per (devices, matrix, grid) for the
+  process lifetime.
+* :func:`tune_device_kernel` — *wall-clock* calibration of the compute
+  kernel itself: short :func:`~repro.sw.blocks.compute_blocked` probes
+  per ``(block_rows, kernel, dp_dtype)`` candidate, with latencies
+  published through the standard
+  :class:`~repro.obs.instruments.EngineInstruments` into a fresh
+  :class:`~repro.obs.registry.MetricsRegistry` and read back from the
+  ``block_sweep_seconds`` histogram — the tuner consumes the same
+  telemetry the engines emit.  Results are memoised per
+  ``(device, scoring)`` key.
+* :func:`rebalance_weights` (+ :class:`ProgressRateSampler`,
+  :func:`estimate_capacities`) — the online half: while a
+  :class:`~repro.multigpu.pool.WorkerPool` comparison runs, the shared
+  progress board is sampled, per-worker capacity is estimated from the
+  observed row rate and compute share, and the pool's slab weights are
+  updated when the drift exceeds a threshold (INTERNALS.md section 11).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+import time
+from dataclasses import dataclass, field
 from typing import Sequence
+
+import numpy as np
 
 from ..device.spec import DeviceSpec
 from ..errors import ConfigError
-from .chain import ChainConfig
+from ..obs.instruments import SWEEP_BUCKETS, EngineInstruments
+from ..obs.registry import MetricsRegistry
+from ..seq.scoring import Scoring
+from ..sw.blocks import compute_blocked
+from ..sw.constants import get_policy
+from .chain import ChainConfig, time_multi_gpu
 from .overlap import predict_chain, segment_bytes
-from .partition import proportional_partition
+from .partition import Slab, proportional_partition
 
 #: Candidate block-row heights (powers of two spanning the practical range).
 DEFAULT_BLOCK_ROWS = (256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
 #: Candidate circular-buffer capacities.
 DEFAULT_CAPACITIES = (2, 4, 8, 16)
+#: Calibration candidates for :func:`tune_device_kernel`.
+DEFAULT_CALIBRATION_BLOCK_ROWS = (128, 256, 512)
+DEFAULT_CALIBRATION_KERNELS = ("scalar", "batched")
+DEFAULT_CALIBRATION_DTYPES = ("int32", "int16", "int8")
 
 
 @dataclass(frozen=True)
@@ -43,18 +80,47 @@ class TuneResult:
     predicted_total_s: float
     predicted_gcups: float
     evaluated: int
+    #: True when the forecast came from simulator runs, not the model.
+    measured: bool = False
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        how = "measured" if self.measured else "predicted"
         return (
             f"block_rows={self.config.block_rows} "
             f"capacity={self.config.channel_capacity} "
-            f"→ {self.predicted_gcups:.2f} GCUPS predicted"
+            f"→ {self.predicted_gcups:.2f} GCUPS {how}"
         )
 
 
 def border_footprint_bytes(block_rows: int, capacity: int, device_slots: int) -> int:
     """Host+device bytes one channel needs for its buffering."""
     return segment_bytes(block_rows) * (capacity + 2 * device_slots)
+
+
+def _devices_key(devices: Sequence[DeviceSpec]) -> tuple:
+    """Hashable identity of a device list (every model-relevant field)."""
+    return tuple(
+        (d.name, d.gcups, d.pcie_gbps, d.pcie_latency_s, d.mem_bytes,
+         d.saturation_cols, d.copy_engines)
+        for d in devices
+    )
+
+
+def _scoring_key(scoring: Scoring) -> tuple:
+    return (scoring.match, scoring.mismatch,
+            scoring.gap_open, scoring.gap_extend)
+
+
+#: Process-lifetime memo for measured ``autotune`` runs.
+_MEASURED_CACHE: dict[tuple, TuneResult] = {}
+#: Process-lifetime memo for :func:`tune_device_kernel` calibrations.
+_CALIBRATION_CACHE: dict[tuple, "DeviceKernelChoice"] = {}
+
+
+def clear_tuner_caches() -> None:
+    """Drop both memo caches (tests, or after device specs change)."""
+    _MEASURED_CACHE.clear()
+    _CALIBRATION_CACHE.clear()
 
 
 def autotune(
@@ -66,8 +132,18 @@ def autotune(
     capacity_candidates: Sequence[int] = DEFAULT_CAPACITIES,
     device_slots: int = 2,
     host_buffer_limit_bytes: int | None = None,
+    measured: bool = False,
 ) -> TuneResult:
-    """Pick ``(block_rows, channel_capacity)`` minimising predicted time.
+    """Pick ``(block_rows, channel_capacity)`` minimising total time.
+
+    The default judges candidates on the analytic model
+    (:func:`~repro.multigpu.overlap.predict_chain`); ``measured=True``
+    runs every surviving candidate through the event simulator
+    (:func:`~repro.multigpu.chain.time_multi_gpu`) and judges the
+    simulated makespan instead — by construction it can only match or
+    beat the analytic pick *on the simulator*, at the cost of one
+    phantom run per candidate (milliseconds each; results are memoised
+    for the process lifetime).
 
     Ties break toward smaller memory footprint (fewer slots, then smaller
     blocks).  Raises :class:`ConfigError` when no candidate fits the
@@ -77,6 +153,15 @@ def autotune(
         raise ConfigError("need at least one device")
     if rows <= 0 or cols <= 0:
         raise ConfigError("matrix dimensions must be positive")
+    cache_key = None
+    if measured:
+        cache_key = (_devices_key(devices), rows, cols,
+                     tuple(sorted(block_rows_candidates)),
+                     tuple(sorted(capacity_candidates)),
+                     device_slots, host_buffer_limit_bytes)
+        hit = _MEASURED_CACHE.get(cache_key)
+        if hit is not None:
+            return hit
     slabs = proportional_partition(cols, [d.gcups for d in devices])
 
     best: TuneResult | None = None
@@ -90,20 +175,304 @@ def autotune(
                     continue
             cfg = ChainConfig(block_rows=br, channel_capacity=cap,
                               device_slots=device_slots)
-            pred = predict_chain(devices, slabs, rows, cfg)
+            if measured:
+                total_s = time_multi_gpu(rows, cols, devices,
+                                         config=cfg).total_time_s
+            else:
+                total_s = predict_chain(devices, slabs, rows, cfg).total_s
             evaluated += 1
-            if best is None or pred.total_s < best.predicted_total_s * (1 - 1e-12):
+            if best is None or total_s < best.predicted_total_s * (1 - 1e-12):
                 best = TuneResult(
                     config=cfg,
-                    predicted_total_s=pred.total_s,
-                    predicted_gcups=rows * cols / pred.total_s / 1e9,
+                    predicted_total_s=total_s,
+                    predicted_gcups=rows * cols / total_s / 1e9,
                     evaluated=0,
+                    measured=measured,
                 )
     if best is None:
         raise ConfigError("no feasible configuration among the candidates")
-    return TuneResult(
+    result = TuneResult(
         config=best.config,
         predicted_total_s=best.predicted_total_s,
         predicted_gcups=best.predicted_gcups,
         evaluated=evaluated,
+        measured=measured,
+    )
+    if cache_key is not None:
+        _MEASURED_CACHE[cache_key] = result
+    return result
+
+
+# -- wall-clock kernel calibration -------------------------------------------
+
+@dataclass(frozen=True)
+class DeviceKernelChoice:
+    """One device's measured kernel pick.
+
+    ``table`` holds every probed candidate as
+    ``(kernel, block_rows, dp_dtype) -> mean seconds per block row`` so
+    callers (and the benchmark report) can see the margins, not just the
+    winner.
+    """
+
+    device: str
+    kernel: str
+    block_rows: int
+    dp_dtype: str
+    seconds_per_block: float
+    cells_per_second: float
+    table: dict = field(default_factory=dict)
+
+
+def tune_device_kernel(
+    spec: DeviceSpec,
+    scoring: Scoring,
+    *,
+    block_rows_candidates: Sequence[int] = DEFAULT_CALIBRATION_BLOCK_ROWS,
+    kernels: Sequence[str] = DEFAULT_CALIBRATION_KERNELS,
+    dp_dtypes: Sequence[str] = DEFAULT_CALIBRATION_DTYPES,
+    probe_cols: int = 1024,
+    repeats: int = 2,
+    seed: int = 0,
+) -> DeviceKernelChoice:
+    """Measure the host kernel across ``(block_rows, kernel, dp_dtype)``.
+
+    Runs short random-sequence :func:`~repro.sw.blocks.compute_blocked`
+    probes for every candidate, publishing each sweep's wall-clock
+    latency through :class:`~repro.obs.instruments.EngineInstruments`
+    into a private :class:`~repro.obs.registry.MetricsRegistry`, then
+    reads the ``block_sweep_seconds`` histogram back (sum / count) to
+    rank candidates by throughput — the tuner measures through the same
+    telemetry pipe the engines report through.
+
+    Narrow dtypes that cannot support the scoring scheme at the probe
+    width are skipped (not an error: the point of calibration is to find
+    what *this* scheme admits).  The winner maximises probed cells per
+    second.  Results are memoised per ``(device, scoring, grid)`` key
+    for the process lifetime.
+    """
+    if repeats <= 0:
+        raise ConfigError("repeats must be positive")
+    if probe_cols <= 0:
+        raise ConfigError("probe_cols must be positive")
+    cache_key = (_devices_key([spec]), _scoring_key(scoring),
+                 tuple(block_rows_candidates), tuple(kernels),
+                 tuple(dp_dtypes), probe_cols, repeats, seed)
+    hit = _CALIBRATION_CACHE.get(cache_key)
+    if hit is not None:
+        return hit
+
+    rng = np.random.default_rng(seed)
+    table: dict[tuple, float] = {}
+    best_key: tuple | None = None
+    best_rate = 0.0
+    for br in block_rows_candidates:
+        rows = int(br)
+        a = rng.integers(0, 4, rows, dtype=np.int64).astype(np.int8)
+        b = rng.integers(0, 4, probe_cols, dtype=np.int64).astype(np.int8)
+        for kernel in kernels:
+            for dd in dp_dtypes:
+                eff_w = probe_cols
+                policy = get_policy(dd)
+                if policy.narrow and (
+                        not policy.supports(scoring)
+                        or eff_w > policy.max_width(scoring)):
+                    continue  # this scheme cannot host the narrow probe
+                registry = MetricsRegistry()
+                instruments = EngineInstruments(registry, spec.name)
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    compute_blocked(a, b, scoring, block_rows=rows,
+                                    block_cols=probe_cols, kernel=kernel,
+                                    dp_dtype=dd)
+                    instruments.block_computed(time.perf_counter() - t0,
+                                               cells=rows * probe_cols)
+                hist = registry.histogram("block_sweep_seconds",
+                                          buckets=SWEEP_BUCKETS)
+                mean_s = (hist.sum(device=spec.name)
+                          / max(1, hist.count(device=spec.name)))
+                table[(kernel, rows, dd)] = mean_s
+                rate = rows * probe_cols / mean_s if mean_s > 0 else 0.0
+                if best_key is None or rate > best_rate:
+                    best_key, best_rate = (kernel, rows, dd), rate
+    if best_key is None:
+        raise ConfigError("no feasible calibration candidate")
+    choice = DeviceKernelChoice(
+        device=spec.name,
+        kernel=best_key[0],
+        block_rows=best_key[1],
+        dp_dtype=best_key[2],
+        seconds_per_block=table[best_key],
+        cells_per_second=best_rate,
+        table=table,
+    )
+    _CALIBRATION_CACHE[cache_key] = choice
+    return choice
+
+
+# -- online slab re-balancing -------------------------------------------------
+
+class ProgressRateSampler:
+    """Background sampler over a :class:`~repro.comm.progress.ProgressBoard`.
+
+    Polls the board on a short interval, accumulating per worker the
+    number of samples seen in each phase and the ``(time, rows_done)``
+    trajectory endpoints.  Everything is read-only on the shared memory
+    (the board is single-writer per slot), so the sampler can run beside
+    a live chain with no coordination.
+
+    :meth:`rates` gives observed matrix rows per second per worker;
+    :meth:`compute_shares` the fraction of samples caught in the
+    ``compute`` phase — low share means the worker spent its time
+    waiting on a border, i.e. it has spare capacity.
+    """
+
+    def __init__(self, board, interval_s: float = 0.02) -> None:
+        if interval_s <= 0:
+            raise ConfigError("interval_s must be positive")
+        self._board = board
+        self._interval = interval_s
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        n = board.n_slots
+        self._phase_counts: list[dict[str, int]] = [dict() for _ in range(n)]
+        self._first: list[tuple[float, int] | None] = [None] * n
+        self._last: list[tuple[float, int] | None] = [None] * n
+        self.samples = 0
+
+    @property
+    def workers(self) -> int:
+        return len(self._first)
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="mgsw-rate-sampler")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.sample_once()
+            self._stop.wait(self._interval)
+
+    def sample_once(self) -> None:
+        """Take one sample (also usable synchronously, e.g. from tests)."""
+        now = time.monotonic()
+        for s in self._board.snapshot():
+            if not s.started:
+                continue
+            counts = self._phase_counts[s.worker]
+            counts[s.phase] = counts.get(s.phase, 0) + 1
+            if self._first[s.worker] is None:
+                self._first[s.worker] = (now, s.rows_done)
+            self._last[s.worker] = (now, s.rows_done)
+        self.samples += 1
+
+    def rates(self) -> list[float]:
+        """Observed rows/s per worker (0.0 with <2 samples or no motion)."""
+        out = []
+        for first, last in zip(self._first, self._last):
+            if first is None or last is None or last[0] <= first[0]:
+                out.append(0.0)
+                continue
+            out.append(max(0.0, (last[1] - first[1]) / (last[0] - first[0])))
+        return out
+
+    def compute_shares(self) -> list[float]:
+        """Fraction of samples caught in the ``compute`` phase, per worker."""
+        out = []
+        for counts in self._phase_counts:
+            total = sum(counts.values())
+            out.append(counts.get("compute", 0) / total if total else 0.0)
+        return out
+
+
+@dataclass(frozen=True)
+class RebalanceDecision:
+    """Outcome of one re-balance check (fired or not, with the evidence)."""
+
+    fired: bool
+    drift: float
+    threshold: float
+    old_weights: tuple[float, ...]
+    new_weights: tuple[float, ...]
+    capacities: tuple[float, ...]
+
+
+def estimate_capacities(sampler: ProgressRateSampler,
+                        slabs: Sequence[Slab],
+                        *,
+                        min_share: float = 0.02) -> list[float]:
+    """Per-worker capacity estimates from one run's progress samples.
+
+    A worker sweeping ``cols_g`` columns at ``rate_g`` rows/s pushes
+    ``cols_g * rate_g`` cells/s *while computing*; dividing by its
+    compute share projects what it could sustain if never starved —
+    the paper's per-device throughput, observed instead of declared.
+    Shares are floored at *min_share* so a worker the sampler barely
+    caught computing doesn't produce an absurd estimate.  Workers with
+    no observed motion fall back to their slab-width share (neutral:
+    they neither gain nor lose columns).
+    """
+    # The board may carry more slots than live workers (a pool that shrank
+    # through recovery keeps its construction-time board), so only the
+    # leading ``len(slabs)`` slots are read.
+    if len(slabs) > sampler.workers:
+        raise ConfigError("more slabs than sampler slots")
+    rates = sampler.rates()[:len(slabs)]
+    shares = sampler.compute_shares()[:len(slabs)]
+    caps = []
+    for slab, rate, share in zip(slabs, rates, shares):
+        if rate <= 0.0:
+            caps.append(float(slab.cols))  # neutral: keep current share
+            continue
+        caps.append(slab.cols * rate / max(share, min_share))
+    return caps
+
+
+def rebalance_weights(
+    weights: Sequence[float],
+    capacities: Sequence[float],
+    *,
+    threshold: float = 0.25,
+    floor: float = 0.05,
+) -> RebalanceDecision:
+    """Decide whether measured *capacities* warrant new slab *weights*.
+
+    Drift is the largest relative gap between a worker's current weight
+    share and its capacity share; the decision fires when it exceeds
+    *threshold*.  New weights are the capacity shares floored at *floor*
+    (no worker is starved to zero — it could never demonstrate recovered
+    speed with an empty slab).  Pure arithmetic, deterministic, and
+    side-effect free: callers apply ``new_weights`` themselves.
+    """
+    if len(weights) != len(capacities):
+        raise ConfigError("weights and capacities must have equal length")
+    if not weights:
+        raise ConfigError("need at least one worker")
+    if threshold <= 0:
+        raise ConfigError("threshold must be positive")
+    w_total = float(sum(weights))
+    c_total = float(sum(capacities))
+    if w_total <= 0 or c_total <= 0:
+        raise ConfigError("weights and capacities must sum positive")
+    w_shares = [w / w_total for w in weights]
+    c_shares = [max(c / c_total, floor) for c in capacities]
+    c_norm = sum(c_shares)
+    c_shares = [c / c_norm for c in c_shares]
+    drift = max(abs(c - w) / w if w > 0 else float("inf")
+                for w, c in zip(w_shares, c_shares))
+    fired = drift > threshold
+    return RebalanceDecision(
+        fired=fired,
+        drift=drift,
+        threshold=threshold,
+        old_weights=tuple(weights),
+        new_weights=tuple(c_shares if fired else w_shares),
+        capacities=tuple(capacities),
     )

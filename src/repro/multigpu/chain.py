@@ -42,7 +42,7 @@ from ..obs.instruments import (EngineInstruments, finalize_run_metrics,
 from ..seq.scoring import Scoring
 from ..sw.batched import BlockJob, KernelWorkspace, cached_profile, sweep_wavefront, validate_kernel
 from ..sw.blocks import BlockSpec, pruned_border_result
-from ..sw.constants import DTYPE, NEG_INF
+from ..sw.constants import DTYPE, NEG_INF, DpPolicy, resolve_dp_dtype, validate_dp_dtype
 from ..sw.kernel import BestCell, sweep_block
 from ..sw.pruning import BlockPruner
 from ..sw.xdrop import (DEFAULT_BAND_WIDTH, DEFAULT_XDROP_X, assess_heuristic,
@@ -100,6 +100,13 @@ class ChainConfig:
         Half-width of the static band for ``mode="banded"``/``"auto"``.
     xdrop_x:
         Drop threshold for ``mode="xdrop"``.
+    dp_dtype:
+        Kernel-internal DP dtype policy (compute mode): ``"auto"``
+        (default) resolves to the narrowest dtype guaranteed overflow-free
+        for the widest slab, ``"int32"``/``"int16"``/``"int8"`` force a
+        policy (narrow ones escalate overflowing blocks back to int32 per
+        block; scores stay bit-identical).  Borders stay int32 on the
+        wire either way.
     """
 
     block_rows: int = 512
@@ -111,6 +118,7 @@ class ChainConfig:
     mode: str = "exact"
     band_width: int = DEFAULT_BAND_WIDTH
     xdrop_x: int = DEFAULT_XDROP_X
+    dp_dtype: str = "auto"
 
     def __post_init__(self) -> None:
         if self.block_rows <= 0:
@@ -125,6 +133,7 @@ class ChainConfig:
             raise ConfigError("band_width must be >= 0")
         if self.xdrop_x <= 0:
             raise ConfigError("xdrop_x must be positive")
+        validate_dp_dtype(self.dp_dtype)
 
 
 class MatrixWorkload:
@@ -168,6 +177,11 @@ class GpuReport:
     #: Slab block rows skipped because they miss the static band
     #: (``ChainConfig.mode == "banded"`` only).
     blocks_skipped_band: int = 0
+    #: Narrow/wide split of this device's swept blocks (zeros unless a
+    #: narrow DP dtype policy was active).
+    blocks_narrow: int = 0
+    blocks_wide: int = 0
+    dtype_escalations: int = 0
 
 
 @dataclass
@@ -194,6 +208,9 @@ class ChainResult:
     mode: str = "exact"
     tier: str = "exact"
     escalated: bool = False
+    #: DP dtype policy the run resolved to (compute mode; phantom runs
+    #: and the xdrop tier report the int32 default).
+    dp_dtype: str = "int32"
 
     @property
     def gcups(self) -> float:
@@ -218,6 +235,21 @@ class ChainResult:
     def blocks_skipped_band(self) -> int:
         """Slab block rows skipped by the static band (0 unless banded)."""
         return sum(g.blocks_skipped_band for g in self.gpus)
+
+    @property
+    def blocks_narrow(self) -> int:
+        """Blocks the narrow DP kernel answered (0 on int32 runs)."""
+        return sum(g.blocks_narrow for g in self.gpus)
+
+    @property
+    def blocks_wide(self) -> int:
+        """Blocks computed wide despite a narrow policy."""
+        return sum(g.blocks_wide for g in self.gpus)
+
+    @property
+    def dtype_escalations(self) -> int:
+        """Narrow sweeps recomputed in int32 after overflow detection."""
+        return sum(g.dtype_escalations for g in self.gpus)
 
     @property
     def pruned_ratio(self) -> float:
@@ -307,6 +339,21 @@ class MultiGpuChain:
         slabs = self.partition_for(n)
         if len(slabs) != len(self.specs):
             raise ConfigError("partition size != device count")
+
+        # DP dtype policy (compute mode): resolved once for the run, with
+        # the *widest* slab as the effective sweep width — every device
+        # then shares one policy, so borders and escalation semantics are
+        # uniform across the chain.
+        dp_policy: DpPolicy | None = None
+        dp_name = "int32"
+        if not workload.phantom:
+            eff_cols = max(s.cols for s in slabs)
+            policy = resolve_dp_dtype(cfg.dp_dtype, workload.scoring,
+                                      block_cols=eff_cols, m=m, n=n,
+                                      local=True)
+            dp_name = policy.name
+            dp_policy = policy if policy.narrow else None
+        dtype_counts = [[0, 0, 0] for _ in self.specs]  # narrow, wide, esc
 
         start_row = 0
         elapsed_before = 0.0
@@ -452,11 +499,14 @@ class MultiGpuChain:
                                      hl=h_left, el=e_left, c=corner):
                                 job = BlockJob(a, p, ht, ft, hl, el, c)
                                 return sweep_wavefront([job], scoring, local=True,
-                                                       workspace=workspace)[0]
+                                                       workspace=workspace,
+                                                       dp=dp_policy)[0]
                         else:
                             def work(a=a_slice, p=p_slice, ht=ht, ft=ft,
                                      hl=h_left, el=e_left, c=corner):
-                                return sweep_block(a, p, ht, ft, hl, el, c, scoring, local=True)
+                                return sweep_block(a, p, ht, ft, hl, el, c,
+                                                   scoring, local=True,
+                                                   dp=dp_policy)
 
                 if not pruned:
                     t_c0 = engine.now
@@ -464,6 +514,16 @@ class MultiGpuChain:
                     if instruments is not None:
                         instruments[g].block_computed(engine.now - t_c0,
                                                       cells=rows * w)
+                    if dp_policy is not None and not workload.phantom:
+                        narrow = int(result.dtype == dp_policy.name)
+                        esc = int(result.escalated)
+                        dtype_counts[g][0] += narrow
+                        dtype_counts[g][1] += 1 - narrow
+                        dtype_counts[g][2] += esc
+                        if instruments is not None:
+                            instruments[g].block_dtype(
+                                narrow=narrow, wide=1 - narrow,
+                                escalations=esc)
 
                 if not workload.phantom:
                     h_top = result.h_bottom
@@ -511,7 +571,10 @@ class MultiGpuChain:
                       finished_at=finished_at[g],
                       blocks_checked=pruners[g].blocks_checked if pruners else 0,
                       blocks_pruned=pruners[g].blocks_pruned if pruners else 0,
-                      blocks_skipped_band=band_skips[g])
+                      blocks_skipped_band=band_skips[g],
+                      blocks_narrow=dtype_counts[g][0],
+                      blocks_wide=dtype_counts[g][1],
+                      dtype_escalations=dtype_counts[g][2])
             for g in range(len(gpus))
         ]
         checkpoint = None
@@ -539,6 +602,7 @@ class MultiGpuChain:
             checkpoint=checkpoint,
             mode=cfg.mode,
             tier="banded" if cfg.mode == "banded" else "exact",
+            dp_dtype=dp_name,
         )
         if metrics is not None and _finalize_metrics:
             finalize_run_metrics(

@@ -49,6 +49,7 @@ from ..obs.instruments import (EngineInstruments, finalize_run_metrics,
 from ..obs.registry import MetricsRegistry
 from ..seq.scoring import Scoring
 from ..sw.batched import KernelWorkspace, validate_kernel
+from ..sw.constants import resolve_dp_dtype, validate_dp_dtype
 from ..sw.kernel import BestCell
 from ..sw.pruning import BlockPruner
 from ..sw.xdrop import (DEFAULT_BAND_WIDTH, DEFAULT_XDROP_X, assess_heuristic,
@@ -80,8 +81,10 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
     The task tuple's tail carries the recovery fields: *resume_state*
     (``(start_row, h_init, f_init)`` or ``None``), the per-attempt
     *checkpoints* area (attached on unpickle, closed after the task),
-    *checkpoint_blocks*, the test-only *fault_block* crash hook, and the
-    static *band_half_width* (``None`` unless ``mode="banded"``).
+    *checkpoint_blocks*, the test-only *fault_block* crash hook, the
+    static *band_half_width* (``None`` unless ``mode="banded"``), and the
+    narrow :class:`~repro.sw.constants.DpPolicy` *dp* (``None`` for plain
+    int32; the tiny frozen dataclass pickles cleanly).
     """
     workspace = KernelWorkspace()  # persists across comparisons
     while True:
@@ -91,7 +94,7 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
         (a_codes, b_slab, slab, scoring, block_rows, origin,
          border_timeout_s, kernel, n_cols, pruning, collect_metrics,
          resume_state, checkpoints, checkpoint_blocks, fault_block,
-         band_half_width) = task
+         band_half_width, dp) = task
         recorder = WallClockRecorder(origin)
         registry = MetricsRegistry() if collect_metrics else None
         instruments = (EngineInstruments(registry, f"worker{worker_id}")
@@ -114,17 +117,19 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
                                  start_row=start_row, h_init=h_init,
                                  f_init=f_init, checkpoints=checkpoints,
                                  checkpoint_blocks=checkpoint_blocks,
-                                 band_half_width=band_half_width)
+                                 band_half_width=band_half_width, dp=dp)
             best = outcome.best
             result_queue.put(
                 (worker_id, best.score, best.row, best.col,
                  outcome.blocks_checked, outcome.blocks_pruned,
                  outcome.blocks_skipped_band,
+                 outcome.blocks_narrow, outcome.blocks_wide,
+                 outcome.dtype_escalations,
                  registry.snapshot() if registry is not None else None,
                  None, recorder.records))
         except Exception as exc:
             result_queue.put(
-                (worker_id, 0, -1, -1, 0, 0, 0,
+                (worker_id, 0, -1, -1, 0, 0, 0, 0, 0, 0,
                  registry.snapshot() if registry is not None else None,
                  repr(exc), recorder.records))
             if checkpoints is not None:
@@ -186,6 +191,10 @@ class WorkerPool:
         self.start_method = self._ctx.get_start_method()
         self._broken = False
         self._closed = False
+
+        #: Last :class:`~repro.multigpu.autotune.RebalanceDecision` made by
+        #: an ``align(rebalance=True)`` run (``None`` until one completes).
+        self.last_rebalance = None
 
         # One scoreboard for the pool's lifetime (reset per pruning run).
         # Sized for the initial worker count — a recovery re-spawn only
@@ -355,6 +364,9 @@ class WorkerPool:
         mode: str = "exact",
         band_width: int = DEFAULT_BAND_WIDTH,
         xdrop_x: int = DEFAULT_XDROP_X,
+        dp_dtype: str = "auto",
+        rebalance: bool = False,
+        rebalance_threshold: float = 0.25,
         _fault: tuple[int, int] | None = None,
         _finalize_metrics: bool = True,
     ) -> ProcessChainResult:
@@ -390,6 +402,21 @@ class WorkerPool:
         the policy is exhausted or the failure is permanent.  ``_fault``
         is the test-only ``(worker_id, block_index)`` crash hook, first
         attempt only.
+
+        *dp_dtype* selects the kernel-internal DP dtype exactly as in
+        :func:`~repro.multigpu.procchain.align_multi_process` (resolved
+        per attempt against the widest slab; bit-identical scores).
+
+        Online re-balancing: with ``rebalance=True`` the comparison's
+        progress board is sampled while the chain runs, per-worker
+        capacity is estimated from each worker's observed row rate and
+        compute share, and when the estimated capacity shares drift from
+        ``self.weights`` by more than *rebalance_threshold* (relative)
+        the pool's weights are updated **for subsequent comparisons** —
+        the paper's heterogeneous slab split, measured instead of
+        declared.  The decision is recorded on ``self.last_rebalance``
+        and, when *metrics* is given, as a ``slab_rebalances`` counter
+        plus per-worker ``worker_rows_per_s`` gauges.
         """
         if self._closed:
             raise ConfigError("pool is closed")
@@ -397,8 +424,11 @@ class WorkerPool:
             raise ConfigError("pool is broken by an earlier failure")
         validate_kernel(kernel)
         validate_mode(mode)
+        validate_dp_dtype(dp_dtype)
         if band_width < 0:
             raise ConfigError("band_width must be non-negative")
+        if rebalance_threshold <= 0:
+            raise ConfigError("rebalance_threshold must be positive")
         if xdrop_x <= 0:
             raise ConfigError("xdrop_x must be positive")
         if a_codes.size == 0 or b_codes.size == 0:
@@ -426,7 +456,9 @@ class WorkerPool:
                 pruning=pruning, metrics=metrics, heartbeat_s=heartbeat_s,
                 on_stall=on_stall, max_restarts=max_restarts,
                 restart_backoff_s=restart_backoff_s, retry=retry,
-                checkpoint_blocks=checkpoint_blocks, band_width=band_width)
+                checkpoint_blocks=checkpoint_blocks, band_width=band_width,
+                dp_dtype=dp_dtype, rebalance=rebalance,
+                rebalance_threshold=rebalance_threshold)
         band_half_width = band_width if mode == "banded" else None
         if block_rows <= 0:
             raise ConfigError("block_rows must be positive")
@@ -450,11 +482,19 @@ class WorkerPool:
         resume: tuple | None = None          # (row, h_full, f_full)
         base_best = BestCell.none()
         base_checked = base_pruned = 0
+        dp_name = "int32"
+        total_narrow = total_wide = total_esc = 0
         checkpoints: CheckpointArea | None = None
         origin = time.perf_counter()
         try:
             while True:
                 slabs = proportional_partition(n, self.weights)
+                dp_policy = resolve_dp_dtype(
+                    dp_dtype, scoring,
+                    block_cols=max(s.cols for s in slabs), m=m, n=n,
+                    local=True)
+                dp_name = dp_policy.name
+                dp = dp_policy if dp_policy.narrow else None
                 if pruning:
                     # Safe: no comparison is in flight here (align is serial
                     # and the previous run's workers have all reported).
@@ -481,7 +521,7 @@ class WorkerPool:
                          scoring, block_rows, origin, self.border_timeout_s,
                          kernel, n, pruning, metrics is not None,
                          resume_state, checkpoints, checkpoint_blocks,
-                         fault_block, band_half_width))
+                         fault_block, band_half_width, dp))
 
                 describe = lambda g: f"pool worker {g}"  # noqa: E731
                 monitor = None
@@ -503,6 +543,11 @@ class WorkerPool:
                         on_hard_stall=on_hard, metrics=metrics)
                     monitor.start()
                     describe = lambda g: f"pool worker {g} ({monitor.describe(g)})"  # noqa: E731
+                sampler = None
+                if rebalance:
+                    from .autotune import ProgressRateSampler
+                    sampler = ProgressRateSampler(self._progress)
+                    sampler.start()
                 try:
                     deadline = time.monotonic() + timeout_s
                     messages, failures = collect_results(
@@ -510,6 +555,8 @@ class WorkerPool:
                         set(range(self.workers)), deadline, describe=describe)
                     wall = time.perf_counter() - origin
                 finally:
+                    if sampler is not None:
+                        sampler.stop()
                     if monitor is not None:
                         monitor.stop()
 
@@ -518,12 +565,15 @@ class WorkerPool:
                 attempt_skipped_band = 0
                 for g in sorted(messages):
                     (_wid, score, row, col, checked, pruned, skipped_band,
-                     msnap, _err, records) = messages[g]
+                     narrow, wide, esc, msnap, _err, records) = messages[g]
                     merge_wall_records(result_tracer, f"worker{g}", records)
                     if metrics is not None and msnap is not None:
                         metrics.merge_snapshot(msnap)
                     worker_blocks.append((int(checked), int(pruned)))
                     attempt_skipped_band += int(skipped_band)
+                    total_narrow += int(narrow)
+                    total_wide += int(wide)
+                    total_esc += int(esc)
                     cell = BestCell(score, row, col)
                     if cell.better_than(attempt_best):
                         attempt_best = cell
@@ -532,6 +582,9 @@ class WorkerPool:
                     if checkpoints is not None:
                         checkpoints.unlink()
                         checkpoints = None
+                    if sampler is not None:
+                        self._apply_rebalance(sampler, slabs,
+                                              rebalance_threshold, metrics)
                     best = (attempt_best
                             if attempt_best.better_than(base_best)
                             else base_best)
@@ -552,6 +605,10 @@ class WorkerPool:
                         mode=mode,
                         tier="banded" if mode == "banded" else "exact",
                         blocks_skipped_band=attempt_skipped_band,
+                        dp_dtype=dp_name,
+                        blocks_narrow=total_narrow,
+                        blocks_wide=total_wide,
+                        dtype_escalations=total_esc,
                     )
                     if metrics is not None and _finalize_metrics:
                         finalize_run_metrics(
@@ -613,6 +670,32 @@ class WorkerPool:
         finally:
             if checkpoints is not None:
                 checkpoints.unlink()
+
+    def _apply_rebalance(self, sampler, slabs, threshold, metrics) -> None:
+        """Act on one comparison's progress samples: estimate per-worker
+        capacity from observed row rate and compute share, update
+        ``self.weights`` when the drift against the current shares
+        exceeds *threshold* (relative).  Applies to *subsequent*
+        comparisons only — the finished one already ran."""
+        from .autotune import estimate_capacities, rebalance_weights
+
+        capacities = estimate_capacities(sampler, slabs)
+        decision = rebalance_weights(self.weights, capacities,
+                                     threshold=threshold)
+        self.last_rebalance = decision
+        if metrics is not None:
+            gauge = metrics.gauge(
+                "worker_rows_per_s",
+                help="observed matrix-row completion rate per pool worker")
+            for g, rate in enumerate(sampler.rates()):
+                gauge.set(rate, device=f"worker{g}")
+        if decision.fired:
+            self.weights = list(decision.new_weights)
+            if metrics is not None:
+                metrics.counter(
+                    "slab_rebalances",
+                    help="pool weight updates fired by online re-balancing",
+                ).inc(1, backend="pool")
 
     def _align_auto(
         self,

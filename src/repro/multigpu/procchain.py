@@ -65,7 +65,8 @@ from ..perf.metrics import gcups as _metrics_gcups
 from ..seq.scoring import Scoring
 from ..sw.batched import BlockJob, KernelWorkspace, cached_profile, sweep_wavefront, validate_kernel
 from ..sw.blocks import BlockSpec, pruned_border_result
-from ..sw.constants import DTYPE, NEG_INF
+from ..sw.constants import (DTYPE, NEG_INF, DpPolicy, resolve_dp_dtype,
+                            validate_dp_dtype)
 from ..sw.kernel import BestCell, sweep_block
 from ..sw.pruning import BlockPruner
 from ..sw.xdrop import (DEFAULT_BAND_WIDTH, DEFAULT_XDROP_X, assess_heuristic,
@@ -167,6 +168,12 @@ class ProcessChainResult:
     tier: str = "exact"
     escalated: bool = False
     blocks_skipped_band: int = 0
+    #: DP dtype policy the run resolved to and its chain-wide
+    #: narrow/wide block split (zeros on plain int32 runs).
+    dp_dtype: str = "int32"
+    blocks_narrow: int = 0
+    blocks_wide: int = 0
+    dtype_escalations: int = 0
 
     @property
     def score(self) -> int:
@@ -219,6 +226,9 @@ class SlabOutcome:
     blocks_checked: int = 0
     blocks_pruned: int = 0
     blocks_skipped_band: int = 0
+    blocks_narrow: int = 0
+    blocks_wide: int = 0
+    dtype_escalations: int = 0
 
 
 def sweep_slab(
@@ -246,6 +256,7 @@ def sweep_slab(
     checkpoints: CheckpointArea | None = None,
     checkpoint_blocks: int = 1,
     band_half_width: int | None = None,
+    dp: DpPolicy | None = None,
 ) -> SlabOutcome:
     """One slab's sweep loop (the body of every real-process worker).
 
@@ -291,6 +302,11 @@ def sweep_slab(
     ``[start_row, start_row + rows)`` and its first corner is
     ``h_init[-1]`` — exactly ``H[start_row-1, col0-1]`` of its right
     neighbour's view.
+
+    DP dtype: *dp* (a narrow :class:`~repro.sw.constants.DpPolicy`,
+    resolved by the parent so the whole chain shares one policy) routes
+    eligible block sweeps through the narrow kernel; overflowing blocks
+    escalate to int32 transparently.  Borders stay int32 on the wire.
     """
     profile = cached_profile(b_slab, scoring)
     if kernel == "batched" and workspace is None:
@@ -311,6 +327,7 @@ def sweep_slab(
     best = BestCell.none()
     ckpt_stride = max(1, int(checkpoint_blocks)) * block_rows
     blocks_skipped_band = 0
+    blocks_narrow = blocks_wide = dtype_escalations = 0
 
     row_edges = list(range(start_row, m, block_rows)) + [m]
     for block_index, (r0, r1) in enumerate(zip(row_edges, row_edges[1:])):
@@ -372,16 +389,25 @@ def sweep_slab(
                     job = BlockJob(a_codes[r0:r1], profile, h_top, f_top,
                                    h_left, e_left, corner)
                     result = sweep_wavefront([job], scoring, local=True,
-                                             workspace=workspace)[0]
+                                             workspace=workspace, dp=dp)[0]
                 else:
                     result = sweep_block(
                         a_codes[r0:r1], profile, h_top, f_top, h_left, e_left,
-                        corner, scoring, local=True,
+                        corner, scoring, local=True, dp=dp,
                     )
             if instruments is not None:
                 _, span_start, span_end = recorder.records[-1]
                 instruments.block_computed(span_end - span_start,
                                            cells=rows * w)
+            if dp is not None:
+                narrow = int(result.dtype == dp.name)
+                esc = int(result.escalated)
+                blocks_narrow += narrow
+                blocks_wide += 1 - narrow
+                dtype_escalations += esc
+                if instruments is not None:
+                    instruments.block_dtype(narrow=narrow, wide=1 - narrow,
+                                            escalations=esc)
         h_top = result.h_bottom
         f_top = result.f_bottom
         cell = result.best.shifted(r0, slab.col0)
@@ -419,6 +445,9 @@ def sweep_slab(
         blocks_checked=pruner.blocks_checked if pruner is not None else 0,
         blocks_pruned=pruner.blocks_pruned if pruner is not None else 0,
         blocks_skipped_band=blocks_skipped_band,
+        blocks_narrow=blocks_narrow,
+        blocks_wide=blocks_wide,
+        dtype_escalations=dtype_escalations,
     )
 
 
@@ -444,13 +473,15 @@ def _worker(
     checkpoints: CheckpointArea | None = None,
     checkpoint_blocks: int = 1,
     band_half_width: int | None = None,
+    dp: DpPolicy | None = None,
 ) -> None:
     """One-shot slab worker (runs in a child process).
 
     Result message layout (parsed positionally by :func:`collect_results`,
     which reads ``msg[0]`` as the key and ``msg[-2]`` as the error):
     ``(worker_id, score, row, col, blocks_checked, blocks_pruned,
-    blocks_skipped_band, metrics_snapshot, err, records)``.
+    blocks_skipped_band, blocks_narrow, blocks_wide, dtype_escalations,
+    metrics_snapshot, err, records)``.
     ``metrics_snapshot`` is the
     worker registry's :meth:`~repro.obs.registry.MetricsRegistry.snapshot`
     (``None`` unless *collect_metrics*) — a plain dict, so it crosses any
@@ -478,17 +509,19 @@ def _worker(
                              start_row=start_row, h_init=h_init, f_init=f_init,
                              checkpoints=checkpoints,
                              checkpoint_blocks=checkpoint_blocks,
-                             band_half_width=band_half_width)
+                             band_half_width=band_half_width, dp=dp)
         best = outcome.best
         result_queue.put(
             (worker_id, best.score, best.row, best.col,
              outcome.blocks_checked, outcome.blocks_pruned,
              outcome.blocks_skipped_band,
+             outcome.blocks_narrow, outcome.blocks_wide,
+             outcome.dtype_escalations,
              registry.snapshot() if registry is not None else None,
              None, recorder.records))
     except Exception as exc:  # surface the failure to the parent
         result_queue.put(
-            (worker_id, 0, -1, -1, 0, 0, 0,
+            (worker_id, 0, -1, -1, 0, 0, 0, 0, 0, 0,
              registry.snapshot() if registry is not None else None,
              repr(exc), recorder.records))
     finally:
@@ -645,6 +678,7 @@ def _run_attempt(
     resume: tuple | None,
     fault: tuple[int, int] | None,
     band_half_width: int | None = None,
+    dp: DpPolicy | None = None,
 ):
     """Run the slab workers once over ``[resume_row, m)``.
 
@@ -698,7 +732,7 @@ def _run_attempt(
                       origin, border_timeout_s, fault_block, kernel,
                       n, scoreboard, progress, collect_metrics,
                       resume_state, checkpoints, checkpoint_blocks,
-                      band_half_width),
+                      band_half_width, dp),
                 name=f"mgsw-worker-{g}",
             )
             proc.start()
@@ -786,6 +820,7 @@ def align_multi_process(
     mode: str = "exact",
     band_width: int = DEFAULT_BAND_WIDTH,
     xdrop_x: int = DEFAULT_XDROP_X,
+    dp_dtype: str = "auto",
     _fault: tuple[int, int] | None = None,
     _finalize_metrics: bool = True,
 ) -> ProcessChainResult:
@@ -840,6 +875,13 @@ def align_multi_process(
     ``tier``/``escalated`` fields say which tier answered).  Heuristic
     scores never exceed the exact score.
 
+    DP dtype (INTERNALS.md section 11): *dp_dtype* selects the
+    kernel-internal compute dtype — ``"auto"`` (default) resolves to the
+    narrowest policy guaranteed overflow-free for the widest slab of the
+    current attempt, explicit narrow names escalate overflowing blocks
+    back to int32 per block.  Scores are bit-identical either way, and
+    the int32 border wire format is unchanged.
+
     Raises :class:`ConfigError` on bad parameters and ``RuntimeError``
     when a worker fails or the run times out.  ``_fault`` is a test-only
     hook: ``(worker_id, block_index)`` crashes that worker at that block
@@ -848,6 +890,7 @@ def align_multi_process(
     _validate_args(a_codes, b_codes, workers, block_rows, transport, weights,
                    capacity, kernel)
     validate_mode(mode)
+    validate_dp_dtype(dp_dtype)
     if band_width < 0:
         raise ConfigError("band_width must be >= 0")
     if xdrop_x <= 0:
@@ -881,7 +924,7 @@ def align_multi_process(
             heartbeat_s=heartbeat_s, on_stall=on_stall,
             max_restarts=max_restarts, restart_backoff_s=restart_backoff_s,
             retry=retry, checkpoint_blocks=checkpoint_blocks,
-            band_width=band_width)
+            band_width=band_width, dp_dtype=dp_dtype)
     band_half_width = band_width if mode == "banded" else None
     if retry is None:
         retry = RetryPolicy(max_restarts=max_restarts,
@@ -900,9 +943,19 @@ def align_multi_process(
     resume: tuple | None = None          # (row, h_full, f_full)
     base_best = BestCell.none()
     base_checked = base_pruned = 0
+    dp_name = "int32"
+    total_narrow = total_wide = total_esc = 0
     origin = time.perf_counter()
     try:
         while True:
+            # The DP dtype policy is resolved per attempt against the
+            # *current* partition's widest slab — recovery can widen the
+            # surviving slabs, and ``"auto"`` must stay overflow-free.
+            dp_policy = resolve_dp_dtype(
+                dp_dtype, scoring,
+                block_cols=max(s.cols for s in slabs), m=m, n=n, local=True)
+            dp_name = dp_policy.name
+            dp = dp_policy if dp_policy.narrow else None
             if recovery:
                 checkpoints = CheckpointArea(
                     [s.cols for s in slabs],
@@ -920,7 +973,7 @@ def align_multi_process(
                 want_progress=heartbeat_s is not None or recovery,
                 resume=resume,
                 fault=_fault if restarts == 0 else None,
-                band_half_width=band_half_width)
+                band_half_width=band_half_width, dp=dp)
 
             # Fold whatever this attempt reported — survivors of a failed
             # attempt still deliver honest trace records and counters.
@@ -929,12 +982,15 @@ def align_multi_process(
             attempt_skipped_band = 0
             for g in sorted(messages):
                 (_wid, score, row, col, checked, pruned, skipped_band,
-                 msnap, _err, records) = messages[g]
+                 narrow, wide, esc, msnap, _err, records) = messages[g]
                 merge_wall_records(result_tracer, f"worker{g}", records)
                 if metrics is not None and msnap is not None:
                     metrics.merge_snapshot(msnap)
                 worker_blocks.append((int(checked), int(pruned)))
                 attempt_skipped_band += int(skipped_band)
+                total_narrow += int(narrow)
+                total_wide += int(wide)
+                total_esc += int(esc)
                 cell = BestCell(score, row, col)
                 if cell.better_than(attempt_best):
                     attempt_best = cell
@@ -960,6 +1016,10 @@ def align_multi_process(
                     mode=mode,
                     tier="banded" if mode == "banded" else "exact",
                     blocks_skipped_band=attempt_skipped_band,
+                    dp_dtype=dp_name,
+                    blocks_narrow=total_narrow,
+                    blocks_wide=total_wide,
+                    dtype_escalations=total_esc,
                 )
                 if metrics is not None and _finalize_metrics:
                     finalize_run_metrics(

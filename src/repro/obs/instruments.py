@@ -16,6 +16,9 @@ same metric families under the same names, labelled by ``device``:
 ``blocks_skipped_band``        counter   blocks skipped by the static band
 ``heuristic_hits``             counter   auto runs answered by the heuristic
 ``escalations``                counter   auto runs re-run on the exact tier
+``blocks_narrow``              counter   blocks computed in a narrow DP dtype
+``blocks_wide``                counter   blocks computed wide under a narrow policy
+``dtype_escalations``          counter   narrow sweeps redone in int32 (overflow)
 =============================  ========= ====================================
 
 Centralising the names here is what makes the cross-engine invariant
@@ -84,6 +87,42 @@ class EngineInstruments:
             "checkpoints_published",
             help="row states published into the shared checkpoint area",
         ).inc(1, device=self.device)
+
+    def block_dtype(self, *, narrow: int = 0, wide: int = 0,
+                    escalations: int = 0) -> None:
+        """Record the narrow/wide split of swept blocks under a narrow
+        DP policy (never called when the policy is plain int32, so the
+        counters stay absent — and cost nothing — on wide runs)."""
+        record_dtype(self.registry, device=self.device,
+                     narrow=narrow, wide=wide, escalations=escalations)
+
+
+def record_dtype(registry: MetricsRegistry, *, device: str,
+                 narrow: int = 0, wide: int = 0, escalations: int = 0) -> None:
+    """Record the DP-dtype outcome of swept blocks on one device.
+
+    ``blocks_narrow`` counts blocks the narrow kernel answered,
+    ``blocks_wide`` blocks computed in int32 despite a narrow policy
+    (overflow escalations plus entry-cap rejects), ``dtype_escalations``
+    the narrow attempts that overflowed mid-sweep and were recomputed.
+    Only fired when a narrow policy is active, so wide runs carry no
+    extra metric series (the X9 overhead bound stays intact).
+    """
+    if narrow:
+        registry.counter(
+            "blocks_narrow",
+            help="blocks computed in the narrow DP dtype",
+        ).inc(narrow, device=device)
+    if wide:
+        registry.counter(
+            "blocks_wide",
+            help="blocks computed wide despite a narrow DP policy",
+        ).inc(wide, device=device)
+    if escalations:
+        registry.counter(
+            "dtype_escalations",
+            help="narrow sweeps recomputed in int32 after overflow detection",
+        ).inc(escalations, device=device)
 
 
 def record_recovery(registry: MetricsRegistry, *, backend: str,

@@ -42,6 +42,7 @@ def chain_result_dict(result) -> dict:
             "escalated": result.escalated,
             "blocks_skipped_band": result.blocks_skipped_band,
         } if getattr(result, "mode", "exact") != "exact" else None,
+        "dtype": _dtype_dict(result),
         "devices": [
             {
                 "name": gpu.name,
@@ -102,6 +103,7 @@ def process_result_dict(result) -> dict:
             "escalated": result.escalated,
             "blocks_skipped_band": result.blocks_skipped_band,
         } if getattr(result, "mode", "exact") != "exact" else None,
+        "dtype": _dtype_dict(result),
         # Cross-process clock-skew spans clamped during trace merging —
         # nonzero values flag workers whose perf_counter drifted.
         "clamped_records": result.tracer.clamped_records if result.tracer else 0,
@@ -143,6 +145,7 @@ def single_result_dict(result) -> dict:
             "escalated": result.escalated,
             "blocks_skipped_band": result.blocks_skipped_band,
         } if getattr(result, "mode", "exact") != "exact" else None,
+        "dtype": _dtype_dict(result),
     }
 
 
@@ -160,6 +163,33 @@ def result_dict(result) -> dict:
     if hasattr(result, "wall_time_s"):
         return process_result_dict(result)
     return single_result_dict(result)
+
+
+def _dtype_dict(result) -> dict | None:
+    """The DP-dtype section of a result dict (``None`` on plain int32
+    runs, matching the ``pruning``/``heuristic`` sections' convention)."""
+    name = getattr(result, "dp_dtype", "int32")
+    if name == "int32":
+        return None
+    return {
+        "dp_dtype": name,
+        "blocks_narrow": result.blocks_narrow,
+        "blocks_wide": result.blocks_wide,
+        "dtype_escalations": result.dtype_escalations,
+    }
+
+
+def _dtype_line(result) -> str | None:
+    """One report line for a narrow-dtype run: the resolved policy and the
+    narrow/wide split (``None`` on plain int32 runs)."""
+    name = getattr(result, "dp_dtype", "int32")
+    if name == "int32":
+        return None
+    line = (f"dp dtype: {name} ({result.blocks_narrow} narrow / "
+            f"{result.blocks_wide} wide blocks)")
+    if result.dtype_escalations:
+        line += f" escalations={result.dtype_escalations}"
+    return line
 
 
 def _heuristic_line(result) -> str | None:
@@ -199,6 +229,9 @@ def single_report(result, *, title: str = "single-GPU run") -> str:
     tier_line = _heuristic_line(result)
     if tier_line:
         lines.append(tier_line)
+    dtype_line = _dtype_line(result)
+    if dtype_line:
+        lines.append(dtype_line)
     return "\n".join(lines)
 
 
@@ -234,6 +267,9 @@ def process_report(result, *, title: str = "process chain run") -> str:
     tier_line = _heuristic_line(result)
     if tier_line:
         lines.append(tier_line)
+    dtype_line = _dtype_line(result)
+    if dtype_line:
+        lines.append(dtype_line)
     breakdown = result.breakdown()
     if breakdown:
         lines.append("")
@@ -280,6 +316,9 @@ def chain_report(result, *, title: str = "chain run") -> str:
     tier_line = _heuristic_line(result)
     if tier_line:
         lines.append(tier_line)
+    dtype_line = _dtype_line(result)
+    if dtype_line:
+        lines.append(dtype_line)
     lines.append("")
 
     rows = []

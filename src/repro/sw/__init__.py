@@ -26,7 +26,16 @@ from .batched import (
     sweep_wavefront,
 )
 from .blocks import BlockSpec, BlockedOutcome, compute_blocked, grid_specs, wavefront_order
-from .constants import NEG_INF
+from .constants import (
+    DP_DTYPE_CHOICES,
+    DP_DTYPES,
+    NEG_INF,
+    POLICIES,
+    DpPolicy,
+    get_policy,
+    resolve_dp_dtype,
+    validate_dp_dtype,
+)
 from .diagonal import sw_score_diagonal
 from .kernel import BestCell, BlockResult, build_profile, sw_score, sweep_block
 from .myers_miller import align_global, global_score
@@ -77,6 +86,13 @@ __all__ = [
     "grid_specs",
     "wavefront_order",
     "NEG_INF",
+    "DP_DTYPES",
+    "DP_DTYPE_CHOICES",
+    "POLICIES",
+    "DpPolicy",
+    "get_policy",
+    "resolve_dp_dtype",
+    "validate_dp_dtype",
     "BestCell",
     "BlockResult",
     "build_profile",

@@ -51,8 +51,8 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..seq.scoring import Scoring
-from .constants import DTYPE, MAX_SWEEP_WIDTH, NEG_INF
-from .kernel import BestCell, BlockResult, build_profile
+from .constants import DTYPE, MAX_SWEEP_WIDTH, NEG_INF, DpPolicy, get_policy
+from .kernel import BestCell, BlockResult, build_profile, narrow_entry_ok
 
 #: Per-row callback of the batched sweep: ``(job_index, local_row, H, E, F)``
 #: with the arrays sliced to the job's true width and valid only for the
@@ -101,15 +101,18 @@ class KernelWorkspace:
             self.hits += 1
         return flat[:need].reshape(shape)
 
-    def ramp(self, width: int, extend: int) -> np.ndarray:
+    def ramp(self, width: int, extend: int, dtype=DTYPE) -> np.ndarray:
         """The ``j * gap_extend`` offset vector.  Content is deterministic
         (unlike :meth:`take` scratch), and a narrower ramp is a prefix of
-        a wider one, so one buffer per *extend* value serves every width.
+        a wider one, so one buffer per ``(extend, dtype)`` serves every
+        width.  The dtype is part of the key — a run that mixes narrow
+        and wide sweeps must never be served a ramp of the wrong width
+        class (this was a latent bug while ``DTYPE`` was hardcoded).
         """
-        key = (("ramp", extend), np.dtype(DTYPE).str)
+        key = (("ramp", extend), np.dtype(dtype).str)
         flat = self._arena.get(key)
         if flat is None or flat.size < width:
-            flat = (np.arange(width, dtype=DTYPE) * DTYPE(extend)).astype(DTYPE)
+            flat = (np.arange(width, dtype=dtype) * dtype(extend)).astype(dtype)
             self._arena[key] = flat
             self.misses += 1
         else:
@@ -150,16 +153,21 @@ class ProfileCache:
         self.evictions = 0
 
     @staticmethod
-    def key_of(b_codes: np.ndarray, scoring: Scoring) -> tuple:
+    def key_of(b_codes: np.ndarray, scoring: Scoring,
+               dp_dtype: str = "int32") -> tuple:
         codes = np.ascontiguousarray(b_codes)
         digest = hashlib.blake2b(codes.data, digest_size=16).digest()
         return (
-            digest, codes.size, codes.dtype.str,
+            digest, codes.size, codes.dtype.str, dp_dtype,
             scoring.match, scoring.mismatch, scoring.gap_open, scoring.gap_extend,
         )
 
-    def get(self, b_codes: np.ndarray, scoring: Scoring) -> np.ndarray:
-        key = self.key_of(b_codes, scoring)
+    def get(self, b_codes: np.ndarray, scoring: Scoring,
+            dp_dtype: str = "int32") -> np.ndarray:
+        # The DP dtype is part of the key: a cached narrow profile served
+        # to a wide sweep (or vice versa) would silently change element
+        # widths mid-run, so each dtype caches its own entry.
+        key = self.key_of(b_codes, scoring, dp_dtype)
         profile = self._entries.get(key)
         if profile is not None:
             self._entries.move_to_end(key)
@@ -167,6 +175,8 @@ class ProfileCache:
             return profile
         self.misses += 1
         profile = build_profile(b_codes, scoring)
+        if dp_dtype != "int32":
+            profile = profile.astype(get_policy(dp_dtype).kind)
         self._entries[key] = profile
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
@@ -186,11 +196,12 @@ _DEFAULT_PROFILE_CACHE = ProfileCache()
 
 
 def cached_profile(
-    b_codes: np.ndarray, scoring: Scoring, cache: ProfileCache | None = None
+    b_codes: np.ndarray, scoring: Scoring, cache: ProfileCache | None = None,
+    dp_dtype: str = "int32",
 ) -> np.ndarray:
     """:func:`~repro.sw.kernel.build_profile` through an LRU (treat the
     result as read-only — it is shared between callers)."""
-    return (cache or _DEFAULT_PROFILE_CACHE).get(b_codes, scoring)
+    return (cache or _DEFAULT_PROFILE_CACHE).get(b_codes, scoring, dp_dtype)
 
 
 @dataclass(frozen=True)
@@ -236,6 +247,7 @@ def sweep_wavefront(
     workspace: KernelWorkspace | None = None,
     row_sink: BatchRowSink | None = None,
     sink_interval: int = 0,
+    dp: DpPolicy | None = None,
 ) -> list[BlockResult]:
     """Sweep every block of one wavefront in a single stacked row loop.
 
@@ -245,6 +257,13 @@ def sweep_wavefront(
     enforces).  ``row_sink(k, i, H, E, F)`` fires for every job ``k``
     whose local row ``i`` satisfies ``(i + 1) % sink_interval == 0`` and
     ``i < R_k`` — the scalar special-row contract, per block.
+
+    With a narrow ``dp`` policy (local sweeps without a row sink only),
+    eligible jobs are swept in the narrow dtype with a per-row overflow
+    cap per lane; lanes that hit the cap — plus jobs whose entry borders
+    already exceed it — are recomputed in one wide stacked sweep and
+    spliced back in order, so the returned results are always
+    bit-identical to the wide kernel.
     """
     if row_sink is not None and sink_interval <= 0:
         raise ConfigError("row_sink requires a positive sink_interval")
@@ -252,8 +271,74 @@ def sweep_wavefront(
         return []
     for job in jobs:
         job.validate()
-
     ws = workspace if workspace is not None else KernelWorkspace()
+
+    if dp is None or not dp.narrow or not local or row_sink is not None:
+        results, _ = _sweep_stack(
+            jobs, scoring, ws, local=local, track_best=track_best,
+            row_sink=row_sink, sink_interval=sink_interval)
+        return results
+
+    max_w = dp.max_width(scoring)
+    for job in jobs:
+        if job.cols > max_w:
+            raise ConfigError(
+                f"block width {job.cols} exceeds {dp.name} max sweep width "
+                f"{max_w} under this scoring scheme")
+    # One cap for the whole wavefront, from the widest job: caps shrink
+    # with width, so a shared cap is conservative (never unsound) for
+    # the narrower lanes.
+    cap = dp.overflow_limit(scoring, max(job.cols for job in jobs))
+    narrow_idx = [k for k, job in enumerate(jobs)
+                  if narrow_entry_ok(job.h_top, job.f_top, job.h_left,
+                                     job.e_left, job.h_diag, cap)]
+    narrow_set = set(narrow_idx)
+    redo = [k for k in range(len(jobs)) if k not in narrow_set]
+    results: list[BlockResult | None] = [None] * len(jobs)
+    if narrow_idx:
+        sub, over = _sweep_stack(
+            [jobs[k] for k in narrow_idx], scoring, ws,
+            local=True, track_best=track_best, dp=dp, cap=cap)
+        for pos, k in enumerate(narrow_idx):
+            if over[pos]:
+                redo.append(k)
+            else:
+                results[k] = sub[pos]
+    if redo:
+        redo.sort()
+        wide, _ = _sweep_stack(
+            [jobs[k] for k in redo], scoring, ws, local=True,
+            track_best=track_best)
+        for pos, k in enumerate(redo):
+            result = wide[pos]
+            result.escalated = True
+            results[k] = result
+    return results  # type: ignore[return-value]
+
+
+def _sweep_stack(
+    jobs: Sequence[BlockJob],
+    scoring: Scoring,
+    ws: KernelWorkspace,
+    *,
+    local: bool,
+    track_best: bool,
+    row_sink: BatchRowSink | None = None,
+    sink_interval: int = 0,
+    dp: DpPolicy | None = None,
+    cap: int | None = None,
+) -> tuple[list[BlockResult | None], np.ndarray | None]:
+    """The stacked row loop, parameterised over the DP dtype.
+
+    Wide mode (``dp is None``) is the PR 2 kernel unchanged.  Narrow mode
+    computes in ``dp.kind`` (inputs narrowed while stacking, outputs
+    widened while unstacking) and tracks a per-lane sticky overflow flag:
+    a lane whose padding-masked row maximum reaches *cap* may have lost
+    exactness from the next row on, but its garbage stays inside its own
+    axis-0 lane, so the sweep finishes and only that lane's result is
+    dropped (returned as ``None`` with its overflow flag set) for the
+    caller to recompute wide.
+    """
     B = len(jobs)
     R = max(job.rows for job in jobs)
     W = max(job.cols for job in jobs)
@@ -262,19 +347,25 @@ def sweep_wavefront(
     ragged_rows = bool((r_of != R).any())
     ragged_cols = bool((w_of != W).any())
 
-    open_ = DTYPE(scoring.gap_open)
-    ext = DTYPE(scoring.gap_extend)
-    j_ext = ws.ramp(W, int(scoring.gap_extend))
+    narrow = dp is not None and dp.narrow
+    kind = dp.kind if narrow else DTYPE
+    neg = dp.neg_inf if narrow else NEG_INF
+
+    open_ = kind(scoring.gap_open)
+    ext = kind(scoring.gap_extend)
+    j_ext = ws.ramp(W, int(scoring.gap_extend), dtype=kind)
     idx_b = np.arange(B, dtype=np.intp)
 
-    # -- stack the inputs (pads: NEG_INF boundaries, zero profile/codes) --
-    prof = ws.take("wf.prof", (B, 5, W))
+    # -- stack the inputs (pads: sentinel boundaries, zero profile/codes;
+    # narrow mode clips the E/F sentinels to the policy's neg_inf while
+    # downcasting — exact for the clipped local recurrence) --------------
+    prof = ws.take("wf.prof", (B, 5, W), dtype=kind)
     a_stack = ws.take("wf.a", (B, R), dtype=np.intp)
-    h_prev = ws.take("wf.h_prev", (B, W))
-    f_prev = ws.take("wf.f_prev", (B, W))
-    h_left = ws.take("wf.h_left", (B, R))
-    e_left = ws.take("wf.e_left", (B, R))
-    corner0 = ws.take("wf.corner0", (B,))
+    h_prev = ws.take("wf.h_prev", (B, W), dtype=kind)
+    f_prev = ws.take("wf.f_prev", (B, W), dtype=kind)
+    h_left = ws.take("wf.h_left", (B, R), dtype=kind)
+    e_left = ws.take("wf.e_left", (B, R), dtype=kind)
+    corner0 = ws.take("wf.corner0", (B,), dtype=kind)
     for k, job in enumerate(jobs):
         wk, rk = job.cols, job.rows
         prof[k, :, :wk] = job.profile
@@ -282,49 +373,57 @@ def sweep_wavefront(
         a_stack[k, :rk] = job.a_codes
         a_stack[k, rk:] = 0
         h_prev[k, :wk] = job.h_top
-        f_prev[k, :wk] = job.f_top
-        h_prev[k, wk:] = NEG_INF
-        f_prev[k, wk:] = NEG_INF
+        if narrow:
+            f_prev[k, :wk] = np.maximum(job.f_top, neg)
+            e_left[k, :rk] = np.maximum(job.e_left, neg)
+        else:
+            f_prev[k, :wk] = job.f_top
+            e_left[k, :rk] = job.e_left
+        h_prev[k, wk:] = neg
+        f_prev[k, wk:] = neg
         h_left[k, :rk] = job.h_left
-        e_left[k, :rk] = job.e_left
-        h_left[k, rk:] = NEG_INF
-        e_left[k, rk:] = NEG_INF
+        h_left[k, rk:] = neg
+        e_left[k, rk:] = neg
         corner0[k] = job.h_diag
     prof2d = prof.reshape(B * 5, W)
     prof_base = idx_b * 5
 
     # -- scratch reused across rows (and, via the workspace, sweeps) -----
-    sub = ws.take("wf.sub", (B, W))
-    diag = ws.take("wf.diag", (B, W))
-    temp = ws.take("wf.temp", (B, W))
-    scan = ws.take("wf.scan", (B, W))
-    e_row = ws.take("wf.e_row", (B, W))
-    f_row = ws.take("wf.f_row", (B, W))
-    gap_tmp = ws.take("wf.gap_tmp", (B, W))
-    e0 = ws.take("wf.e0", (B,))
+    sub = ws.take("wf.sub", (B, W), dtype=kind)
+    diag = ws.take("wf.diag", (B, W), dtype=kind)
+    temp = ws.take("wf.temp", (B, W), dtype=kind)
+    scan = ws.take("wf.scan", (B, W), dtype=kind)
+    e_row = ws.take("wf.e_row", (B, W), dtype=kind)
+    f_row = ws.take("wf.f_row", (B, W), dtype=kind)
+    gap_tmp = ws.take("wf.gap_tmp", (B, W), dtype=kind)
+    e0 = ws.take("wf.e0", (B,), dtype=kind)
     take_idx = ws.take("wf.take_idx", (B,), dtype=np.intp)
-    h_right = ws.take("wf.h_right", (B, R))
-    e_right = ws.take("wf.e_right", (B, R))
-    h_bot = ws.take("wf.h_bot", (B, W))
-    f_bot = ws.take("wf.f_bot", (B, W))
+    h_right = ws.take("wf.h_right", (B, R), dtype=kind)
+    e_right = ws.take("wf.e_right", (B, R), dtype=kind)
+    h_bot = ws.take("wf.h_bot", (B, W), dtype=kind)
+    f_bot = ws.take("wf.f_bot", (B, W), dtype=kind)
     w_last = w_of - 1
 
+    # Narrow mode needs the masked row maxima even when the caller does
+    # not track the best cell: they drive the per-lane overflow gate.
+    need_rowmax = track_best or cap is not None
     masked = None
     col_valid = None
-    if track_best:
-        masked = ws.take("wf.masked", (B, W))
+    if need_rowmax:
+        masked = ws.take("wf.masked", (B, W), dtype=kind)
         if ragged_cols:
             col_valid = ws.take("wf.col_valid", (B, W), dtype=bool)
             np.less(np.arange(W, dtype=np.intp)[None, :], w_of[:, None],
                     out=col_valid)
-            masked.fill(NEG_INF)  # the padded lanes stay NEG_INF for good
+            masked.fill(neg)  # the padded lanes stay at the sentinel for good
 
-    best_score = ws.take("wf.best_score", (B,))
+    best_score = ws.take("wf.best_score", (B,), dtype=kind)
     best_row = ws.take("wf.best_row", (B,), dtype=np.intp)
     best_col = ws.take("wf.best_col", (B,), dtype=np.intp)
     best_score.fill(0 if local else NEG_INF)  # local never reports <= 0 cells
     best_row.fill(-1)
     best_col.fill(-1)
+    overflow = np.zeros(B, dtype=bool) if cap is not None else None
 
     corner_prev = corner0  # H at (i-1, -1) per block
     for i in range(R):
@@ -358,7 +457,7 @@ def sweep_wavefront(
 
         np.maximum(temp, e_row, out=temp)  # temp is now the final H row
 
-        if track_best:
+        if need_rowmax:
             # Single argmax pass per row over the padding-masked stack;
             # strict ">" keeps the scalar kernel's row-major tie-break.
             if ragged_cols:
@@ -366,14 +465,20 @@ def sweep_wavefront(
             else:
                 np.copyto(masked, temp)
             if ragged_rows and i > 0:
-                masked[r_of <= i] = NEG_INF
+                masked[r_of <= i] = neg
             am = masked.argmax(axis=1)
             m = masked[idx_b, am]
-            upd = m > best_score
-            if upd.any():
-                best_score[upd] = m[upd]
-                best_row[upd] = i
-                best_col[upd] = am[upd]
+            if overflow is not None:
+                # Sticky per-lane gate: from the row a lane's maximum
+                # reaches cap its values may be inexact (though still
+                # contained in its own lane) — drop it at unstack time.
+                np.logical_or(overflow, m >= cap, out=overflow)
+            if track_best:
+                upd = m > best_score
+                if upd.any():
+                    best_score[upd] = m[upd]
+                    best_row[upd] = i
+                    best_col[upd] = am[upd]
 
         if row_sink is not None and (i + 1) % sink_interval == 0:
             for k in range(B):
@@ -395,20 +500,28 @@ def sweep_wavefront(
         h_prev, temp = temp, h_prev  # swap buffers; h_prev now holds row i
         f_prev, f_row = f_row, f_prev
 
-    # -- unstack: fresh per-block borders (the stack is workspace-owned) --
-    results: list[BlockResult] = []
+    # -- unstack: fresh per-block borders (the stack is workspace-owned;
+    # narrow borders are widened back to int32 — exact, since local
+    # clamping plus non-negative H entry borders keep every output
+    # sentinel-free, see INTERNALS.md §11) --------------------------------
+    results: list[BlockResult | None] = []
+    dtype_name = dp.name if narrow else "int32"
     for k, job in enumerate(jobs):
+        if overflow is not None and overflow[k]:
+            results.append(None)
+            continue
         wk, rk = job.cols, job.rows
         if best_row[k] >= 0:
             best = BestCell(int(best_score[k]), int(best_row[k]), int(best_col[k]))
         else:
             best = BestCell.none()
         results.append(BlockResult(
-            h_bottom=h_bot[k, :wk].copy(),
-            f_bottom=f_bot[k, :wk].copy(),
-            h_right=h_right[k, :rk].copy(),
-            e_right=e_right[k, :rk].copy(),
+            h_bottom=h_bot[k, :wk].astype(DTYPE) if narrow else h_bot[k, :wk].copy(),
+            f_bottom=f_bot[k, :wk].astype(DTYPE) if narrow else f_bot[k, :wk].copy(),
+            h_right=h_right[k, :rk].astype(DTYPE) if narrow else h_right[k, :rk].copy(),
+            e_right=e_right[k, :rk].astype(DTYPE) if narrow else e_right[k, :rk].copy(),
             corner=int(h_bot[k, wk - 1]),
             best=best,
+            dtype=dtype_name,
         ))
-    return results
+    return results, overflow

@@ -20,7 +20,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..seq.scoring import Scoring
 from .batched import BlockJob, KernelWorkspace, sweep_wavefront, validate_kernel
-from .constants import DTYPE, NEG_INF
+from .constants import DTYPE, NEG_INF, DpPolicy, resolve_dp_dtype
 from .kernel import BestCell, BlockResult, build_profile, sweep_block
 from .pruning import BlockPruner
 from .xdrop import band_intersects
@@ -146,6 +146,13 @@ class BlockedOutcome:
     #: (``band_half_width``); disjoint from the pruning counters.
     blocks_skipped_band: int = 0
     cells_skipped_band: int = 0
+    #: DP dtype policy the run resolved to, plus how many swept blocks
+    #: actually computed narrow vs. wide (escalations + entry rejects);
+    #: all zero under the plain int32 policy.
+    dp_dtype: str = "int32"
+    blocks_narrow: int = 0
+    blocks_wide: int = 0
+    dtype_escalations: int = 0
 
     @property
     def pruned_fraction(self) -> float:
@@ -173,6 +180,7 @@ def compute_blocked(
     kernel: str = "scalar",
     workspace: KernelWorkspace | None = None,
     band_half_width: int | None = None,
+    dp_dtype: str | DpPolicy = "auto",
 ) -> BlockedOutcome:
     """Compute the whole matrix block-by-block on one device.
 
@@ -195,6 +203,13 @@ def compute_blocked(
     borders as pruned blocks (H = 0 lower bounds, so in-band scores are
     never overestimated).  The result is then the *banded* best, a lower
     bound of the unrestricted optimum.
+
+    ``dp_dtype`` selects the kernels' internal compute dtype (``"auto"``,
+    a name from :data:`~repro.sw.constants.DP_DTYPE_CHOICES`, or a
+    pre-resolved :class:`~repro.sw.constants.DpPolicy`); narrow sweeps
+    escalate to int32 on overflow, so the outcome is always bit-identical
+    to the wide run, with the narrow/wide/escalation split reported on
+    the :class:`BlockedOutcome`.
     """
     if pruner is not None and not local:
         raise ConfigError("block pruning applies to local alignment only")
@@ -204,13 +219,19 @@ def compute_blocked(
         raise ConfigError("band_half_width must be >= 0")
     validate_kernel(kernel)
     m, n = int(a_codes.size), int(b_codes.size)
+    if isinstance(dp_dtype, DpPolicy):
+        policy = dp_dtype
+    else:
+        policy = resolve_dp_dtype(dp_dtype, scoring, block_cols=block_cols,
+                                  m=m, n=n, local=local)
+    dp = policy if policy.narrow else None
     specs = grid_specs(m, n, block_rows, block_cols)
     profile_full = build_profile(b_codes, scoring)
     if kernel == "batched":
         return _compute_blocked_wavefront(
             a_codes, profile_full, scoring, specs, m, n,
             local=local, pruner=pruner, workspace=workspace,
-            band_half_width=band_half_width)
+            band_half_width=band_half_width, dp=dp, dp_name=policy.name)
     n_brows, n_bcols = len(specs), len(specs[0])
 
     # Rolling borders: bottom borders of the previous block row (per block
@@ -225,6 +246,9 @@ def compute_blocked(
     cells_pruned = 0
     blocks_skipped = 0
     cells_skipped = 0
+    blocks_narrow = 0
+    blocks_wide = 0
+    escalations = 0
     for br in range(n_brows):
         right = None
         row_corner_updates = [0] * (n_bcols + 1)
@@ -276,7 +300,15 @@ def compute_blocked(
                     bnd.h_diag,
                     scoring,
                     local=local,
+                    dp=dp,
                 )
+                if dp is not None:
+                    if result.dtype == dp.name:
+                        blocks_narrow += 1
+                    else:
+                        blocks_wide += 1
+                    if result.escalated:
+                        escalations += 1
                 cell = result.best.shifted(spec.row0, spec.col0)
                 if cell.better_than(best):
                     best = cell
@@ -297,6 +329,10 @@ def compute_blocked(
         cells_pruned=cells_pruned,
         blocks_skipped_band=blocks_skipped,
         cells_skipped_band=cells_skipped,
+        dp_dtype=policy.name,
+        blocks_narrow=blocks_narrow,
+        blocks_wide=blocks_wide,
+        dtype_escalations=escalations,
     )
 
 
@@ -332,6 +368,8 @@ def _compute_blocked_wavefront(
     pruner: BlockPruner | None,
     workspace: KernelWorkspace | None,
     band_half_width: int | None = None,
+    dp: DpPolicy | None = None,
+    dp_name: str = "int32",
 ) -> BlockedOutcome:
     """Wavefront executor: one batched sweep per external anti-diagonal.
 
@@ -351,6 +389,9 @@ def _compute_blocked_wavefront(
     cells_pruned = 0
     blocks_skipped = 0
     cells_skipped = 0
+    blocks_narrow = 0
+    blocks_wide = 0
+    escalations = 0
     for diag in wavefront_order(n_brows, n_bcols):
         jobs: list[BlockJob] = []
         placed: list[tuple[int, int, BlockSpec]] = []
@@ -412,7 +453,14 @@ def _compute_blocked_wavefront(
             placed.append((br, bc, spec))
 
         for (br, bc, spec), result in zip(placed, sweep_wavefront(
-                jobs, scoring, local=local, workspace=ws)):
+                jobs, scoring, local=local, workspace=ws, dp=dp)):
+            if dp is not None:
+                if result.dtype == dp.name:
+                    blocks_narrow += 1
+                else:
+                    blocks_wide += 1
+                if result.escalated:
+                    escalations += 1
             cell = result.best.shifted(spec.row0, spec.col0)
             if cell.better_than(best):
                 best = cell
@@ -427,4 +475,8 @@ def _compute_blocked_wavefront(
         cells_pruned=cells_pruned,
         blocks_skipped_band=blocks_skipped,
         cells_skipped_band=cells_skipped,
+        dp_dtype=dp_name,
+        blocks_narrow=blocks_narrow,
+        blocks_wide=blocks_wide,
+        dtype_escalations=escalations,
     )

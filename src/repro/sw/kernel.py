@@ -52,7 +52,7 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..seq.scoring import Scoring
-from .constants import DTYPE, MAX_SWEEP_WIDTH, NEG_INF
+from .constants import DTYPE, MAX_SWEEP_WIDTH, NEG_INF, DpPolicy
 
 #: Signature of the optional per-row callback: ``(local_row_index, H, E, F)``
 #: with arrays valid only for the duration of the call (copy to keep).
@@ -97,6 +97,8 @@ class BlockResult:
     e_right: np.ndarray
     corner: int  #: H at local (R-1, W-1); the diag input for the block below-right
     best: BestCell
+    dtype: str = "int32"     #: DP dtype the block was actually computed in
+    escalated: bool = False  #: a narrow attempt overflowed and was redone wide
 
 
 def local_boundaries(rows: int, cols: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
@@ -137,6 +139,129 @@ def build_profile(b_codes: np.ndarray, scoring: Scoring) -> np.ndarray:
     return scoring.matrix.take(b_codes.astype(np.intp), axis=1).astype(DTYPE)
 
 
+def narrow_entry_ok(
+    h_top: np.ndarray,
+    f_top: np.ndarray,
+    h_left: np.ndarray,
+    e_left: np.ndarray,
+    h_diag: int,
+    cap: int,
+) -> bool:
+    """Whether a block's int32 borders admit a narrow sweep under *cap*.
+
+    H borders must be non-negative (the soundness argument for plain
+    ``astype`` widening of the outputs needs the local-clamp invariant
+    to hold from row 0) and every border value must sit under the
+    overflow cap so the per-row cap check's induction base holds.  E/F
+    borders may be arbitrarily negative — narrowing clips them to the
+    policy sentinel, which is exact for the clipped local recurrence.
+    """
+    return (0 <= h_diag < cap
+            and int(h_top.min()) >= 0 and int(h_top.max()) < cap
+            and int(h_left.min()) >= 0 and int(h_left.max()) < cap
+            and int(f_top.max()) < cap
+            and int(e_left.max()) < cap)
+
+
+def _sweep_block_narrow(
+    a_codes: np.ndarray,
+    profile: np.ndarray,
+    h_top: np.ndarray,
+    f_top: np.ndarray,
+    h_left: np.ndarray,
+    e_left: np.ndarray,
+    h_diag: int,
+    scoring: Scoring,
+    dp: DpPolicy,
+    cap: int,
+    *,
+    track_best: bool,
+) -> BlockResult | None:
+    """The local row sweep in a narrow dtype; ``None`` on overflow risk.
+
+    Same recurrence as the wide loop in :func:`sweep_block`, computed in
+    ``dp.kind`` with the borders narrowed on entry (E/F sentinels clipped
+    to ``dp.neg_inf``).  After each row the row maximum is compared to
+    *cap*: values below it guarantee (INTERNALS.md §11) that no
+    intermediate exceeded the dtype range, so every cell equals the wide
+    sweep's bit-for-bit.  A row maximum at or above *cap* aborts — the
+    caller recomputes the block wide.
+    """
+    R = int(a_codes.size)
+    W = int(profile.shape[1])
+    kind = dp.kind
+    neg = kind(dp.neg_inf)
+    open_ = kind(scoring.gap_open)
+    ext = kind(scoring.gap_extend)
+
+    prof = profile.astype(kind)
+    h_prev = h_top.astype(kind)                    # checked: 0 <= h < cap
+    f_prev = np.maximum(f_top, dp.neg_inf).astype(kind)
+    h_left_n = h_left.astype(kind)
+    e_left_n = np.maximum(e_left, dp.neg_inf).astype(kind)
+    h_right = np.empty(R, dtype=DTYPE)
+    e_right = np.empty(R, dtype=DTYPE)
+
+    j_ext = (np.arange(W, dtype=kind) * ext).astype(kind)
+    diag = np.empty(W, dtype=kind)
+    temp = np.empty(W, dtype=kind)
+    scan = np.empty(W, dtype=kind)
+    e_row = np.empty(W, dtype=kind)
+    f_row = np.empty(W, dtype=kind)
+
+    best = BestCell.none()
+    best_score = 0
+    corner_prev = kind(h_diag)
+
+    for i in range(R):
+        sub = prof[a_codes[i]]
+
+        np.maximum(f_prev, h_prev - open_, out=f_row)
+        f_row -= ext
+
+        diag[0] = corner_prev
+        diag[1:] = h_prev[:-1]
+        np.add(diag, sub, out=temp)
+        np.maximum(temp, f_row, out=temp)
+        np.maximum(temp, 0, out=temp)
+
+        scan[0] = max(e_left_n[i], h_left_n[i] - open_) - ext
+        np.subtract(temp[:-1], open_, out=scan[1:])
+        scan[1:] += j_ext[:-1]
+        np.maximum.accumulate(scan, out=scan)
+        np.subtract(scan, j_ext, out=e_row)
+
+        np.maximum(temp, e_row, out=temp)
+
+        # The overflow gate: a final-H maximum below cap certifies the
+        # whole row (and the E/F state it feeds forward) stayed exact.
+        j = int(temp.argmax())
+        m = int(temp[j])
+        if m >= cap:
+            return None
+        if track_best and m > best_score:
+            best_score = m
+            best = BestCell(m, i, j)
+
+        h_right[i] = temp[-1]
+        e_right[i] = e_row[-1]
+        corner_prev = h_left_n[i]
+        h_prev, temp = temp, h_prev
+        f_prev, f_row = f_row, f_prev
+
+    # Plain widening is exact: local clamping plus non-negative H borders
+    # mean no output can carry a sentinel-derived value (INTERNALS.md §11).
+    return BlockResult(
+        h_bottom=h_prev.astype(DTYPE),
+        f_bottom=f_prev.astype(DTYPE),
+        h_right=h_right,
+        e_right=e_right,
+        corner=int(h_prev[-1]),
+        best=best,
+        dtype=dp.name,
+    )
+
+
 def sweep_block(
     a_codes: np.ndarray,
     profile: np.ndarray,
@@ -151,6 +276,7 @@ def sweep_block(
     track_best: bool = True,
     row_sink: RowSink | None = None,
     sink_interval: int = 0,
+    dp: DpPolicy | None = None,
 ) -> BlockResult:
     """Sweep one block row-by-row (see module docstring for the contract).
 
@@ -169,6 +295,12 @@ def sweep_block(
         every local row ``i`` with ``(i+1) % sink_interval == 0`` — the
         "special rows" the traceback stages consume.  Arrays must be copied
         by the sink if kept.
+    dp:
+        Optional narrow :class:`~repro.sw.constants.DpPolicy`.  When set
+        (and the sweep is local without a row sink), the block is first
+        attempted in the narrow dtype; an overflow-cap hit escalates to
+        the wide path, so the result is always bit-identical to int32.
+        Borders and outputs stay int32 either way.
     """
     R = int(a_codes.size)
     W = int(profile.shape[1])
@@ -182,6 +314,22 @@ def sweep_block(
         raise ConfigError("h_left/e_left must have one entry per block row")
     if row_sink is not None and sink_interval <= 0:
         raise ConfigError("row_sink requires a positive sink_interval")
+
+    escalated = False
+    if dp is not None and dp.narrow and local and row_sink is None:
+        max_w = dp.max_width(scoring)
+        if W > max_w:
+            raise ConfigError(
+                f"block width {W} exceeds {dp.name} max sweep width {max_w} "
+                f"under this scoring scheme")
+        cap = dp.overflow_limit(scoring, W)
+        if narrow_entry_ok(h_top, f_top, h_left, e_left, h_diag, cap):
+            result = _sweep_block_narrow(
+                a_codes, profile, h_top, f_top, h_left, e_left, h_diag,
+                scoring, dp, cap, track_best=track_best)
+            if result is not None:
+                return result
+        escalated = True
 
     open_ = DTYPE(scoring.gap_open)
     ext = DTYPE(scoring.gap_extend)
@@ -255,6 +403,7 @@ def sweep_block(
         e_right=e_right,
         corner=int(h_prev[-1]),
         best=best,
+        escalated=escalated,
     )
 
 

@@ -28,6 +28,7 @@ from repro.multigpu import (
     MatrixWorkload,
     MultiGpuChain,
     Node,
+    WorkerPool,
     align_multi_gpu,
     align_multi_process,
 )
@@ -511,3 +512,111 @@ class TestHeuristicDifferential:
         # Disjoint: a skipped block is never also counted as pruned.
         per_gpu_total = sum(g.blocks_checked for g in res.gpus)
         assert res.blocks_pruned <= per_gpu_total
+
+
+class TestDpDtypeDifferential:
+    """Narrow DP dtypes are bit-identical to int32 across every engine.
+
+    The same drawn workload runs through the simulated chain, the
+    real-process chain, and the persistent worker pool under both block
+    kernels, once wide and once narrow; scores AND end cells must match
+    exactly.  A second suite repeats the exercise with a hot scoring
+    scheme that forces mid-sweep escalations, so the recompute path is
+    held to the same standard — and the escalations are visible in the
+    engine counters.
+    """
+
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        m=st.integers(min_value=80, max_value=180),
+        workers=st.integers(min_value=1, max_value=3),
+        block_rows=st.integers(min_value=8, max_value=48),
+        kernel=st.sampled_from(["scalar", "batched"]),
+        dtype=st.sampled_from(["int16", "auto"]),
+    )
+    def test_narrow_matches_wide_across_engines(self, seed, m, workers,
+                                                block_rows, kernel, dtype):
+        rng = np.random.default_rng(seed)
+        a = random_dna(m, rng=rng)
+        b = mutate(a, HUMAN_CHIMP, rng=rng)
+        scoring = DNA_DEFAULT
+
+        ref = align_multi_gpu(
+            a, b, scoring, [TESLA_M2090] * workers,
+            config=ChainConfig(block_rows=block_rows, kernel=kernel,
+                               dp_dtype="int32"))
+        assert ref.dp_dtype == "int32"
+
+        sim = align_multi_gpu(
+            a, b, scoring, [TESLA_M2090] * workers,
+            config=ChainConfig(block_rows=block_rows, kernel=kernel,
+                               dp_dtype=dtype))
+        assert sim.score == ref.score
+        assert (sim.best.row, sim.best.col) == (ref.best.row, ref.best.col)
+        assert sim.dp_dtype != "int32"  # small matrices always fit narrow
+        assert sim.blocks_narrow > 0 and sim.dtype_escalations == 0
+
+        real = align_multi_process(a, b, scoring, workers=workers,
+                                   block_rows=block_rows, kernel=kernel,
+                                   dp_dtype=dtype)
+        assert real.score == ref.score
+        assert (real.best.row, real.best.col) == (ref.best.row, ref.best.col)
+        assert real.dp_dtype == sim.dp_dtype
+
+        with WorkerPool(workers, max_block_rows=max(block_rows, 8)) as pool:
+            pooled = pool.align(a, b, scoring, block_rows=block_rows,
+                                kernel=kernel, dp_dtype=dtype)
+        assert pooled.score == ref.score
+        assert (pooled.best.row, pooled.best.col) == \
+            (ref.best.row, ref.best.col)
+
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        workers=st.integers(min_value=1, max_value=2),
+        kernel=st.sampled_from(["scalar", "batched"]),
+    )
+    def test_forced_escalation_stays_exact(self, seed, workers, kernel):
+        # per-cell gain 1500 overwhelms the int16 overflow cap on any
+        # decent diagonal run, so narrow attempts must escalate mid-run
+        hot = Scoring(match=1500, mismatch=-3, gap_open=3, gap_extend=2)
+        rng = np.random.default_rng(seed)
+        a = random_dna(160, rng=rng)
+        b = mutate(a, HUMAN_CHIMP, rng=rng)
+
+        ref = align_multi_gpu(
+            a, b, hot, [TESLA_M2090] * workers,
+            config=ChainConfig(block_rows=32, kernel=kernel,
+                               dp_dtype="int32"))
+        sim = align_multi_gpu(
+            a, b, hot, [TESLA_M2090] * workers,
+            config=ChainConfig(block_rows=32, kernel=kernel,
+                               dp_dtype="int16"))
+        assert sim.score == ref.score
+        assert (sim.best.row, sim.best.col) == (ref.best.row, ref.best.col)
+        assert sim.dtype_escalations > 0
+        # every computed block is accounted narrow or wide, never both
+        assert sim.blocks_narrow + sim.blocks_wide == \
+            sum(g.blocks_narrow + g.blocks_wide for g in sim.gpus) > 0
+
+        real = align_multi_process(a, b, hot, workers=workers,
+                                   block_rows=32, kernel=kernel,
+                                   dp_dtype="int16")
+        assert real.score == ref.score
+        assert real.dtype_escalations > 0
+
+    def test_auto_stays_wide_when_scores_could_overflow(self, rng):
+        # megabase-scale dims: match * min(m, n) tops the int16 cap, so
+        # auto must refuse to go narrow (the never-slower guarantee)
+        a = random_dna(300, rng=rng)
+        b = mutate(a, HUMAN_CHIMP, rng=rng)
+        res = align_multi_gpu(a, b, DNA_DEFAULT, [TESLA_M2090],
+                              config=ChainConfig(block_rows=64))
+        assert res.dp_dtype in ("int8", "int16")  # this one fits fine
+        big = ChainConfig(block_rows=64, dp_dtype="auto")
+        from repro.sw.constants import resolve_dp_dtype
+        assert resolve_dp_dtype(big.dp_dtype, DNA_DEFAULT, block_cols=2048,
+                                m=10**7, n=10**7).name == "int32"

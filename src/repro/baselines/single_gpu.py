@@ -25,7 +25,9 @@ from ..errors import ConfigError
 from ..obs.instruments import (EngineInstruments, finalize_run_metrics,
                                record_dtype, record_heuristic)
 from ..seq.scoring import Scoring
+from ..sw.backend import validate_kernel
 from ..sw.blocks import BlockedOutcome, compute_blocked
+from ..sw.compiled import warmup as compiled_warmup
 from ..sw.constants import validate_dp_dtype
 from ..sw.kernel import BestCell
 from ..sw.pruning import BlockPruner
@@ -52,6 +54,8 @@ class SingleGpuResult:
     tier: str = "exact"
     escalated: bool = False
     blocks_skipped_band: int = 0
+    #: Block-sweep kernel the run used ("scalar"/"batched"/"compiled").
+    kernel: str = "scalar"
     #: DP dtype policy the run resolved to and its narrow/wide block split.
     dp_dtype: str = "int32"
     blocks_narrow: int = 0
@@ -88,6 +92,7 @@ def run_single_gpu(
     mode: str = "exact",
     band_width: int = DEFAULT_BAND_WIDTH,
     xdrop_x: int = DEFAULT_XDROP_X,
+    kernel: str = "scalar",
     dp_dtype: str = "auto",
     metrics=None,
 ) -> SingleGpuResult:
@@ -111,24 +116,28 @@ def run_single_gpu(
 
     ``dp_dtype`` selects the kernel's internal compute dtype (``"auto"``
     picks the narrowest guaranteed-overflow-free policy; explicit narrow
-    names escalate per block).  Scores stay bit-identical either way.
+    names escalate per block).  ``kernel`` selects the block sweep
+    (scalar/batched/compiled).  Scores stay bit-identical either way.
     """
     validate_mode(mode)
+    validate_kernel(kernel)
     validate_dp_dtype(dp_dtype)
     if mode != "exact":
         return _run_single_heuristic(
             a_codes, b_codes, scoring, spec,
             block_rows=block_rows, block_cols=block_cols, prune=prune,
             mode=mode, band_width=band_width, xdrop_x=xdrop_x,
-            dp_dtype=dp_dtype, metrics=metrics)
+            kernel=kernel, dp_dtype=dp_dtype, metrics=metrics)
     m, n = int(a_codes.size), int(b_codes.size)
     if block_cols is None:
         block_cols = block_rows
+    if kernel == "compiled":
+        compiled_warmup()  # idempotent; keeps compile out of callers' timings
     pruner = BlockPruner(match=scoring.match) if prune else None
     outcome: BlockedOutcome = compute_blocked(
         a_codes, b_codes, scoring,
         block_rows=block_rows, block_cols=block_cols, pruner=pruner,
-        dp_dtype=dp_dtype,
+        kernel=kernel, dp_dtype=dp_dtype,
     )
     computed = outcome.cells_total - outcome.cells_pruned
     engine = Engine()
@@ -162,6 +171,7 @@ def run_single_gpu(
         pruned_fraction=outcome.pruned_fraction,
         blocks_checked=pruner.blocks_checked if pruner is not None else 0,
         blocks_pruned=pruner.blocks_pruned if pruner is not None else 0,
+        kernel=kernel,
         dp_dtype=outcome.dp_dtype,
         blocks_narrow=outcome.blocks_narrow,
         blocks_wide=outcome.blocks_wide,
@@ -197,6 +207,7 @@ def _run_single_heuristic(
     mode: str,
     band_width: int,
     xdrop_x: int,
+    kernel: str = "scalar",
     dp_dtype: str = "auto",
     metrics=None,
 ) -> SingleGpuResult:
@@ -245,7 +256,7 @@ def _run_single_heuristic(
             exact = run_single_gpu(
                 a_codes, b_codes, scoring, spec,
                 block_rows=block_rows, block_cols=block_cols, prune=prune,
-                dp_dtype=dp_dtype)
+                kernel=kernel, dp_dtype=dp_dtype)
             best = exact.best
             computed += exact.cells_computed
             total += exact.total_time_s
@@ -269,6 +280,7 @@ def _run_single_heuristic(
         mode=mode,
         tier=tier,
         escalated=escalated,
+        kernel=kernel,
         dp_dtype=dp_name,
         blocks_narrow=blocks_narrow,
         blocks_wide=blocks_wide,

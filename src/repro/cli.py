@@ -47,7 +47,7 @@ from .multigpu import (
     time_multi_gpu,
 )
 from .perf import format_table, humanize_cells, humanize_time
-from .sw import DP_DTYPE_CHOICES, KERNELS, align_local
+from .sw import DP_DTYPE_CHOICES, KERNEL_CHOICES, align_local, resolve_kernel
 from .sw.xdrop import DEFAULT_BAND_WIDTH, DEFAULT_XDROP_X, MODES
 
 #: Name -> preset mapping for --gpu flags.
@@ -145,6 +145,10 @@ def cmd_align(args: argparse.Namespace) -> int:
         def on_stall(report):
             print(f"[mgsw] {report.describe()}", file=sys.stderr)
 
+        # Resolve before spawning: an explicit --kernel compiled without
+        # numba fails here with a clean ConfigError; --kernel auto
+        # degrades to the best backend this host can actually run.
+        kernel = resolve_kernel(args.kernel)
         t0 = time_mod.perf_counter()
         res = align_multi_process(
             a, b, seq.DNA_DEFAULT,
@@ -153,7 +157,7 @@ def cmd_align(args: argparse.Namespace) -> int:
             capacity=args.buffer,
             transport=args.transport,
             start_method=args.start_method,
-            kernel=args.kernel,
+            kernel=kernel,
             pruning=args.pruning,
             mode=args.mode,
             band_width=args.band_width,
@@ -173,7 +177,8 @@ def cmd_align(args: argparse.Namespace) -> int:
                 "backend": "process", "workers": args.workers,
                 "block_rows": args.block_rows, "capacity": args.buffer,
                 "transport": args.transport,
-                "start_method": res.start_method, "kernel": args.kernel,
+                "start_method": res.start_method, "kernel": kernel,
+                "kernel_requested": args.kernel,
                 "pruning": args.pruning, "heartbeat_s": heartbeat_s,
                 "max_restarts": args.max_restarts,
                 "restart_backoff_s": args.restart_backoff_s,
@@ -188,8 +193,14 @@ def cmd_align(args: argparse.Namespace) -> int:
         from .perf.report import chain_report
 
         devices = _devices_from_args(args)
+        # --kernel auto consults the measured device autotuner (the
+        # chain's first device stands in for the host probe).
+        kernel = resolve_kernel(args.kernel, spec=devices[0],
+                                scoring=seq.DNA_DEFAULT,
+                                block_rows=args.block_rows,
+                                dp_dtype=args.dp_dtype)
         cfg = ChainConfig(block_rows=args.block_rows, channel_capacity=args.buffer,
-                          kernel=args.kernel, pruning=args.pruning,
+                          kernel=kernel, pruning=args.pruning,
                           mode=args.mode, band_width=args.band_width,
                           xdrop_x=args.xdrop_x, dp_dtype=args.dp_dtype)
         t0 = time_mod.perf_counter()
@@ -201,7 +212,8 @@ def cmd_align(args: argparse.Namespace) -> int:
             config = {
                 "backend": "sim", "devices": [d.name for d in devices],
                 "block_rows": args.block_rows, "buffer": args.buffer,
-                "kernel": args.kernel, "pruning": args.pruning,
+                "kernel": kernel, "kernel_requested": args.kernel,
+                "pruning": args.pruning,
                 "mode": args.mode, "band_width": args.band_width,
                 "xdrop_x": args.xdrop_x, "dp_dtype": args.dp_dtype,
             }
@@ -320,17 +332,18 @@ def cmd_perf_trace_export(args: argparse.Namespace) -> int:
     a = seq.read_single(args.seq_a).codes
     b = seq.read_single(args.seq_b).codes
     tracer = Tracer()
+    kernel = resolve_kernel(args.kernel)
     if args.backend == "process":
         res = align_multi_process(
             a, b, seq.DNA_DEFAULT, workers=args.workers,
             block_rows=args.block_rows, capacity=args.buffer,
-            transport=args.transport, kernel=args.kernel,
+            transport=args.transport, kernel=kernel,
             pruning=args.pruning, tracer=tracer)
     else:
         devices = _devices_from_args(args)
         cfg = ChainConfig(block_rows=args.block_rows,
                           channel_capacity=args.buffer,
-                          kernel=args.kernel, pruning=args.pruning)
+                          kernel=kernel, pruning=args.pruning)
         res = align_multi_gpu(a, b, seq.DNA_DEFAULT, devices, config=cfg,
                               tracer=tracer)
     doc = tracer_to_chrome(tracer)
@@ -391,10 +404,13 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="multiprocessing start method (default: fork if "
                         "available, else spawn)")
-    p.add_argument("--kernel", choices=KERNELS, default="scalar",
-                   help="block sweep kernel: scalar (one block at a time) or "
+    p.add_argument("--kernel", choices=KERNEL_CHOICES, default="scalar",
+                   help="block sweep kernel: scalar (one block at a time), "
                         "batched (one NumPy sweep per row across all resident "
-                        "blocks); scores are bit-identical")
+                        "blocks), compiled (numba-jitted fused row sweeps; "
+                        "needs the optional '.[compiled]' extra), or auto "
+                        "(measured pick among the backends this host can "
+                        "run); scores are bit-identical")
     p.add_argument("--pruning", action=argparse.BooleanOptionalAction,
                    default=False,
                    help="distributed block pruning against a chain-wide "
@@ -496,7 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--workers", type=int, default=2,
                    help="slab worker count for --backend process")
     q.add_argument("--transport", choices=TRANSPORTS, default="shm")
-    q.add_argument("--kernel", choices=KERNELS, default="scalar")
+    q.add_argument("--kernel", choices=KERNEL_CHOICES, default="scalar")
     q.add_argument("--pruning", action=argparse.BooleanOptionalAction,
                    default=False)
     _add_device_args(q)

@@ -42,7 +42,11 @@ PROGRESS_NAME_PREFIX = "mgswbeat"
 
 #: Worker phases, in the order they occur inside one block row.  The
 #: board stores the index; readers translate back through this tuple.
-PHASES = ("idle", "wait", "compute", "pruned", "send", "done", "checkpoint")
+#: ``warmup`` (appended last to keep older encodings stable) marks the
+#: one-time per-process JIT compile of the compiled kernel backend —
+#: rate samplers treat it like ``idle``: no rows are advancing.
+PHASES = ("idle", "wait", "compute", "pruned", "send", "done", "checkpoint",
+          "warmup")
 
 #: Bytes per worker slot: rows_done (int64) + phase (int64) + beat (float64).
 SLOT_BYTES = 24

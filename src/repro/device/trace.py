@@ -31,8 +31,11 @@ from ..errors import SimulationError
 #: worker failure.  ``band-skip`` marks a block skipped because it lies
 #: entirely outside the static alignment band (``mode="banded"``) — like
 #: ``pruned``, a zero-length bookkeeping span.
+#: ``warmup`` marks one-time per-process setup (JIT compilation of the
+#: compiled kernel backend) that deliberately runs *before* the first
+#: block so it never pollutes compute spans or latency histograms.
 KINDS = ("compute", "d2h", "h2d", "wait", "pruned", "checkpoint", "recovery",
-         "band-skip")
+         "band-skip", "warmup")
 
 
 @dataclass(frozen=True)
@@ -212,7 +215,7 @@ def merge_wall_records(
 
 #: Glyph per interval kind in the Gantt rendering.
 _GLYPHS = {"compute": "#", "d2h": ">", "h2d": "<", "wait": ".", "pruned": "x",
-           "checkpoint": "c", "recovery": "!"}
+           "checkpoint": "c", "recovery": "!", "warmup": "w"}
 
 #: Fixed tie-break priority for bucket glyphs: on equal durations the
 #: *earlier* kind in :data:`KINDS` wins (compute over transfers over

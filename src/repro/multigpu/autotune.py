@@ -68,8 +68,24 @@ DEFAULT_BLOCK_ROWS = (256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
 DEFAULT_CAPACITIES = (2, 4, 8, 16)
 #: Calibration candidates for :func:`tune_device_kernel`.
 DEFAULT_CALIBRATION_BLOCK_ROWS = (128, 256, 512)
+#: Always-available core kernels; the default candidate set extends this
+#: with ``compiled`` when the numba probe succeeds (see
+#: :func:`default_calibration_kernels`).
 DEFAULT_CALIBRATION_KERNELS = ("scalar", "batched")
 DEFAULT_CALIBRATION_DTYPES = ("int32", "int16", "int8")
+
+
+def default_calibration_kernels() -> tuple[str, ...]:
+    """Kernel candidates this host can actually run, probed at call time.
+
+    ``compiled`` joins the core pair only when numba imports — a
+    calibration must never crash (or silently measure the fallback
+    oracle) on hosts without the optional dependency.
+    """
+    from ..sw.backend import numba_available  # lazy: keeps import light
+    if numba_available():
+        return DEFAULT_CALIBRATION_KERNELS + ("compiled",)
+    return DEFAULT_CALIBRATION_KERNELS
 
 
 @dataclass(frozen=True)
@@ -229,7 +245,7 @@ def tune_device_kernel(
     scoring: Scoring,
     *,
     block_rows_candidates: Sequence[int] = DEFAULT_CALIBRATION_BLOCK_ROWS,
-    kernels: Sequence[str] = DEFAULT_CALIBRATION_KERNELS,
+    kernels: Sequence[str] | None = None,
     dp_dtypes: Sequence[str] = DEFAULT_CALIBRATION_DTYPES,
     probe_cols: int = 1024,
     repeats: int = 2,
@@ -250,11 +266,21 @@ def tune_device_kernel(
     what *this* scheme admits).  The winner maximises probed cells per
     second.  Results are memoised per ``(device, scoring, grid)`` key
     for the process lifetime.
+
+    ``kernels=None`` (the default) probes every backend this host can
+    run (:func:`default_calibration_kernels`); when ``compiled`` is
+    among the candidates its JIT is warmed **before** any probe runs,
+    so one-time compile cost never poisons the measurements.
     """
     if repeats <= 0:
         raise ConfigError("repeats must be positive")
     if probe_cols <= 0:
         raise ConfigError("probe_cols must be positive")
+    if kernels is None:
+        kernels = default_calibration_kernels()
+    if "compiled" in kernels:
+        from ..sw.compiled import warmup as compiled_warmup
+        compiled_warmup()
     cache_key = (_devices_key([spec]), _scoring_key(scoring),
                  tuple(block_rows_candidates), tuple(kernels),
                  tuple(dp_dtypes), probe_cols, repeats, seed)

@@ -42,6 +42,8 @@ from ..obs.instruments import (EngineInstruments, finalize_run_metrics,
 from ..seq.scoring import Scoring
 from ..sw.batched import BlockJob, KernelWorkspace, cached_profile, sweep_wavefront, validate_kernel
 from ..sw.blocks import BlockSpec, pruned_border_result
+from ..sw.compiled import sweep_block_compiled
+from ..sw.compiled import warmup as compiled_warmup
 from ..sw.constants import DTYPE, NEG_INF, DpPolicy, resolve_dp_dtype, validate_dp_dtype
 from ..sw.kernel import BestCell, sweep_block
 from ..sw.pruning import BlockPruner
@@ -78,8 +80,12 @@ class ChainConfig:
         :func:`~repro.sw.kernel.sweep_block` per block; ``"batched"``
         routes blocks through :func:`~repro.sw.batched.sweep_wavefront`
         with a per-run :class:`~repro.sw.batched.KernelWorkspace`, so the
-        sweeps reuse scratch instead of reallocating every block row.
-        Bit-identical results either way; phantom runs ignore it.
+        sweeps reuse scratch instead of reallocating every block row;
+        ``"compiled"`` calls the numba-jitted fused sweep
+        (:func:`~repro.sw.compiled.sweep_block_compiled`; JIT-warmed once
+        before the event loop starts so compile time never lands inside a
+        virtual compute span).  Bit-identical results every way; phantom
+        runs ignore it.
     pruning:
         Enables distributed block pruning (compute mode only): every
         device checks each slab block row against the chain-wide best
@@ -394,6 +400,11 @@ class MultiGpuChain:
                 # interleave (each work thunk runs atomically inside the
                 # single-threaded event loop).
                 workspace = KernelWorkspace()
+            elif cfg.kernel == "compiled":
+                # JIT-warm before the event loop: the simulated clock is
+                # virtual, but the host wall time callers measure around
+                # run() should not fold numba compiles into block 0.
+                compiled_warmup()
 
         # Distributed pruning: one pruner per device, all publishing into
         # one in-process scoreboard (the lock-free SharedScoreboard plays
@@ -501,6 +512,12 @@ class MultiGpuChain:
                                 return sweep_wavefront([job], scoring, local=True,
                                                        workspace=workspace,
                                                        dp=dp_policy)[0]
+                        elif cfg.kernel == "compiled":
+                            def work(a=a_slice, p=p_slice, ht=ht, ft=ft,
+                                     hl=h_left, el=e_left, c=corner):
+                                return sweep_block_compiled(
+                                    a, p, ht, ft, hl, el, c, scoring,
+                                    local=True, dp=dp_policy)
                         else:
                             def work(a=a_slice, p=p_slice, ht=ht, ft=ft,
                                      hl=h_left, el=e_left, c=corner):

@@ -48,7 +48,9 @@ from ..obs.instruments import (EngineInstruments, finalize_run_metrics,
                                record_heuristic, record_recovery)
 from ..obs.registry import MetricsRegistry
 from ..seq.scoring import Scoring
+from ..sw.backend import KERNELS
 from ..sw.batched import KernelWorkspace, validate_kernel
+from ..sw.compiled import warmup as compiled_warmup
 from ..sw.constants import resolve_dp_dtype, validate_dp_dtype
 from ..sw.kernel import BestCell
 from ..sw.pruning import BlockPruner
@@ -68,7 +70,7 @@ from .procchain import (
 
 
 def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
-                 scoreboard, progress=None):
+                 scoreboard, progress=None, warm_kernels=()):
     """Long-lived slab worker: one task per comparison, ``None`` to exit.
 
     Result message layout matches the one-shot worker's (see
@@ -77,6 +79,13 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
     reads ``msg[-2]`` as err.  A fresh per-comparison registry keeps the
     snapshots additive — the parent merges them, so pool-lifetime totals
     still accumulate there.
+
+    JIT warmup runs **once per process**, never per block: kernels named
+    in *warm_kernels* compile at spawn (before the worker even blocks on
+    its queue); otherwise the first ``kernel="compiled"`` task pays one
+    lazy warmup wrapped in a ``warmup`` recorder span, so the compile
+    cost is visible in the merged trace instead of inflating that task's
+    first compute interval.
 
     The task tuple's tail carries the recovery fields: *resume_state*
     (``(start_row, h_init, f_init)`` or ``None``), the per-attempt
@@ -87,6 +96,14 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
     int32; the tiny frozen dataclass pickles cleanly).
     """
     workspace = KernelWorkspace()  # persists across comparisons
+    warmed = False
+    if "compiled" in warm_kernels:
+        if progress is not None:
+            progress.beat(worker_id, 0, "warmup")
+        compiled_warmup()  # spawn-time compile: no task is waiting yet
+        warmed = True
+        if progress is not None:
+            progress.beat(worker_id, 0, "idle")
     while True:
         task = task_queue.get()
         if task is None:
@@ -105,6 +122,14 @@ def _pool_worker(worker_id, task_queue, result_queue, recv_link, send_link,
         start_row, h_init, f_init = (resume_state if resume_state is not None
                                      else (0, None, None))
         try:
+            if kernel == "compiled" and not warmed:
+                # Lazy once-per-process warm: the span lands in this
+                # task's recorder so the merged trace shows the compile.
+                if progress is not None:
+                    progress.beat(worker_id, start_row, "warmup")
+                with recorder.span("warmup"):
+                    compiled_warmup()
+                warmed = True
             outcome = sweep_slab(a_codes, b_slab, slab, scoring, block_rows,
                                  recv_link, send_link, recorder, border_timeout_s,
                                  fault_block,
@@ -156,6 +181,12 @@ class WorkerPool:
         shared-memory ring slots once, at construction.
     capacity, transport, start_method, border_timeout_s:
         As in :func:`~repro.multigpu.procchain.align_multi_process`.
+    warm_kernels:
+        Kernel backends every worker pre-compiles **at spawn**, before
+        the first task (e.g. ``("compiled",)``) — batch campaigns pay
+        the JIT cost once per process instead of skewing the first
+        comparison.  Kernels not listed here still warm lazily (once
+        per process) on their first use.
     """
 
     def __init__(
@@ -168,6 +199,7 @@ class WorkerPool:
         transport: str = "shm",
         start_method: str | None = None,
         border_timeout_s: float = 60.0,
+        warm_kernels: Sequence[str] = (),
     ) -> None:
         if workers <= 0:
             raise ConfigError("workers must be positive")
@@ -180,8 +212,13 @@ class WorkerPool:
                 f"unknown transport {transport!r}; expected one of {TRANSPORTS}")
         if weights is not None and len(weights) != workers:
             raise ConfigError("weights length must equal the worker count")
+        for k in warm_kernels:
+            if k not in KERNELS:
+                raise ConfigError(
+                    f"unknown warm kernel {k!r}; expected one of {KERNELS}")
 
         self.workers = workers
+        self.warm_kernels = tuple(warm_kernels)
         self.weights = list(weights) if weights is not None else [1.0] * workers
         self.max_block_rows = max_block_rows
         self.capacity = capacity
@@ -236,7 +273,8 @@ class WorkerPool:
             proc = self._ctx.Process(
                 target=_pool_worker,
                 args=(g, self._task_queues[g], self._result_queue,
-                      recv_link, send_link, self._scoreboard, self._progress),
+                      recv_link, send_link, self._scoreboard, self._progress,
+                      self.warm_kernels),
                 name=f"mgsw-pool-{g}",
             )
             proc.daemon = True

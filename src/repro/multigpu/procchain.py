@@ -65,6 +65,8 @@ from ..perf.metrics import gcups as _metrics_gcups
 from ..seq.scoring import Scoring
 from ..sw.batched import BlockJob, KernelWorkspace, cached_profile, sweep_wavefront, validate_kernel
 from ..sw.blocks import BlockSpec, pruned_border_result
+from ..sw.compiled import sweep_block_compiled
+from ..sw.compiled import warmup as compiled_warmup
 from ..sw.constants import (DTYPE, NEG_INF, DpPolicy, resolve_dp_dtype,
                             validate_dp_dtype)
 from ..sw.kernel import BestCell, sweep_block
@@ -390,6 +392,11 @@ def sweep_slab(
                                    h_left, e_left, corner)
                     result = sweep_wavefront([job], scoring, local=True,
                                              workspace=workspace, dp=dp)[0]
+                elif kernel == "compiled":
+                    result = sweep_block_compiled(
+                        a_codes[r0:r1], profile, h_top, f_top, h_left, e_left,
+                        corner, scoring, local=True, dp=dp,
+                    )
                 else:
                     result = sweep_block(
                         a_codes[r0:r1], profile, h_top, f_top, h_left, e_left,
@@ -500,6 +507,14 @@ def _worker(
     start_row, h_init, f_init = (resume_state if resume_state is not None
                                  else (0, None, None))
     try:
+        if kernel == "compiled":
+            # JIT-warm before the first block so compile time lands in an
+            # explicit tracer span instead of the first compute span (and
+            # hence the block_sweep_seconds histogram / progress rates).
+            if progress is not None:
+                progress.beat(worker_id, start_row, "warmup")
+            with recorder.span("warmup"):
+                compiled_warmup()
         outcome = sweep_slab(a_codes, b_slab, slab, scoring, block_rows,
                              recv_link, send_link, recorder, border_timeout_s,
                              fault_block, kernel, n_cols=n_cols,

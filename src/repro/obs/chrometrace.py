@@ -38,6 +38,7 @@ KIND_COLOURS = {
     "checkpoint": "grey",
     "recovery": "terrible",
     "band-skip": "good",
+    "warmup": "generic_work",
 }
 
 #: Microseconds per tracer time unit (tracer intervals are seconds).

@@ -107,6 +107,9 @@ def process_result_dict(result) -> dict:
         # Cross-process clock-skew spans clamped during trace merging —
         # nonzero values flag workers whose perf_counter drifted.
         "clamped_records": result.tracer.clamped_records if result.tracer else 0,
+        # One-time JIT compile cost (kernel="compiled"), kept out of the
+        # compute totals by construction; 0.0 on the other kernels.
+        "warmup_s": _warmup_seconds(result.tracer),
         "workers": [
             {
                 "name": f"worker{g}",
@@ -115,6 +118,7 @@ def process_result_dict(result) -> dict:
                 "transfer_s": (result.tracer.total(f"worker{g}", "d2h")
                                + result.tracer.total(f"worker{g}", "h2d")) if result.tracer else None,
                 "wait_s": result.tracer.total(f"worker{g}", "wait") if result.tracer else None,
+                "warmup_s": result.tracer.total(f"worker{g}", "warmup") if result.tracer else None,
             }
             for g, slab in enumerate(result.partition)
         ],
@@ -127,6 +131,7 @@ def single_result_dict(result) -> dict:
     :class:`~repro.sw.pruning.BlockPruner` statistics that used to be
     dropped on the single-engine path."""
     return {
+        "kernel": getattr(result, "kernel", "scalar"),
         "cells": result.cells,
         "cells_computed": result.cells_computed,
         "total_time_s": result.total_time_s,
@@ -163,6 +168,14 @@ def result_dict(result) -> dict:
     if hasattr(result, "wall_time_s"):
         return process_result_dict(result)
     return single_result_dict(result)
+
+
+def _warmup_seconds(tracer) -> float:
+    """Total JIT warmup time recorded across every actor (0.0 without a
+    tracer or on kernels that never warm)."""
+    if tracer is None:
+        return 0.0
+    return sum(iv.duration for iv in tracer.intervals if iv.kind == "warmup")
 
 
 def _dtype_dict(result) -> dict | None:
@@ -215,6 +228,9 @@ def single_report(result, *, title: str = "single-GPU run") -> str:
         f"virtual time: {humanize_time(result.total_time_s)}   "
         f"throughput: {result.gcups:.2f} GCUPS"
     )
+    kernel = getattr(result, "kernel", "scalar")
+    if kernel != "scalar":
+        lines.append(f"kernel: {kernel}")
     if result.best.row >= 0:
         lines.append(
             f"best score: {result.score} ending at "
@@ -264,6 +280,10 @@ def process_report(result, *, title: str = "process chain run") -> str:
             f"recovery: {result.restarts} restart(s), "
             f"{result.rows_recomputed} rows recomputed from checkpoints"
         )
+    warmup_s = _warmup_seconds(result.tracer)
+    if warmup_s > 0:
+        lines.append(f"jit warmup: {humanize_time(warmup_s)} total "
+                     "(excluded from compute spans)")
     tier_line = _heuristic_line(result)
     if tier_line:
         lines.append(tier_line)

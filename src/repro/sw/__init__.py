@@ -2,9 +2,15 @@
 
 Layering (bottom up):
 
+* :mod:`repro.sw.scan` — the shared E-scan recurrence (sequential and
+  Kogge–Stone log-step prefix-max engines).
 * :mod:`repro.sw.kernel` — the vectorised Gotoh row-sweep ("GPU kernel").
 * :mod:`repro.sw.batched` — batched wavefront kernel + workspace arena +
   profile cache (one stacked sweep per anti-diagonal).
+* :mod:`repro.sw.backend` — kernel registry + capability probing
+  (``--kernel`` resolution, numba detection).
+* :mod:`repro.sw.compiled` — numba-jitted fused row sweeps with the
+  register-carried E-scan (pure-NumPy Kogge–Stone oracle fallback).
 * :mod:`repro.sw.naive` — full-matrix oracle used by the tests.
 * :mod:`repro.sw.blocks` — block grid + single-device blocked executor.
 * :mod:`repro.sw.pruning` — block pruning for similar sequences.
@@ -16,14 +22,37 @@ Layering (bottom up):
 """
 
 from .alignment import Alignment, from_ops
+from .backend import (
+    KERNEL_CHOICES,
+    KERNELS,
+    available_kernels,
+    numba_available,
+    require_kernel,
+    resolve_kernel,
+    validate_kernel,
+)
 from .banded import banded_score
 from .batched import (
-    KERNELS,
     BlockJob,
     KernelWorkspace,
     ProfileCache,
     cached_profile,
     sweep_wavefront,
+)
+from .compiled import (
+    jit_available,
+    sweep_block_compiled,
+    sweep_wavefront_compiled,
+)
+from .compiled import warmup as compiled_warmup
+from .scan import (
+    SCAN_ENGINES,
+    escan_row,
+    escan_segmented,
+    kogge_stone_max,
+    prefix_max,
+    scan_engine,
+    use_scan_engine,
 )
 from .blocks import BlockSpec, BlockedOutcome, compute_blocked, grid_specs, wavefront_order
 from .constants import (
@@ -75,6 +104,23 @@ __all__ = [
     "from_ops",
     "banded_score",
     "KERNELS",
+    "KERNEL_CHOICES",
+    "available_kernels",
+    "numba_available",
+    "require_kernel",
+    "resolve_kernel",
+    "validate_kernel",
+    "jit_available",
+    "sweep_block_compiled",
+    "sweep_wavefront_compiled",
+    "compiled_warmup",
+    "SCAN_ENGINES",
+    "escan_row",
+    "escan_segmented",
+    "kogge_stone_max",
+    "prefix_max",
+    "scan_engine",
+    "use_scan_engine",
     "BlockJob",
     "KernelWorkspace",
     "ProfileCache",

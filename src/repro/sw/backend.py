@@ -1,0 +1,148 @@
+"""Kernel backend registry: capability probing and ``--kernel`` resolution.
+
+The library ships three block-sweep kernels:
+
+``scalar``
+    One NumPy row loop per block (``sw/kernel.py``).  Always available.
+``batched``
+    Stacked ``(B, W)`` wavefront sweeps (``sw/batched.py``).  Always
+    available.
+``compiled``
+    Numba-jitted fused row sweeps with the log-step E-scan
+    (``sw/compiled.py``).  Needs the optional ``numba`` dependency
+    (``pip install .[compiled]``); without it the *library* still
+    accepts ``kernel="compiled"`` and transparently runs the pure-NumPy
+    Kogge–Stone oracle (bit-identical, no speedup), while the *CLI*
+    refuses it with a clear error so users don't silently benchmark the
+    fallback.  ``--kernel auto`` degrades instead of erroring.
+
+Capabilities are probed exactly once at import: ``import numba`` (and,
+for a future GPU lane, ``import cupy``) inside a ``try`` so a missing
+or broken optional install can never take the core library down.  Set
+``MGSW_NO_NUMBA=1`` to force the fallback path even where numba is
+installed — CI uses it to exercise the degraded matrix.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import ConfigError
+
+#: Every kernel name the engines understand, available or not.
+KERNELS = ("scalar", "batched", "compiled")
+
+#: Kernels that need no optional dependency.
+CORE_KERNELS = ("scalar", "batched")
+
+#: What the CLI accepts: the kernel universe plus measured resolution.
+KERNEL_CHOICES = ("auto",) + KERNELS
+
+
+def _probe_numba():
+    """Import numba if present and not disabled; never raises."""
+    if os.environ.get("MGSW_NO_NUMBA"):
+        return None
+    try:
+        import numba  # type: ignore[import-not-found]
+    except Exception:  # ImportError, or a broken install — same answer
+        return None
+    return numba
+
+
+def _probe_cupy():
+    """Import cupy if present and usable; never raises.  No kernel uses
+    it yet — the probe exists so ``available_kernels`` callers (and the
+    autotuner) see a stable capability surface when the GPU lane lands.
+    """
+    if os.environ.get("MGSW_NO_CUPY"):
+        return None
+    try:
+        import cupy  # type: ignore[import-not-found]
+    except Exception:
+        return None
+    return cupy
+
+
+#: Probe results, set once at import.  Tests monkeypatch these (and call
+#: :func:`repro.sw.compiled.reset_jit`) to simulate either environment.
+NUMBA = _probe_numba()
+CUPY = _probe_cupy()
+
+
+def numba_available() -> bool:
+    return NUMBA is not None
+
+
+def available_kernels() -> tuple[str, ...]:
+    """The kernels that run at full capability in this process."""
+    if numba_available():
+        return KERNELS
+    return CORE_KERNELS
+
+
+def validate_kernel(kernel: str) -> str:
+    """Reject unknown kernel names with one shared error message.
+
+    Membership check only — ``compiled`` passes even without numba
+    (the library falls back transparently); use :func:`require_kernel`
+    where an unavailable pick must fail loudly instead.
+    """
+    if kernel not in KERNELS:
+        raise ConfigError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    return kernel
+
+
+def require_kernel(kernel: str) -> str:
+    """:func:`validate_kernel` plus a hard availability check.
+
+    The CLI front door: an explicit ``--kernel compiled`` without numba
+    is a user error worth a clear message, not a silent fallback whose
+    numbers would then be attributed to the JIT backend.
+    """
+    validate_kernel(kernel)
+    if kernel == "compiled" and not numba_available():
+        raise ConfigError(
+            "kernel 'compiled' needs the optional numba dependency "
+            "(pip install '.[compiled]'); available kernels here: "
+            f"{available_kernels()} — or use --kernel auto to degrade")
+    return kernel
+
+
+def resolve_kernel(
+    kernel: str,
+    *,
+    spec=None,
+    scoring=None,
+    block_rows: int | None = None,
+    dp_dtype: str = "auto",
+) -> str:
+    """Resolve a CLI ``--kernel`` choice to a concrete kernel name.
+
+    Concrete names pass through :func:`require_kernel`.  ``auto`` asks
+    the PR 7 measured autotuner when a device spec and scoring scheme
+    are on hand (the probe results are memoised per spec + scoring, so
+    repeated resolutions are free); without them it falls back to the
+    static preference compiled > batched, restricted to
+    :func:`available_kernels` either way — so ``auto`` *degrades* where
+    an explicit ``compiled`` errors.
+
+    ``block_rows`` and ``dp_dtype`` narrow the probe grid to the
+    caller's actual configuration (probe heights are capped at 512 rows
+    to bound calibration cost; the pick transfers).
+    """
+    if kernel != "auto":
+        return require_kernel(kernel)
+    kernels = available_kernels()
+    if spec is not None and scoring is not None:
+        from ..multigpu.autotune import tune_device_kernel  # lazy: avoids a cycle
+
+        probe_kwargs = {}
+        if block_rows is not None:
+            probe_kwargs["block_rows_candidates"] = (min(int(block_rows), 512),)
+        if dp_dtype != "auto":
+            probe_kwargs["dp_dtypes"] = (dp_dtype,)
+        choice = tune_device_kernel(spec, scoring, kernels=kernels,
+                                    **probe_kwargs)
+        return choice.kernel
+    return "compiled" if "compiled" in kernels else "batched"

@@ -53,6 +53,7 @@ from ..errors import ConfigError
 from ..seq.scoring import Scoring
 from .constants import DTYPE, MAX_SWEEP_WIDTH, NEG_INF, DpPolicy, get_policy
 from .kernel import BestCell, BlockResult, build_profile, narrow_entry_ok
+from .scan import escan_segmented
 
 #: Per-row callback of the batched sweep: ``(job_index, local_row, H, E, F)``
 #: with the arrays sliced to the job's true width and valid only for the
@@ -60,15 +61,10 @@ from .kernel import BestCell, BlockResult, build_profile, narrow_entry_ok
 #: the job index.
 BatchRowSink = Callable[[int, int, np.ndarray, np.ndarray, np.ndarray], None]
 
-#: Kernel selector values accepted by the engines and the CLI.
-KERNELS = ("scalar", "batched")
-
-
-def validate_kernel(kernel: str) -> str:
-    """Reject unknown kernel names with one shared error message."""
-    if kernel not in KERNELS:
-        raise ConfigError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
-    return kernel
+# The kernel registry moved to sw/backend.py when the compiled backend
+# landed; re-exported here because every engine historically imported it
+# from this module.
+from .backend import KERNELS, validate_kernel  # noqa: F401
 
 
 class KernelWorkspace:
@@ -444,16 +440,11 @@ def _sweep_stack(
         if local:
             np.maximum(temp, 0, out=temp)
 
-        # Segmented E-scan: one accumulate along axis 1; blocks cannot
-        # leak into each other because each owns its own axis-0 lane.
-        np.subtract(h_left[:, i], open_, out=e0)
-        np.maximum(e_left[:, i], e0, out=e0)
-        e0 -= ext
-        np.subtract(temp[:, :-1], open_, out=scan[:, 1:])
-        scan[:, 1:] += j_ext[:-1]
-        scan[:, 0] = e0
-        np.maximum.accumulate(scan, axis=1, out=scan)
-        np.subtract(scan, j_ext, out=e_row)
+        # Segmented E-scan along axis 1 (shared helper, sw/scan.py);
+        # blocks cannot leak into each other because each owns its own
+        # axis-0 lane.
+        escan_segmented(temp, h_left[:, i], e_left[:, i], open_, ext,
+                        j_ext, scan, e_row, e0)
 
         np.maximum(temp, e_row, out=temp)  # temp is now the final H row
 

@@ -20,6 +20,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..seq.scoring import Scoring
 from .batched import BlockJob, KernelWorkspace, sweep_wavefront, validate_kernel
+from .compiled import sweep_block_compiled
 from .constants import DTYPE, NEG_INF, DpPolicy, resolve_dp_dtype
 from .kernel import BestCell, BlockResult, build_profile, sweep_block
 from .pruning import BlockPruner
@@ -196,6 +197,10 @@ def compute_blocked(
     points, and borders — pruning *decisions* may differ because the
     batched schedule sees best-so-far updates one diagonal later).  A
     caller-supplied *workspace* lets repeated batched runs share scratch.
+    ``kernel="compiled"`` runs the scalar schedule with the jitted fused
+    sweep (:func:`~repro.sw.compiled.sweep_block_compiled`) per block —
+    identical pruning decisions to scalar, JIT speed (or the pure-NumPy
+    Kogge–Stone oracle where numba is absent).
 
     With *band_half_width* (local mode only), blocks that do not intersect
     the static band ``|j - i| <= band_half_width`` are skipped outright —
@@ -232,6 +237,10 @@ def compute_blocked(
             a_codes, profile_full, scoring, specs, m, n,
             local=local, pruner=pruner, workspace=workspace,
             band_half_width=band_half_width, dp=dp, dp_name=policy.name)
+    # "compiled" shares the scalar rolling-border schedule (so pruning
+    # decisions match the scalar kernel block-for-block) with the jitted
+    # sweep swapped in per block.
+    sweep_fn = sweep_block_compiled if kernel == "compiled" else sweep_block
     n_brows, n_bcols = len(specs), len(specs[0])
 
     # Rolling borders: bottom borders of the previous block row (per block
@@ -290,7 +299,7 @@ def compute_blocked(
                 blocks_pruned += 1
                 cells_pruned += spec.cells
             else:
-                result = sweep_block(
+                result = sweep_fn(
                     a_codes[spec.row0 : spec.row1],
                     profile_full[:, spec.col0 : spec.col1],
                     bnd.h_top,

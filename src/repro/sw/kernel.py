@@ -53,6 +53,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..seq.scoring import Scoring
 from .constants import DTYPE, MAX_SWEEP_WIDTH, NEG_INF, DpPolicy
+from .scan import escan_row
 
 #: Signature of the optional per-row callback: ``(local_row_index, H, E, F)``
 #: with arrays valid only for the duration of the call (copy to keep).
@@ -225,11 +226,7 @@ def _sweep_block_narrow(
         np.maximum(temp, f_row, out=temp)
         np.maximum(temp, 0, out=temp)
 
-        scan[0] = max(e_left_n[i], h_left_n[i] - open_) - ext
-        np.subtract(temp[:-1], open_, out=scan[1:])
-        scan[1:] += j_ext[:-1]
-        np.maximum.accumulate(scan, out=scan)
-        np.subtract(scan, j_ext, out=e_row)
+        escan_row(temp, h_left_n[i], e_left_n[i], open_, ext, j_ext, scan, e_row)
 
         np.maximum(temp, e_row, out=temp)
 
@@ -370,13 +367,9 @@ def sweep_block(
         #   e[j] = E[j] + j*ext;  e[j] = max(e[j-1], Q[j-1]),
         #   Q[j] = tempH[j] - open + j*ext;
         #   e[0] = E[0] = max(E_left, H_left - open) - ext.
-        # Q is written pre-shifted (scan[k] = Q[k-1]) to avoid a
-        # full-width copy per row.
-        scan[0] = max(e_left[i], h_left[i] - open_) - ext
-        np.subtract(temp[:-1], open_, out=scan[1:])
-        scan[1:] += j_ext[:-1]
-        np.maximum.accumulate(scan, out=scan)
-        np.subtract(scan, j_ext, out=e_row)
+        # The shared helper writes Q pre-shifted and evaluates the
+        # prefix-max with the active scan engine (see sw/scan.py).
+        escan_row(temp, h_left[i], e_left[i], open_, ext, j_ext, scan, e_row)
 
         np.maximum(temp, e_row, out=temp)  # temp is now the final H row
 

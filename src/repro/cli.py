@@ -18,12 +18,18 @@ Subcommands:
 * ``mgsw perf trace-export`` — run a comparison and export its timeline
   as Chrome trace-event JSON (loadable in Perfetto / ``chrome://tracing``);
 * ``mgsw perf diff OLD NEW`` — regression diff between two telemetry /
-  benchmark JSON documents (report-only unless ``--fail-on-regression``).
+  benchmark JSON documents (report-only unless ``--fail-on-regression``);
+* ``mgsw top DIR`` — live per-worker progress table rendered from a
+  running ``mgsw align --telemetry DIR`` (follows until ``run_end``).
 
 ``mgsw align --telemetry DIR`` additionally writes the full telemetry
 bundle for the run — ``manifest.json``, ``metrics.json``,
-``metrics.prom``, ``trace.json`` — and, on the process backend, arms the
-live heartbeat watchdog (``--heartbeat-s``).
+``metrics.prom``, ``trace.json``, plus the live ``events.jsonl`` event
+journal and ``timeline.jsonl`` progress frames — and, on the process
+backend, arms the live heartbeat watchdog (``--heartbeat-s``).
+``mgsw align --serve-metrics PORT`` streams the same live state over
+HTTP while the run goes: ``/metrics`` is Prometheus text, ``/status``
+JSON progress + ETA + recent events (INTERNALS.md section 13).
 """
 
 from __future__ import annotations
@@ -113,24 +119,66 @@ def _write_telemetry(outdir, *, backend, config, res, registry, tracer,
     (outdir / "metrics.json").write_text(registry.to_json(indent=2) + "\n")
     (outdir / "metrics.prom").write_text(registry.to_prometheus())
     write_chrome_trace(outdir / "trace.json", tracer_to_chrome(tracer))
-    print(f"telemetry written to {outdir}/ "
-          "(manifest.json, metrics.json, metrics.prom, trace.json)")
+    bundle = "manifest.json, metrics.json, metrics.prom, trace.json"
+    if (outdir / "events.jsonl").exists():
+        bundle += ", events.jsonl, timeline.jsonl"
+    print(f"telemetry written to {outdir}/ ({bundle})")
 
 
 def cmd_align(args: argparse.Namespace) -> int:
     import time as time_mod
+    from pathlib import Path
 
     a = seq.read_single(args.seq_a).codes
     b = seq.read_single(args.seq_b).codes
     title = f"{args.seq_a} vs {args.seq_b}"
     telemetry = args.telemetry is not None
+    serve = getattr(args, "serve_metrics", None) is not None
+    live = telemetry or serve
     registry = tracer = None
+    journal = sampler = server = None
     if telemetry:
         from .device.trace import Tracer
-        from .obs import MetricsRegistry
+
+        tracer = Tracer()
+    if live:
+        # Live telemetry (INTERNALS.md section 13): the journal and
+        # sampler always run when any telemetry consumer is armed; the
+        # spill files land next to the post-hoc bundle under --telemetry,
+        # and --serve-metrics streams them over HTTP while the run goes.
+        from .obs import EventJournal, MetricsRegistry, TimeSeriesSampler
 
         registry = MetricsRegistry()
-        tracer = Tracer()
+        outdir = Path(args.telemetry) if telemetry else None
+        journal = EventJournal(
+            outdir / "events.jsonl" if outdir is not None else None)
+        sampler = TimeSeriesSampler(
+            spill=outdir / "timeline.jsonl" if outdir is not None else None,
+            registry=registry)
+        if serve:
+            from .obs import StatusServer
+
+            server = StatusServer(registry=registry, sampler=sampler,
+                                  journal=journal, port=args.serve_metrics)
+            server.start()
+            print(f"[mgsw] serving {server.url}/metrics (Prometheus) and "
+                  f"{server.url}/status (JSON)", file=sys.stderr)
+    try:
+        return _run_align(args, a, b, title, telemetry=telemetry,
+                          registry=registry, tracer=tracer,
+                          journal=journal, sampler=sampler,
+                          time_mod=time_mod)
+    finally:
+        if sampler is not None:
+            sampler.close()
+        if journal is not None:
+            journal.close()
+        if server is not None:
+            server.stop()
+
+
+def _run_align(args, a, b, title, *, telemetry, registry, tracer,
+               journal, sampler, time_mod) -> int:
     if args.backend == "process":
         from .perf.report import process_report
 
@@ -169,9 +217,18 @@ def cmd_align(args: argparse.Namespace) -> int:
             on_stall=on_stall if heartbeat_s is not None else None,
             max_restarts=args.max_restarts,
             restart_backoff_s=args.restart_backoff_s,
+            events=journal,
+            timeline=sampler,
         )
         wall = time_mod.perf_counter() - t0
         print(process_report(res, title=title))
+        if sampler is not None and sampler.frames():
+            from .perf.report import timeline_report
+
+            section = timeline_report(sampler.frames())
+            if section:
+                print()
+                print(section)
         if telemetry:
             config = {
                 "backend": "process", "workers": args.workers,
@@ -205,7 +262,8 @@ def cmd_align(args: argparse.Namespace) -> int:
                           xdrop_x=args.xdrop_x, dp_dtype=args.dp_dtype)
         t0 = time_mod.perf_counter()
         res = align_multi_gpu(a, b, seq.DNA_DEFAULT, devices, config=cfg,
-                              tracer=tracer, metrics=registry)
+                              tracer=tracer, metrics=registry,
+                              events=journal)
         wall = time_mod.perf_counter() - t0
         print(chain_report(res, title=title))
         if telemetry:
@@ -372,6 +430,36 @@ def cmd_perf_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    """Render the live per-worker progress table from a telemetry dir.
+
+    Follows ``timeline.jsonl``/``events.jsonl`` (re-reading them every
+    ``--interval``) until the journal carries a ``run_end`` event, then
+    exits; ``--once`` renders a single snapshot and exits immediately
+    (what CI and the tests use).
+    """
+    import time as time_mod
+    from pathlib import Path
+
+    from .obs import read_events, read_timeline
+    from .perf.report import top_table
+
+    outdir = Path(args.telemetry_dir)
+    timeline_path = outdir / "timeline.jsonl"
+    events_path = outdir / "events.jsonl"
+    while True:
+        frames = read_timeline(timeline_path)
+        events = read_events(events_path)
+        print(top_table(frames[-1] if frames else None, events=events))
+        ended = any(e.get("event") == "run_end" for e in events)
+        if args.once or ended:
+            if ended and not args.once:
+                print("run ended")
+            return 0
+        time_mod.sleep(args.interval)
+        print()
+
+
 def cmd_devices(_args: argparse.Namespace) -> int:
     rows = [
         [name, d.name, f"{d.gcups:.1f}", f"{d.pcie_gbps:.1f}", str(d.copy_engines)]
@@ -436,7 +524,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "are bit-identical either way")
     p.add_argument("--telemetry", metavar="DIR", default=None,
                    help="write the telemetry bundle (manifest.json, "
-                        "metrics.json, metrics.prom, trace.json) into DIR")
+                        "metrics.json, metrics.prom, trace.json, plus the "
+                        "live events.jsonl and timeline.jsonl) into DIR")
+    p.add_argument("--serve-metrics", metavar="PORT", type=int, default=None,
+                   help="serve live run status over HTTP while the "
+                        "comparison runs: /metrics (Prometheus text) and "
+                        "/status (JSON: progress frames, ETA, recent "
+                        "events); 0 picks an ephemeral port")
     p.add_argument("--heartbeat-s", type=float, default=None,
                    help="stall threshold for the process-backend heartbeat "
                         "watchdog (default: on with --telemetry; 0 disables)")
@@ -494,6 +588,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tiles", type=int, default=24)
     p.add_argument("--threshold", type=float, default=0.15)
     p.set_defaults(func=cmd_dotplot)
+
+    p = sub.add_parser(
+        "top",
+        help="live per-worker progress table from a --telemetry directory")
+    p.add_argument("telemetry_dir",
+                   help="directory holding timeline.jsonl / events.jsonl "
+                        "(the --telemetry DIR of a running mgsw align)")
+    p.add_argument("--once", action="store_true",
+                   help="render one snapshot and exit (default: follow "
+                        "until the journal records run_end)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh period in seconds while following")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("devices", help="list device presets and environments")
     p.set_defaults(func=cmd_devices)

@@ -23,11 +23,30 @@ is a plain subtraction in the parent, immune to wall-clock steps.  A
 stale read can only *under*-report progress, which makes the watchdog
 conservative — it may flag a worker a poll late, never wrongly early by
 more than the poll interval.
+
+Single-host clock domain
+------------------------
+``time.monotonic()`` (CLOCK_MONOTONIC) is system-wide *within one host*
+but has an arbitrary, boot-relative epoch: beat timestamps from two
+different machines are **not comparable**, and neither are readings
+taken on one host against beats stored on another.  Every consumer in
+this repository (heartbeat watchdog, rate samplers, time-series
+sampler) runs in the same host's process tree as the writers, so the
+subtraction in :meth:`ProgressSample.silent_s` is well-defined — and it
+still clamps at zero, because even same-host readers can race one
+in-flight store and observe a beat "from the future" by a few
+microseconds.  A future cross-node replication layer (ROADMAP item 1's
+gossip protocol) must therefore ship *derived* quantities (rows done,
+phase, seconds-of-silence measured by the origin host), never raw beat
+timestamps; :meth:`ProgressBoard.__setstate__` asserts the same-host
+invariant at unpickle time so a violation fails loudly instead of
+producing nonsense silence readings.
 """
 
 from __future__ import annotations
 
 import os
+import platform
 import time
 import uuid
 from dataclasses import dataclass
@@ -66,7 +85,16 @@ class ProgressSample:
         return self.last_beat > 0.0
 
     def silent_s(self, now: float | None = None) -> float:
-        """Seconds since the last beat (0.0 for a worker that never beat)."""
+        """Seconds since the last beat (0.0 for a worker that never beat).
+
+        Clamped at zero: a reader racing an in-flight beat store (or
+        handed a *now* captured just before the beat) can see a
+        timestamp slightly in the future, and "negative silence" must
+        never propagate into stall math.  Beat timestamps are only
+        comparable within one host (module docstring) — a genuinely
+        cross-host reading would be rejected at unpickle time by
+        :meth:`ProgressBoard.__setstate__` long before reaching here.
+        """
         if not self.started:
             return 0.0
         return max(0.0, (time.monotonic() if now is None else now) - self.last_beat)
@@ -87,6 +115,10 @@ class ProgressBoard:
             raise CommError("progress board needs at least one slot")
         self.n_slots = n_slots
         self.label = label
+        #: Host that owns the clock domain of every beat timestamp —
+        #: checked on unpickle (module docstring: monotonic clocks do
+        #: not compare across hosts).
+        self.host = platform.node()
         name = f"{PROGRESS_NAME_PREFIX}_{os.getpid()}_{uuid.uuid4().hex[:12]}"
         self._shm = shared_memory.SharedMemory(
             name=name, create=True, size=n_slots * SLOT_BYTES)
@@ -120,6 +152,18 @@ class ProgressBoard:
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        # Same-host invariant: beat timestamps are time.monotonic()
+        # readings, whose epoch is boot-relative — comparable only
+        # within the creating host.  A board shipped to another machine
+        # (e.g. by a future cross-node gossip layer, ROADMAP item 1)
+        # must replicate derived state instead of attaching here.
+        here = platform.node()
+        if self.host != here:
+            raise CommError(
+                f"{self.label}: progress board created on host "
+                f"{self.host!r} cannot attach on {here!r} — monotonic "
+                "beat timestamps are not comparable across hosts "
+                "(replicate derived progress, not the raw board)")
         self._shm = shared_memory.SharedMemory(name=self.name)
 
     # -- the board -----------------------------------------------------------

@@ -310,6 +310,7 @@ class MultiGpuChain:
         resume=None,
         stop_row: int | None = None,
         metrics=None,
+        events=None,
         _finalize_metrics: bool = True,
     ) -> ChainResult:
         """Execute the workload; pass a :class:`repro.device.trace.Tracer`
@@ -324,10 +325,20 @@ class MultiGpuChain:
         ``metrics`` accepts a :class:`~repro.obs.registry.MetricsRegistry`
         to collect the standard per-device instrument set (block and
         border counters, sweep latency histograms — on the **virtual**
-        clock, matching the rest of this engine's timing).
+        clock, matching the rest of this engine's timing).  ``events``
+        accepts an :class:`~repro.obs.events.EventJournal`; the simulated
+        engine journals ``run_start``/``run_end`` (plus
+        ``heuristic_escalation`` under ``mode="auto"`` and a summary
+        ``dtype_escalation``) — there are no processes to spawn or lose,
+        so the per-worker lifecycle events stay with the real-process
+        engines.
         """
         cfg = self.config
         m, n = workload.rows, workload.cols
+        if events is not None and _finalize_metrics:
+            events.emit("run_start", backend="sim", mode=cfg.mode,
+                        rows=m, cols=n, devices=len(self.specs),
+                        kernel=cfg.kernel, pruning=cfg.pruning)
         if cfg.mode != "exact":
             if workload.phantom:
                 raise ConfigError(
@@ -337,11 +348,11 @@ class MultiGpuChain:
                     "heuristic modes do not support resume/stop_row")
             if cfg.mode == "xdrop":
                 return self._run_xdrop(workload, tracer=tracer,
-                                       metrics=metrics,
+                                       metrics=metrics, events=events,
                                        _finalize_metrics=_finalize_metrics)
             if cfg.mode == "auto":
                 return self._run_auto(workload, tracer=tracer,
-                                      metrics=metrics)
+                                      metrics=metrics, events=events)
         slabs = self.partition_for(n)
         if len(slabs) != len(self.specs):
             raise ConfigError("partition size != device count")
@@ -627,6 +638,13 @@ class MultiGpuChain:
                 blocks_checked=result.blocks_checked,
                 blocks_pruned=result.blocks_pruned,
                 wall_time_s=total, gcups=result.gcups)
+        if events is not None and _finalize_metrics:
+            total_esc = sum(c[2] for c in dtype_counts)
+            if total_esc > 0:
+                events.emit("dtype_escalation", dp_dtype=dp_name,
+                            escalations=total_esc)
+            events.emit("run_end", status="ok", score=int(best.score),
+                        virtual_time_s=round(total, 6), tier=result.tier)
         return result
 
     def _run_xdrop(
@@ -635,6 +653,7 @@ class MultiGpuChain:
         *,
         tracer=None,
         metrics=None,
+        events=None,
         _finalize_metrics: bool = True,
     ) -> ChainResult:
         """``mode="xdrop"``: the extension frontier is a sequential
@@ -684,6 +703,9 @@ class MultiGpuChain:
             finalize_run_metrics(
                 metrics, backend="sim", blocks_checked=0, blocks_pruned=0,
                 wall_time_s=total, gcups=result.gcups)
+        if events is not None and _finalize_metrics:
+            events.emit("run_end", status="ok", score=int(xo.best.score),
+                        virtual_time_s=round(total, 6), tier="xdrop")
         return result
 
     def _run_auto(
@@ -692,6 +714,7 @@ class MultiGpuChain:
         *,
         tracer=None,
         metrics=None,
+        events=None,
     ) -> ChainResult:
         """``mode="auto"``: banded heuristic first; re-run exact only when
         the confidence check fails.  The reported virtual time sums the
@@ -709,6 +732,12 @@ class MultiGpuChain:
             result.config = cfg
             result.mode, result.tier = "auto", "banded"
         else:
+            if events is not None:
+                events.emit(
+                    "heuristic_escalation", tier="exact",
+                    heur_score=int(heur.best.score),
+                    band_width=cfg.band_width,
+                    reason="confidence check rejected the banded score")
             sub.config = replace(cfg, mode="exact")
             exact = sub.run(workload, tracer=tracer, metrics=metrics,
                             _finalize_metrics=False)
@@ -725,6 +754,10 @@ class MultiGpuChain:
                 blocks_checked=result.blocks_checked,
                 blocks_pruned=result.blocks_pruned,
                 wall_time_s=result.total_time_s, gcups=result.gcups)
+        if events is not None:
+            events.emit("run_end", status="ok", score=int(result.best.score),
+                        virtual_time_s=round(result.total_time_s, 6),
+                        tier=result.tier, escalated=result.escalated)
         return result
 
 
@@ -737,11 +770,12 @@ def align_multi_gpu(
     config: ChainConfig | None = None,
     tracer=None,
     metrics=None,
+    events=None,
 ) -> ChainResult:
     """Convenience wrapper: compute-mode chain run over real sequences."""
     chain = MultiGpuChain(devices, config=config)
     return chain.run(MatrixWorkload(a_codes, b_codes, scoring),
-                     tracer=tracer, metrics=metrics)
+                     tracer=tracer, metrics=metrics, events=events)
 
 
 def time_multi_gpu(

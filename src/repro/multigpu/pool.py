@@ -187,6 +187,13 @@ class WorkerPool:
         the JIT cost once per process instead of skewing the first
         comparison.  Kernels not listed here still warm lazily (once
         per process) on their first use.
+    events:
+        Optional :class:`~repro.obs.events.EventJournal` shared by the
+        pool's whole lifetime: every (re-)spawn journals
+        ``worker_spawn``, every :meth:`align` journals its lifecycle
+        (``run_start``/``worker_death``/``checkpoint``/
+        ``restart_attempt``/``slab_rebalance``/``run_end``), and the
+        per-run heartbeat watchdog adds ``stall`` events.
     """
 
     def __init__(
@@ -200,6 +207,7 @@ class WorkerPool:
         start_method: str | None = None,
         border_timeout_s: float = 60.0,
         warm_kernels: Sequence[str] = (),
+        events=None,
     ) -> None:
         if workers <= 0:
             raise ConfigError("workers must be positive")
@@ -226,6 +234,7 @@ class WorkerPool:
         self.border_timeout_s = border_timeout_s
         self._ctx = pick_context(start_method)
         self.start_method = self._ctx.get_start_method()
+        self.events = events
         self._broken = False
         self._closed = False
 
@@ -280,6 +289,9 @@ class WorkerPool:
             proc.daemon = True
             proc.start()
             self._procs.append(proc)
+            if self.events is not None:
+                self.events.emit("worker_spawn", worker=g, pid=proc.pid,
+                                 pool=True)
 
     def _teardown_workers(self, *, graceful: bool) -> list[str]:
         """Stop the current workers and release their per-spawn resources
@@ -405,6 +417,7 @@ class WorkerPool:
         dp_dtype: str = "auto",
         rebalance: bool = False,
         rebalance_threshold: float = 0.25,
+        timeline=None,
         _fault: tuple[int, int] | None = None,
         _finalize_metrics: bool = True,
     ) -> ProcessChainResult:
@@ -455,6 +468,15 @@ class WorkerPool:
         declared.  The decision is recorded on ``self.last_rebalance``
         and, when *metrics* is given, as a ``slab_rebalances`` counter
         plus per-worker ``worker_rows_per_s`` gauges.
+
+        *timeline* accepts a
+        :class:`~repro.obs.timeseries.TimeSeriesSampler`: it is attached
+        to the pool's progress board for each attempt of this comparison
+        (after the per-attempt reset) and detached with a final frame as
+        the attempt ends — see
+        :func:`~repro.multigpu.procchain.align_multi_process` for the
+        event-journal counterpart (the pool's journal is pool-lifetime,
+        passed at construction).
         """
         if self._closed:
             raise ConfigError("pool is closed")
@@ -472,6 +494,10 @@ class WorkerPool:
         if a_codes.size == 0 or b_codes.size == 0:
             raise ConfigError("sequences must be non-empty")
         if mode == "xdrop":
+            if self.events is not None and _finalize_metrics:
+                self.events.emit("run_start", backend="pool", mode="xdrop",
+                                 rows=int(a_codes.size),
+                                 cols=int(b_codes.size), workers=0)
             t0 = time.perf_counter()
             xo = xdrop_score(a_codes, b_codes, scoring, xdrop_x)
             wall = time.perf_counter() - t0
@@ -486,6 +512,11 @@ class WorkerPool:
                 finalize_run_metrics(
                     metrics, backend="pool", blocks_checked=0,
                     blocks_pruned=0, wall_time_s=wall, gcups=result.gcups)
+            if self.events is not None and _finalize_metrics:
+                self.events.emit("run_end", status="ok",
+                                 score=int(xo.best.score),
+                                 wall_time_s=round(wall, 6), restarts=0,
+                                 tier="xdrop")
             return result
         if mode == "auto":
             return self._align_auto(
@@ -496,7 +527,7 @@ class WorkerPool:
                 restart_backoff_s=restart_backoff_s, retry=retry,
                 checkpoint_blocks=checkpoint_blocks, band_width=band_width,
                 dp_dtype=dp_dtype, rebalance=rebalance,
-                rebalance_threshold=rebalance_threshold)
+                rebalance_threshold=rebalance_threshold, timeline=timeline)
         band_half_width = band_width if mode == "banded" else None
         if block_rows <= 0:
             raise ConfigError("block_rows must be positive")
@@ -523,6 +554,11 @@ class WorkerPool:
         dp_name = "int32"
         total_narrow = total_wide = total_esc = 0
         checkpoints: CheckpointArea | None = None
+        if self.events is not None and _finalize_metrics:
+            self.events.emit("run_start", backend="pool", mode=mode,
+                             rows=m, cols=n, workers=self.workers,
+                             kernel=kernel, pruning=pruning,
+                             max_restarts=retry.max_restarts)
         origin = time.perf_counter()
         try:
             while True:
@@ -538,6 +574,10 @@ class WorkerPool:
                     # and the previous run's workers have all reported).
                     self._scoreboard.reset()
                 self._progress.reset()  # same serial-point argument
+                if timeline is not None:
+                    timeline.attach(self._progress, rows=m,
+                                    cols_per_worker=[s.cols for s in slabs],
+                                    attempt=restarts)
                 if recovery:
                     checkpoints = CheckpointArea(
                         [s.cols for s in slabs],
@@ -578,7 +618,8 @@ class WorkerPool:
                     monitor = HeartbeatMonitor(
                         self._progress, stall_after_s=heartbeat_s,
                         on_stall=on_stall, hard_stall_s=hard_stall_s,
-                        on_hard_stall=on_hard, metrics=metrics)
+                        on_hard_stall=on_hard, metrics=metrics,
+                        events=self.events)
                     monitor.start()
                     describe = lambda g: f"pool worker {g} ({monitor.describe(g)})"  # noqa: E731
                 sampler = None
@@ -597,6 +638,10 @@ class WorkerPool:
                         sampler.stop()
                     if monitor is not None:
                         monitor.stop()
+                    if timeline is not None:
+                        # Always per attempt: the board is pool-lifetime
+                        # and resets at the top of the next one.
+                        timeline.detach()
 
                 attempt_best = BestCell.none()
                 worker_blocks = []
@@ -654,13 +699,35 @@ class WorkerPool:
                             blocks_checked=result.blocks_checked,
                             blocks_pruned=result.blocks_pruned,
                             wall_time_s=wall, gcups=result.gcups)
+                    if self.events is not None:
+                        if total_esc > 0:
+                            self.events.emit(
+                                "dtype_escalation", dp_dtype=dp_name,
+                                escalations=total_esc,
+                                blocks_narrow=total_narrow,
+                                blocks_wide=total_wide)
+                        if _finalize_metrics:
+                            self.events.emit(
+                                "run_end", status="ok",
+                                score=int(best.score),
+                                wall_time_s=round(wall, 6),
+                                restarts=restarts, tier=result.tier)
                     return result
 
                 # -- failed attempt --------------------------------------------
+                if self.events is not None:
+                    for key, desc, kind in failures:
+                        self.events.emit("worker_death", worker=key,
+                                         attempt=restarts, kind=kind,
+                                         detail=desc)
                 descs = [desc for _key, desc, _kind in failures]
                 if (not recovery or restarts >= retry.max_restarts
                         or any(retry.is_permanent(d) for d in descs)):
                     self._broken = True
+                    if self.events is not None and _finalize_metrics:
+                        self.events.emit("run_end", status="failed",
+                                         restarts=restarts,
+                                         detail="; ".join(descs))
                     raise RuntimeError("; ".join(descs))
 
                 fail_t = time.perf_counter() - origin
@@ -681,6 +748,9 @@ class WorkerPool:
 
                 resume_row = resume[0] if resume is not None else 0
                 r_new = checkpoints.consistent_row()
+                if self.events is not None:
+                    self.events.emit("checkpoint", attempt=restarts,
+                                     consistent_row=r_new)
                 ckpt_best = checkpoints.best_overall()
                 if ckpt_best.better_than(base_best):
                     base_best = ckpt_best
@@ -702,6 +772,11 @@ class WorkerPool:
                 if metrics is not None:
                     record_recovery(metrics, backend="pool",
                                     rows_recomputed=rows_recomputed)
+                if self.events is not None:
+                    self.events.emit("restart_attempt", attempt=restarts,
+                                     resume_row=resume_row,
+                                     workers_left=self.workers,
+                                     rows_recomputed=rows_recomputed)
                 time.sleep(retry.delay_s(restarts - 1))
                 result_tracer.record("supervisor", "recovery", fail_t,
                                      time.perf_counter() - origin)
@@ -728,12 +803,18 @@ class WorkerPool:
             for g, rate in enumerate(sampler.rates()):
                 gauge.set(rate, device=f"worker{g}")
         if decision.fired:
+            old_weights = list(self.weights)
             self.weights = list(decision.new_weights)
             if metrics is not None:
                 metrics.counter(
                     "slab_rebalances",
                     help="pool weight updates fired by online re-balancing",
                 ).inc(1, backend="pool")
+            if self.events is not None:
+                self.events.emit(
+                    "slab_rebalance",
+                    old_weights=[round(w, 4) for w in old_weights],
+                    new_weights=[round(w, 4) for w in self.weights])
 
     def _align_auto(
         self,
@@ -749,6 +830,10 @@ class WorkerPool:
         re-run over the same live workers only when
         :func:`~repro.sw.xdrop.assess_heuristic` rejects the answer."""
         m, n = int(a_codes.size), int(b_codes.size)
+        if self.events is not None:
+            self.events.emit("run_start", backend="pool", mode="auto",
+                             rows=m, cols=n, workers=self.workers,
+                             band_width=band_width)
         heur = self.align(a_codes, b_codes, scoring, mode="banded",
                           band_width=band_width, metrics=metrics,
                           _finalize_metrics=False, **kwargs)
@@ -757,6 +842,11 @@ class WorkerPool:
         if decision.confident:
             result = replace(heur, mode="auto", tier="banded")
         else:
+            if self.events is not None:
+                self.events.emit(
+                    "heuristic_escalation", tier="exact",
+                    heur_score=int(heur.best.score), band_width=band_width,
+                    reason="confidence check rejected the banded score")
             exact = self.align(a_codes, b_codes, scoring, mode="exact",
                                metrics=metrics, _finalize_metrics=False,
                                **kwargs)
@@ -772,6 +862,12 @@ class WorkerPool:
                 blocks_checked=result.blocks_checked,
                 blocks_pruned=result.blocks_pruned,
                 wall_time_s=result.wall_time_s, gcups=result.gcups)
+        if self.events is not None:
+            self.events.emit("run_end", status="ok",
+                             score=int(result.best.score),
+                             wall_time_s=round(result.wall_time_s, 6),
+                             restarts=result.restarts, tier=result.tier,
+                             escalated=result.escalated)
         return result
 
     def map(

@@ -694,6 +694,9 @@ def _run_attempt(
     fault: tuple[int, int] | None,
     band_half_width: int | None = None,
     dp: DpPolicy | None = None,
+    events=None,
+    timeline=None,
+    attempt: int = 0,
 ):
     """Run the slab workers once over ``[resume_row, m)``.
 
@@ -726,6 +729,12 @@ def _run_attempt(
 
     progress = (ProgressBoard(workers, label="chain-progress")
                 if want_progress else None)
+    if timeline is not None and progress is not None:
+        # Workers beat *absolute* matrix rows (resume attempts start
+        # partway up), so the per-worker target is simply m.
+        timeline.attach(progress, rows=int(a_codes.size),
+                        cols_per_worker=[s.cols for s in slabs],
+                        attempt=attempt)
     procs: list = []
     monitor = None
     progress_rows: list[int] = [0] * workers
@@ -752,6 +761,9 @@ def _run_attempt(
             )
             proc.start()
             procs.append(proc)
+            if events is not None:
+                events.emit("worker_spawn", worker=g, attempt=attempt,
+                            pid=proc.pid, slab_cols=slab.cols)
 
         describe = lambda key: f"worker {key}"  # noqa: E731
         if progress is not None and heartbeat_s is not None:
@@ -771,7 +783,8 @@ def _run_attempt(
             monitor = HeartbeatMonitor(progress, stall_after_s=heartbeat_s,
                                        on_stall=on_stall,
                                        hard_stall_s=hard_stall_s,
-                                       on_hard_stall=on_hard, metrics=metrics)
+                                       on_hard_stall=on_hard, metrics=metrics,
+                                       events=events)
             monitor.start()
             describe = lambda key: f"worker {key} ({monitor.describe(key)})"  # noqa: E731
 
@@ -794,6 +807,10 @@ def _run_attempt(
                 proc.kill()
                 proc.join()
         if progress is not None:
+            if timeline is not None:
+                # Final sample before the segment goes away: the last
+                # frame records how far the attempt actually got.
+                timeline.detach()
             # Sample after every worker stopped: the honest "how far did
             # each slab get" record the supervisor charges recomputation to.
             for sample in progress.snapshot():
@@ -836,6 +853,8 @@ def align_multi_process(
     band_width: int = DEFAULT_BAND_WIDTH,
     xdrop_x: int = DEFAULT_XDROP_X,
     dp_dtype: str = "auto",
+    events=None,
+    timeline=None,
     _fault: tuple[int, int] | None = None,
     _finalize_metrics: bool = True,
 ) -> ProcessChainResult:
@@ -862,6 +881,18 @@ def align_multi_process(
     silent beyond that many seconds (calling *on_stall* per episode) and
     enriches worker-death errors with the victim's last completed row
     and phase.
+
+    Live telemetry (INTERNALS.md section 13): *events* accepts an
+    :class:`~repro.obs.events.EventJournal` — the supervisor journals
+    ``run_start``/``run_end``, per-worker ``worker_spawn``/``worker_death``,
+    recovery ``checkpoint``/``restart_attempt`` and summary
+    ``dtype_escalation`` records, and the heartbeat watchdog adds
+    ``stall`` events.  *timeline* accepts a
+    :class:`~repro.obs.timeseries.TimeSeriesSampler`; it is attached to
+    each attempt's progress board (the board is created whenever a
+    sampler is armed, even without *heartbeat_s*) and detached with a
+    final frame as the attempt ends, so one ring spans every recovery
+    attempt.
 
     Recovery (INTERNALS.md section 9): with ``max_restarts > 0`` (or an
     explicit :class:`~repro.multigpu.checkpoint.RetryPolicy` via *retry*)
@@ -914,6 +945,10 @@ def align_multi_process(
         # The X-drop frontier is one sequential anti-diagonal sweep with
         # no block decomposition to distribute — it runs inline in the
         # parent (a documented scheduling decision; no workers spawn).
+        if events is not None and _finalize_metrics:
+            events.emit("run_start", backend="process", mode="xdrop",
+                        rows=int(a_codes.size), cols=int(b_codes.size),
+                        workers=0)
         t0 = time.perf_counter()
         xo = xdrop_score(a_codes, b_codes, scoring, xdrop_x)
         wall = time.perf_counter() - t0
@@ -928,6 +963,9 @@ def align_multi_process(
             finalize_run_metrics(
                 metrics, backend="process", blocks_checked=0,
                 blocks_pruned=0, wall_time_s=wall, gcups=result.gcups)
+        if events is not None and _finalize_metrics:
+            events.emit("run_end", status="ok", score=int(xo.best.score),
+                        wall_time_s=round(wall, 6), restarts=0, tier="xdrop")
         return result
     if mode == "auto":
         return _align_process_auto(
@@ -939,7 +977,8 @@ def align_multi_process(
             heartbeat_s=heartbeat_s, on_stall=on_stall,
             max_restarts=max_restarts, restart_backoff_s=restart_backoff_s,
             retry=retry, checkpoint_blocks=checkpoint_blocks,
-            band_width=band_width, dp_dtype=dp_dtype)
+            band_width=band_width, dp_dtype=dp_dtype,
+            events=events, timeline=timeline)
     band_half_width = band_width if mode == "banded" else None
     if retry is None:
         retry = RetryPolicy(max_restarts=max_restarts,
@@ -960,6 +999,11 @@ def align_multi_process(
     base_checked = base_pruned = 0
     dp_name = "int32"
     total_narrow = total_wide = total_esc = 0
+    if events is not None and _finalize_metrics:
+        events.emit("run_start", backend="process", mode=mode,
+                    rows=m, cols=n, workers=workers, kernel=kernel,
+                    transport=transport, pruning=pruning,
+                    max_restarts=retry.max_restarts)
     origin = time.perf_counter()
     try:
         while True:
@@ -985,10 +1029,12 @@ def align_multi_process(
                 checkpoints=checkpoints, checkpoint_blocks=checkpoint_blocks,
                 collect_metrics=metrics is not None, metrics=metrics,
                 heartbeat_s=heartbeat_s, on_stall=on_stall,
-                want_progress=heartbeat_s is not None or recovery,
+                want_progress=(heartbeat_s is not None or recovery
+                               or timeline is not None),
                 resume=resume,
                 fault=_fault if restarts == 0 else None,
-                band_half_width=band_half_width, dp=dp)
+                band_half_width=band_half_width, dp=dp,
+                events=events, timeline=timeline, attempt=restarts)
 
             # Fold whatever this attempt reported — survivors of a failed
             # attempt still deliver honest trace records and counters.
@@ -1042,12 +1088,31 @@ def align_multi_process(
                         blocks_checked=result.blocks_checked,
                         blocks_pruned=result.blocks_pruned,
                         wall_time_s=wall, gcups=result.gcups)
+                if events is not None:
+                    if total_esc > 0:
+                        events.emit("dtype_escalation", dp_dtype=dp_name,
+                                    escalations=total_esc,
+                                    blocks_narrow=total_narrow,
+                                    blocks_wide=total_wide)
+                    if _finalize_metrics:
+                        events.emit("run_end", status="ok",
+                                    score=int(best.score),
+                                    wall_time_s=round(wall, 6),
+                                    restarts=restarts, tier=result.tier)
                 return result
 
             # -- failed attempt ------------------------------------------------
+            if events is not None:
+                for key, desc, kind in failures:
+                    events.emit("worker_death", worker=key, attempt=restarts,
+                                kind=kind, detail=desc)
             descs = [desc for _key, desc, _kind in failures]
             if (not recovery or restarts >= retry.max_restarts
                     or any(retry.is_permanent(d) for d in descs)):
+                if events is not None and _finalize_metrics:
+                    events.emit("run_end", status="failed",
+                                restarts=restarts,
+                                detail="; ".join(descs))
                 raise RuntimeError("; ".join(descs))
 
             fail_t = time.perf_counter() - origin
@@ -1065,6 +1130,9 @@ def align_multi_process(
 
             resume_row = resume[0] if resume is not None else 0
             r_new = checkpoints.consistent_row()
+            if events is not None:
+                events.emit("checkpoint", attempt=restarts,
+                            consistent_row=r_new)
             ckpt_best = checkpoints.best_overall()
             if ckpt_best.better_than(base_best):
                 base_best = ckpt_best
@@ -1085,6 +1153,11 @@ def align_multi_process(
             if metrics is not None:
                 record_recovery(metrics, backend="process",
                                 rows_recomputed=rows_recomputed)
+            if events is not None:
+                events.emit("restart_attempt", attempt=restarts,
+                            resume_row=resume_row,
+                            workers_left=len(slabs),
+                            rows_recomputed=rows_recomputed)
             time.sleep(retry.delay_s(restarts - 1))
             result_tracer.record("supervisor", "recovery", fail_t,
                                  time.perf_counter() - origin)
@@ -1110,7 +1183,12 @@ def _align_process_auto(
     ``tier``/``escalated`` say which one answered."""
     from dataclasses import replace as _replace
 
+    events = kwargs.get("events")
     m, n = int(a_codes.size), int(b_codes.size)
+    if events is not None:
+        events.emit("run_start", backend="process", mode="auto",
+                    rows=m, cols=n, workers=kwargs.get("workers", 2),
+                    band_width=band_width)
     heur = align_multi_process(
         a_codes, b_codes, scoring, mode="banded", band_width=band_width,
         metrics=metrics, _finalize_metrics=False, **kwargs)
@@ -1119,6 +1197,11 @@ def _align_process_auto(
     if decision.confident:
         result = _replace(heur, mode="auto", tier="banded")
     else:
+        if events is not None:
+            events.emit("heuristic_escalation", tier="exact",
+                        heur_score=int(heur.best.score),
+                        band_width=band_width,
+                        reason="confidence check rejected the banded score")
         exact = align_multi_process(
             a_codes, b_codes, scoring, mode="exact",
             metrics=metrics, _finalize_metrics=False, **kwargs)
@@ -1134,4 +1217,9 @@ def _align_process_auto(
             blocks_checked=result.blocks_checked,
             blocks_pruned=result.blocks_pruned,
             wall_time_s=result.wall_time_s, gcups=result.gcups)
+    if events is not None:
+        events.emit("run_end", status="ok", score=int(result.best.score),
+                    wall_time_s=round(result.wall_time_s, 6),
+                    restarts=result.restarts, tier=result.tier,
+                    escalated=result.escalated)
     return result

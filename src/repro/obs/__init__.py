@@ -16,7 +16,16 @@ section 8 for the architecture):
 * :mod:`repro.obs.heartbeat` — parent-side watchdog over the
   shared-memory :class:`~repro.comm.progress.ProgressBoard`;
 * :mod:`repro.obs.diff` — regression diff between two manifest/benchmark
-  JSON documents (``mgsw perf diff``).
+  JSON documents (``mgsw perf diff``);
+* :mod:`repro.obs.timeseries` — live time-series sampler over the
+  progress board (bounded frame ring, ETA, ``timeline.jsonl`` spill);
+* :mod:`repro.obs.events` — append-only structured event journal of run
+  lifecycle events (``events.jsonl``);
+* :mod:`repro.obs.exporter` — streaming status endpoint (``/metrics``
+  Prometheus text + ``/status`` JSON) for a running comparison.
+
+Sections 8 and 13 of INTERNALS.md cover the post-hoc and live halves
+respectively.
 """
 
 from .chrometrace import (
@@ -27,6 +36,8 @@ from .chrometrace import (
     write_chrome_trace,
 )
 from .diff import DiffEntry, diff_documents, flatten_scalars, format_diff
+from .events import EVENT_KINDS, EventJournal, read_events, validate_event
+from .exporter import StatusServer
 from .heartbeat import DEFAULT_STALL_AFTER_S, HeartbeatMonitor, StallReport
 from .instruments import EngineInstruments, finalize_run_metrics
 from .manifest import (
@@ -38,12 +49,20 @@ from .manifest import (
     write_manifest,
 )
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .timeseries import (
+    TimelineFrame,
+    TimeSeriesSampler,
+    WorkerFrame,
+    read_timeline,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_STALL_AFTER_S",
     "DiffEntry",
+    "EVENT_KINDS",
     "EngineInstruments",
+    "EventJournal",
     "Gauge",
     "HeartbeatMonitor",
     "Histogram",
@@ -51,6 +70,10 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "MetricsRegistry",
     "StallReport",
+    "StatusServer",
+    "TimeSeriesSampler",
+    "TimelineFrame",
+    "WorkerFrame",
     "build_manifest",
     "diff_documents",
     "finalize_run_metrics",
@@ -58,7 +81,10 @@ __all__ = [
     "format_diff",
     "load_chrome_trace",
     "load_manifest",
+    "read_events",
+    "read_timeline",
     "sequence_digest",
+    "validate_event",
     "tracer_to_chrome",
     "validate_chrome_trace",
     "validate_manifest",

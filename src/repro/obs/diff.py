@@ -18,12 +18,17 @@ checked-in ``benchmarks/BENCH_*.json`` files that way);
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Mapping
 
 from ..perf.metrics import format_table
 
 #: Key-path fragments that mark a metric where bigger is better.
+#: Matched on *word-boundary segments* of the dotted path, never raw
+#: substrings — ``score`` must classify ``result.score`` and
+#: ``best_score`` but not a hypothetical ``scoreboard_reads`` (and
+#: ``rate`` must not swallow ``separate_runs``).
 _HIGHER_BETTER = ("gcups", "speedup", "score", "rate")
 #: Key-path fragments that mark a metric where smaller is better.
 _LOWER_BETTER = ("time_s", "seconds", "overhead", "latency", "blocked_s")
@@ -53,14 +58,28 @@ def flatten_scalars(doc, prefix: str = "") -> dict[str, float]:
     return out
 
 
+def _segment_res(frags: tuple[str, ...]) -> tuple[re.Pattern, ...]:
+    """One compiled pattern per fragment, anchored so the fragment must
+    start and end on a path-segment boundary (``.``, ``_``, ``[``,
+    start/end) — ``rate`` matches ``prune_rate`` and ``rate[0]`` but
+    never ``separate`` or ``scoreboard``."""
+    return tuple(
+        re.compile(r"(?<![a-z0-9])" + re.escape(frag) + r"(?![a-z0-9])")
+        for frag in frags)
+
+
+_HIGHER_RES = _segment_res(_HIGHER_BETTER)
+_LOWER_RES = _segment_res(_LOWER_BETTER)
+
+
 def classify(key: str) -> str:
     """``"higher"``, ``"lower"`` or ``"info"`` for one flattened key."""
     low = key.lower()
     if any(frag in low for frag in _IGNORED):
         return "info"
-    if any(frag in low for frag in _HIGHER_BETTER):
+    if any(pat.search(low) for pat in _HIGHER_RES):
         return "higher"
-    if any(frag in low for frag in _LOWER_BETTER):
+    if any(pat.search(low) for pat in _LOWER_RES):
         return "lower"
     return "info"
 

@@ -1,0 +1,164 @@
+"""Live status endpoint: `/metrics` (Prometheus) + `/status` (JSON).
+
+A stdlib-only HTTP server (no new dependencies) that exposes a *running*
+comparison — the direct enabler for the alignment-as-a-service roadmap
+item, and immediately scrapeable by any Prometheus agent:
+
+* ``GET /metrics`` — the supervisor registry rendered by
+  :meth:`~repro.obs.registry.MetricsRegistry.to_prometheus`
+  (text exposition format 0.0.4);
+* ``GET /status`` — JSON: the newest timeline frames from the
+  :class:`~repro.obs.timeseries.TimeSeriesSampler` (progress, rates,
+  ETA), plus the :class:`~repro.obs.events.EventJournal` tail;
+* ``GET /healthz`` — liveness probe (``ok``).
+
+The server runs on a daemon thread (`ThreadingHTTPServer`, so a slow
+scraper never blocks the next one) and only ever *reads* the registry,
+sampler ring and journal tail — all of which are internally locked or
+append-only — so scrapes cannot perturb a run beyond their own CPU
+time; the X13 benchmark bounds the whole live stack (< 5% wall clock).
+
+Enable from the CLI with ``mgsw align --serve-metrics PORT`` (port 0
+picks a free one and prints it).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ObsError
+
+#: Content type Prometheus scrapers expect from a 0.0.4 text endpoint.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Frames /status returns (newest last) — enough for a dashboard's
+#: recent-rate sparkline without shipping the whole ring every scrape.
+STATUS_FRAMES = 40
+
+#: Journal-tail events /status returns.
+STATUS_EVENTS = 40
+
+
+class StatusServer:
+    """Background HTTP server over a registry / sampler / journal trio.
+
+    Any of the three sources may be ``None``: ``/metrics`` then serves
+    an empty exposition and ``/status`` omits the missing sections, so
+    the server is usable from the earliest point of a run (before the
+    first frame exists) and from engines that only carry a registry.
+
+    Parameters
+    ----------
+    registry, sampler, journal:
+        The live sources (:class:`~repro.obs.registry.MetricsRegistry`,
+        :class:`~repro.obs.timeseries.TimeSeriesSampler`,
+        :class:`~repro.obs.events.EventJournal`).
+    port:
+        TCP port to bind (0 = ephemeral; read :attr:`port` after
+        construction).
+    host:
+        Bind address — loopback by default: the endpoint is telemetry,
+        not an authenticated API.
+    """
+
+    def __init__(self, *, registry=None, sampler=None, journal=None,
+                 port: int = 0, host: str = "127.0.0.1") -> None:
+        if not 0 <= port <= 65535:
+            raise ObsError(f"port {port} outside [0, 65535]")
+        self.registry = registry
+        self.sampler = sampler
+        self.journal = journal
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # quiet: telemetry, not access logs
+                pass
+
+            def do_GET(self) -> None:
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        body = server.render_metrics().encode()
+                        ctype = PROMETHEUS_CONTENT_TYPE
+                    elif path == "/status":
+                        body = json.dumps(server.render_status()).encode()
+                        ctype = "application/json"
+                    elif path == "/healthz":
+                        body, ctype = b"ok\n", "text/plain"
+                    else:
+                        self.send_error(404, "unknown path "
+                                        "(try /metrics, /status, /healthz)")
+                        return
+                except Exception as exc:  # pragma: no cover - defensive
+                    self.send_error(500, f"telemetry render failed: {exc!r}")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), Handler)
+        except OSError as exc:
+            raise ObsError(f"cannot bind status server on {host}:{port}: {exc}")
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # -- renderers (also the programmatic API the tests hit directly) --------
+    def render_metrics(self) -> str:
+        return self.registry.to_prometheus() if self.registry is not None else ""
+
+    def render_status(self) -> dict:
+        doc: dict = {"serving": True}
+        if self.journal is not None:
+            doc["run_id"] = self.journal.run_id
+            doc["events"] = self.journal.recent(STATUS_EVENTS)
+        if self.sampler is not None:
+            frames = self.sampler.frames()[-STATUS_FRAMES:]
+            doc["frames"] = [f.to_json_dict() for f in frames]
+            latest = frames[-1] if frames else None
+            if latest is not None:
+                doc["rows_done"] = latest.rows_done
+                doc["rows_target"] = latest.rows_target
+                doc["rows_per_s"] = latest.rows_per_s
+                doc["eta_s"] = latest.eta_s
+                doc["gcups"] = latest.gcups
+                doc["restarts"] = latest.restarts
+        return doc
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "StatusServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="mgsw-status-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down (idempotent)."""
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "StatusServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -76,6 +76,12 @@ class HeartbeatMonitor:
         Optional :class:`~repro.obs.registry.MetricsRegistry`; the
         monitor maintains ``worker_rows_done{device=...}`` gauges and a
         ``worker_stalls`` counter on it.
+    events:
+        Optional :class:`~repro.obs.events.EventJournal`; the monitor
+        emits exactly one ``stall`` event per stall episode (same
+        re-arm semantics as *on_stall*: a worker that resumes beating
+        and stalls again produces a new event), with ``hard=True`` on
+        the one-shot hard-stall escalation.
     """
 
     def __init__(
@@ -88,6 +94,7 @@ class HeartbeatMonitor:
         hard_stall_s: float | None = None,
         on_hard_stall: Callable[[StallReport], None] | None = None,
         metrics=None,
+        events=None,
     ) -> None:
         if stall_after_s <= 0:
             raise ValueError("stall_after_s must be positive")
@@ -100,6 +107,7 @@ class HeartbeatMonitor:
         self.on_stall = on_stall
         self.on_hard_stall = on_hard_stall
         self._metrics = metrics
+        self._events = events
         self._flagged: set[int] = set()
         self._hard_flagged: set[int] = set()
         self._stop = threading.Event()
@@ -144,6 +152,11 @@ class HeartbeatMonitor:
                         "worker_stalls",
                         help="heartbeat silences beyond the stall threshold",
                     ).inc(1, device=f"worker{worker}")
+                if self._events is not None:
+                    self._events.emit(
+                        "stall", worker=worker, phase=report.phase,
+                        rows_done=report.rows_done,
+                        silent_s=round(report.silent_s, 3))
                 if self.on_stall is not None:
                     self.on_stall(report)
         # Re-arm workers that resumed beating.
@@ -159,6 +172,11 @@ class HeartbeatMonitor:
                             help="silences past the hard-stall threshold "
                                  "(worker presumed wedged)",
                         ).inc(1, device=f"worker{worker}")
+                    if self._events is not None:
+                        self._events.emit(
+                            "stall", worker=worker, phase=report.phase,
+                            rows_done=report.rows_done,
+                            silent_s=round(report.silent_s, 3), hard=True)
                     if self.on_hard_stall is not None:
                         self.on_hard_stall(report)
         if self._metrics is not None:

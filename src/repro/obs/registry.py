@@ -58,10 +58,20 @@ def _labelkey(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format 0.0.4:
+    backslash, double-quote and newline must be ``\\\\``, ``\\"`` and
+    ``\\n`` respectively (backslash first, or it would re-escape the
+    escapes)."""
+    return (value.replace("\\", r"\\")
+                 .replace('"', r'\"')
+                 .replace("\n", r"\n"))
+
+
 def _fmt_labels(key: tuple[tuple[str, str], ...]) -> str:
     if not key:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in key)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
     return "{" + body + "}"
 
 

@@ -369,3 +369,83 @@ def chain_report(result, *, title: str = "chain run") -> str:
             ["channel", "segments", "peak occupancy", "producer blocked",
              "consumer blocked"], rows))
     return "\n".join(lines)
+
+
+#: Frames sampled into the GCUPS-over-time section (evenly spaced; the
+#: full series stays in ``timeline.jsonl``).
+TIMELINE_REPORT_ROWS = 12
+
+#: Width of the text GCUPS bar in :func:`timeline_report`.
+_BAR_WIDTH = 30
+
+
+def timeline_report(frames, *, title: str = "GCUPS over time") -> str:
+    """Text section for a run's live timeline: evenly spaced frames from
+    a :class:`~repro.obs.timeseries.TimeSeriesSampler` ring (or a loaded
+    ``timeline.jsonl``), each with a throughput bar scaled to the peak.
+
+    Returns an empty string for an empty timeline so report assemblers
+    can append it unconditionally.
+    """
+    frames = list(frames)
+    if not frames:
+        return ""
+    peak = max(f.gcups for f in frames)
+    n = min(TIMELINE_REPORT_ROWS, len(frames))
+    # Evenly spaced indices, always ending on the final frame.
+    picks = sorted({round(i * (len(frames) - 1) / max(1, n - 1))
+                    for i in range(n)})
+    rows = []
+    for i in picks:
+        f = frames[i]
+        bar = "#" * (round(_BAR_WIDTH * f.gcups / peak) if peak > 0 else 0)
+        done = (f.rows_done / f.rows_target) if f.rows_target else 0.0
+        rows.append([
+            humanize_time(f.t_s),
+            f"{done:.0%}",
+            f"{f.gcups:.3f}",
+            bar,
+        ])
+    lines = [f"== {title} ==",
+             f"{len(frames)} frames, peak {peak:.3f} GCUPS, "
+             f"final attempt {frames[-1].attempt}"
+             + (f", {frames[-1].restarts} restart(s)"
+                if frames[-1].restarts else "")]
+    lines.append(format_table(["t", "rows", "GCUPS", ""], rows))
+    return "\n".join(lines)
+
+
+def top_table(frame, *, events=None, max_events: int = 5) -> str:
+    """The ``mgsw top`` screen: one run-level summary line, a per-worker
+    rate/phase table off one :class:`~repro.obs.timeseries.TimelineFrame`
+    (stalled workers rendered distinctly), and the newest journal events.
+    """
+    if frame is None:
+        return "no timeline frames yet"
+    done = (frame.rows_done / frame.rows_target) if frame.rows_target else 0.0
+    eta = ("--" if frame.eta_s is None else humanize_time(frame.eta_s))
+    lines = [
+        f"rows {frame.rows_done:,}/{frame.rows_target:,} ({done:.1%})   "
+        f"rate {frame.rows_per_s:,.0f} rows/s   eta {eta}   "
+        f"{frame.gcups:.3f} GCUPS   attempt {frame.attempt}"
+        + (f"   restarts {frame.restarts}" if frame.restarts else "")
+    ]
+    rows = []
+    for w in frame.workers:
+        rows.append([
+            f"worker{w.worker}",
+            # A stalled worker is the one thing top must make unmissable.
+            f"!! STALLED ({w.silent_s:.1f}s) !!" if w.stalled else w.phase,
+            f"{w.rows_done:,}",
+            f"{w.rows_per_s:,.1f}",
+            f"{w.silent_s:.1f}s",
+        ])
+    lines.append(format_table(
+        ["worker", "phase", "rows done", "rows/s", "silent"], rows))
+    if events:
+        lines.append("recent events:")
+        for rec in list(events)[-max_events:]:
+            extra = rec.get("detail") or rec.get("tier") or ""
+            who = f" worker{rec['worker']}" if "worker" in rec else ""
+            lines.append(f"  {rec['event']}{who} {extra}".rstrip())
+    return "\n".join(lines)

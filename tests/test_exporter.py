@@ -1,0 +1,125 @@
+"""Tests: the live /metrics + /status endpoint (repro.obs.exporter)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.comm.progress import ProgressBoard
+from repro.errors import ObsError
+from repro.obs import (
+    EventJournal,
+    MetricsRegistry,
+    StatusServer,
+    TimeSeriesSampler,
+)
+from repro.obs.exporter import PROMETHEUS_CONTENT_TYPE
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+@pytest.fixture
+def board():
+    b = ProgressBoard(2, label="exporter-test")
+    yield b
+    b.unlink()
+
+
+class TestEndpoints:
+    def test_metrics_serves_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.counter("blocks_computed", help="blocks").inc(7, device="g0")
+        with StatusServer(registry=registry) as server:
+            status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        text = body.decode()
+        assert "# TYPE blocks_computed counter" in text
+        assert 'blocks_computed{device="g0"} 7' in text
+
+    def test_metrics_label_values_survive_a_scrape(self):
+        # Satellite check end-to-end: exotic label values must come back
+        # escaped per the exposition format, not raw.
+        registry = MetricsRegistry()
+        registry.counter("weird").inc(1, device='a\\b"c\nd')
+        with StatusServer(registry=registry) as server:
+            _, _, body = _get(server.url + "/metrics")
+        assert r'device="a\\b\"c\nd"' in body.decode()
+
+    def test_status_reports_run_state(self, board):
+        journal = EventJournal(run_id="status-test")
+        journal.emit("run_start", backend="process")
+        sampler = TimeSeriesSampler(interval_s=3600.0)
+        sampler.attach(board, rows=10, cols_per_worker=[4, 4])
+        board.beat(0, 3, "compute")
+        board.beat(1, 2, "compute")
+        sampler.sample_once()
+        try:
+            with StatusServer(sampler=sampler, journal=journal) as server:
+                _, ctype, body = _get(server.url + "/status")
+        finally:
+            sampler.close()
+        assert ctype == "application/json"
+        doc = json.loads(body)
+        assert doc["serving"] is True
+        assert doc["run_id"] == "status-test"
+        assert [e["event"] for e in doc["events"]] == ["run_start"]
+        assert doc["rows_done"] == 5
+        assert doc["rows_target"] == 20
+        assert doc["frames"][-1]["workers"][0]["phase"] == "compute"
+
+    def test_status_with_no_sources_is_minimal(self):
+        with StatusServer() as server:
+            _, _, metrics = _get(server.url + "/metrics")
+            _, _, status = _get(server.url + "/status")
+        assert metrics == b""
+        assert json.loads(status) == {"serving": True}
+
+    def test_healthz(self):
+        with StatusServer() as server:
+            status, _, body = _get(server.url + "/healthz")
+        assert status == 200 and body == b"ok\n"
+
+    def test_unknown_path_is_404(self):
+        with StatusServer() as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/nope")
+        assert err.value.code == 404
+
+
+class TestLifecycle:
+    def test_port_zero_picks_ephemeral_port(self):
+        server = StatusServer()
+        try:
+            assert server.port > 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+        finally:
+            server.stop()
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ObsError, match="outside"):
+            StatusServer(port=70_000)
+
+    def test_port_collision_raises_obs_error(self):
+        with StatusServer() as server:
+            with pytest.raises(ObsError, match="cannot bind"):
+                StatusServer(port=server.port)
+
+    def test_start_and_stop_are_idempotent(self):
+        server = StatusServer()
+        assert server.start() is server.start()
+        server.stop()
+        server.stop()
+
+    def test_stopped_server_refuses_connections(self):
+        server = StatusServer().start()
+        url = server.url
+        server.stop()
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            _get(url + "/healthz")

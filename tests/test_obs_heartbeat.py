@@ -98,6 +98,41 @@ class TestProgressBoard:
         assert sample.phase == "send"
         assert sample.started
 
+    def test_unpickle_on_same_host_attaches(self, board):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(board))
+        try:
+            board.beat(1, 9, "compute")
+            assert clone.read(1).rows_done == 9
+        finally:
+            clone.close()
+
+    def test_unpickle_on_other_host_rejected(self, board):
+        """Beat timestamps are time.monotonic() readings — boot-relative,
+        comparable only within the creating host.  Attaching a board that
+        crossed a host boundary must fail loudly (module docstring:
+        replicate derived progress, never the raw board)."""
+        import pickle
+
+        state = pickle.dumps(board)
+        import repro.comm.progress as progress_mod
+
+        real_node = progress_mod.platform.node
+        progress_mod.platform.node = lambda: "some-other-host"
+        try:
+            with pytest.raises(CommError, match="monotonic"):
+                pickle.loads(state)
+        finally:
+            progress_mod.platform.node = real_node
+
+    def test_silent_s_clamps_future_beats_to_zero(self, board):
+        """Same-host readers can race an in-flight store and observe a
+        beat 'from the future'; negative silence must never escape."""
+        board.beat(0, 1, "compute")
+        beat = board.read(0).last_beat
+        assert board.read(0).silent_s(now=beat - 0.001) == 0.0
+
     def test_context_manager_unlinks_for_owner(self):
         with ProgressBoard(1) as b:
             b.beat(0, 1, "compute")

@@ -129,6 +129,36 @@ class TestFlattenScalars:
         assert flatten_scalars({"x": True, "y": "s", "z": 0}) == {"z": 0.0}
 
 
+class TestClassify:
+    """Direction fragments match path *segments*, never raw substrings."""
+
+    def test_segment_matches_classify(self):
+        from repro.obs.diff import classify
+
+        assert classify("result.score") == "higher"
+        assert classify("best_score") == "higher"
+        assert classify("prune_rate") == "higher"
+        assert classify("rate[0]") == "higher"
+        assert classify("wall_time_s") == "lower"
+        assert classify("sampler.overhead") == "lower"
+
+    def test_substring_lookalikes_stay_info(self):
+        from repro.obs.diff import classify
+
+        # 'score' must not swallow 'scoreboard', nor 'rate' 'separate'.
+        assert classify("scoreboard_reads") == "info"
+        assert classify("separate_runs") == "info"
+        assert classify("accelerated_blocks") == "info"
+        assert classify("underscore_total") == "info"
+
+    def test_lookalike_never_raises_false_regression(self):
+        # The bug this pins: a 'scoreboard_reads' drop classified as
+        # 'higher' would have flagged a regression on an info counter.
+        entries = diff_documents({"scoreboard_reads": 100.0},
+                                 {"scoreboard_reads": 1.0})
+        assert not any(e.regressed(0.05) for e in entries)
+
+
 class TestDiff:
     def test_gcups_drop_regresses(self):
         entries = diff_documents({"gcups": 10.0}, {"gcups": 8.0}, threshold=0.05)

@@ -158,6 +158,42 @@ class TestPrometheusExport:
     def test_empty_registry_exports_empty(self):
         assert MetricsRegistry().to_prometheus() == ""
 
+    def test_label_values_escaped_per_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("odd").inc(2, path='C:\\data\n"prod"')
+        line = next(l for l in reg.to_prometheus().splitlines()
+                    if l.startswith("odd{"))
+        # Backslash, newline and quote each escaped; exactly one line.
+        assert line == r'odd{path="C:\\data\n\"prod\""} 2'
+
+    def test_label_escaping_roundtrips(self):
+        """A Prometheus-style parse of the exposition recovers the raw
+        label values (backslash escaped first, or '\\' + 'n' would
+        collapse into a newline)."""
+        nasty = ['a\\b', 'say "hi"', 'line1\nline2', 'tail\\', '\\n']
+        reg = MetricsRegistry()
+        for i, value in enumerate(nasty):
+            reg.counter("rt").inc(i + 1, v=value)
+
+        def unescape(s):
+            out, i = [], 0
+            while i < len(s):
+                if s[i] == "\\":
+                    out.append({"\\": "\\", '"': '"', "n": "\n"}[s[i + 1]])
+                    i += 2
+                else:
+                    out.append(s[i])
+                    i += 1
+            return "".join(out)
+
+        seen = []
+        for line in reg.to_prometheus().splitlines():
+            if line.startswith("rt{"):
+                body = line[line.index('{') + 1:line.rindex('}')]
+                assert body.startswith('v="') and body.endswith('"')
+                seen.append(unescape(body[3:-1]))
+        assert sorted(seen) == sorted(nasty)
+
     def test_to_json_roundtrip(self):
         reg = MetricsRegistry()
         reg.counter("x").inc(1)

@@ -20,7 +20,14 @@ Subcommands:
 * ``mgsw perf diff OLD NEW`` — regression diff between two telemetry /
   benchmark JSON documents (report-only unless ``--fail-on-regression``);
 * ``mgsw top DIR`` — live per-worker progress table rendered from a
-  running ``mgsw align --telemetry DIR`` (follows until ``run_end``).
+  running ``mgsw align --telemetry DIR`` (follows until ``run_end``);
+* ``mgsw serve`` — long-lived alignment service: admission-controlled
+  fair-share job queue over persistent worker pools, digest-keyed
+  result cache, live ``/jobs`` + ``/metrics`` status endpoint
+  (INTERNALS.md section 14);
+* ``mgsw submit A.fa B.fa`` — send one job to a running daemon and
+  (by default) wait for its result;
+* ``mgsw jobs`` — list a running daemon's jobs, queue and cache stats.
 
 ``mgsw align --telemetry DIR`` additionally writes the full telemetry
 bundle for the run — ``manifest.json``, ``metrics.json``,
@@ -169,12 +176,16 @@ def cmd_align(args: argparse.Namespace) -> int:
                           journal=journal, sampler=sampler,
                           time_mod=time_mod)
     finally:
+        # Stop the HTTP server *first*: a scrape landing after the
+        # sampler/journal close would otherwise render from closed
+        # sources (the sampler's final frame is taken by close(), but
+        # the journal's spill handle would already be gone).
+        if server is not None:
+            server.stop()
         if sampler is not None:
             sampler.close()
         if journal is not None:
             journal.close()
-        if server is not None:
-            server.stop()
 
 
 def _run_align(args, a, b, title, *, telemetry, registry, tracer,
@@ -473,6 +484,121 @@ def cmd_devices(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the alignment service until a shutdown request or Ctrl-C."""
+    from .serve import ServeConfig, ServeDaemon
+
+    config = ServeConfig(
+        pools=args.pools, workers=args.workers,
+        max_block_rows=args.max_block_rows, capacity=args.buffer,
+        transport=args.transport, start_method=args.start_method,
+        queue_depth=args.queue_depth, tenant_cap=args.tenant_cap,
+        short_cells=args.short_cells, cache_entries=args.cache_entries,
+        short_weight=args.short_weight, job_timeout_s=args.job_timeout_s,
+        max_restarts=args.max_restarts)
+    status_port = args.status_port if args.status_port >= 0 else None
+    daemon = ServeDaemon(config, host=args.host, port=args.port,
+                         status_port=status_port,
+                         telemetry_dir=args.telemetry)
+    print(f"[mgsw] serve listening on {args.host}:{daemon.port} "
+          f"({config.pools} pool(s) x {config.workers} workers, "
+          f"queue depth {config.queue_depth}, "
+          f"cache {config.cache_entries} entries)", file=sys.stderr)
+    if daemon.status_url is not None:
+        print(f"[mgsw] status at {daemon.status_url}/jobs, "
+              f"{daemon.status_url}/metrics, {daemon.status_url}/status",
+              file=sys.stderr)
+    try:
+        daemon.serve_until_shutdown()
+    except KeyboardInterrupt:
+        daemon.stop()
+    print("[mgsw] serve drained and stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running daemon; wait for the result by default."""
+    import json
+
+    from .serve import ServeClient
+
+    fields: dict = {
+        "path_a": args.seq_a, "path_b": args.seq_b,
+        "tenant": args.tenant, "mode": args.mode,
+        "band_width": args.band_width, "xdrop_x": args.xdrop_x,
+        "dp_dtype": args.dp_dtype, "kernel": args.kernel,
+        "block_rows": args.block_rows, "pruning": args.pruning,
+        "use_cache": not args.no_cache,
+    }
+    if args.lane is not None:
+        fields["lane"] = args.lane
+    with ServeClient(args.host, args.port) as client:
+        resp = client.submit(**fields)
+        if not resp.get("ok"):
+            print(f"error: daemon refused the job ({resp.get('code')}): "
+                  f"{resp.get('error')}", file=sys.stderr)
+            return 1
+        job = resp["job"]
+        if not args.no_wait and job["state"] not in ("done", "failed",
+                                                     "cancelled"):
+            resp = client.check(client.wait(
+                job["id"], timeout_s=args.timeout_s))
+            job = resp["job"]
+    if args.json:
+        print(json.dumps(job, indent=2))
+        return 0 if job["state"] in ("done", "queued", "running") else 1
+    cached = " (cache hit)" if job.get("cached") else ""
+    print(f"{job['id']}: {job['state']}{cached}  lane={job['lane']} "
+          f"tenant={job['tenant']}  {job['rows']:,} x {job['cols']:,}")
+    result = job.get("result")
+    if result is not None:
+        print(f"  score {result['score']} at "
+              f"({result['row']}, {result['col']})  tier={result['tier']} "
+              f"dp={result['dp_dtype']}  {result['wall_time_s']:.3f}s "
+              f"({result['gcups']:.2f} GCUPS)")
+    if job.get("error"):
+        print(f"  error: {job['error']}", file=sys.stderr)
+    return 0 if job["state"] in ("done", "queued", "running") else 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List a running daemon's jobs plus queue/cache statistics."""
+    import json
+
+    from .serve import ServeClient
+
+    with ServeClient(args.host, args.port) as client:
+        listing = client.check(client.jobs(limit=args.limit))
+        stats = client.stats()
+    if args.json:
+        print(json.dumps({"jobs": listing["jobs"], "queue": stats["queue"],
+                          "cache": stats["cache"]}, indent=2))
+        return 0
+    rows = []
+    for job in listing["jobs"]:
+        result = job.get("result") or {}
+        rows.append([
+            job["id"], job["tenant"], job["lane"], job["state"],
+            "hit" if job.get("cached") else "",
+            f"{job['rows']:,}x{job['cols']:,}",
+            str(result.get("score", "")),
+            f"{job.get('wait_s', 0):.3f}",
+            f"{job['run_s']:.3f}" if "run_s" in job else "",
+        ])
+    print(format_table(
+        ["job", "tenant", "lane", "state", "cache", "size", "score",
+         "wait s", "run s"], rows))
+    q, cache = stats["queue"], stats["cache"]
+    print(f"\nqueue: {q['queued']} queued ({q['queued_by_lane']['short']} "
+          f"short / {q['queued_by_lane']['long']} long), "
+          f"{q['running']} running, {q['total']} total"
+          + (" [draining]" if q["closed"] else ""))
+    print(f"cache: {cache['entries']}/{cache['max_entries']} entries, "
+          f"{cache['hits']} hits / {cache['misses']} misses "
+          f"({cache['hit_rate']:.1%} hit rate)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="mgsw", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -604,6 +730,88 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("devices", help="list device presets and environments")
     p.set_defaults(func=cmd_devices)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived alignment service (INTERNALS.md section 14)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for the job listener")
+    p.add_argument("--port", type=int, default=7741,
+                   help="job listener TCP port (0 picks an ephemeral port)")
+    p.add_argument("--status-port", type=int, default=0,
+                   help="HTTP status/metrics port (0 = ephemeral; "
+                        "-1 disables the endpoint)")
+    p.add_argument("--pools", type=int, default=1,
+                   help="concurrent worker pools (jobs running in parallel)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="slab workers per pool")
+    p.add_argument("--max-block-rows", type=int, default=2048,
+                   help="largest per-job block height the pools accept")
+    p.add_argument("--buffer", type=int, default=4,
+                   help="border ring capacity in segments")
+    p.add_argument("--transport", choices=TRANSPORTS, default="shm")
+    p.add_argument("--start-method", choices=("fork", "spawn", "forkserver"),
+                   default=None)
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="admission cap: most jobs queued at once (excess "
+                        "submissions are refused with 429 semantics)")
+    p.add_argument("--tenant-cap", type=int, default=16,
+                   help="most queued+running jobs per tenant")
+    p.add_argument("--short-cells", type=int, default=4_000_000,
+                   help="effective-cell threshold below which a job rides "
+                        "the short (priority) lane")
+    p.add_argument("--short-weight", type=float, default=4.0,
+                   help="short-lane picks per long-lane pick when both "
+                        "lanes have work")
+    p.add_argument("--cache-entries", type=int, default=1024,
+                   help="result cache capacity (0 disables caching)")
+    p.add_argument("--job-timeout-s", type=float, default=300.0,
+                   help="per-job wall-clock limit on the pools")
+    p.add_argument("--max-restarts", type=int, default=0,
+                   help="per-job checkpoint-recovery budget")
+    p.add_argument("--telemetry", metavar="DIR", default=None,
+                   help="spill the daemon's events.jsonl into DIR")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit one alignment job to a running mgsw serve")
+    p.add_argument("seq_a")
+    p.add_argument("seq_b")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7741,
+                   help="daemon job listener port")
+    p.add_argument("--tenant", default="default",
+                   help="tenant identity for fair-share accounting")
+    p.add_argument("--mode", choices=MODES, default="exact")
+    p.add_argument("--band-width", type=int, default=DEFAULT_BAND_WIDTH)
+    p.add_argument("--xdrop-x", type=int, default=DEFAULT_XDROP_X)
+    p.add_argument("--dp-dtype", choices=DP_DTYPE_CHOICES, default="auto")
+    p.add_argument("--kernel", choices=KERNEL_CHOICES, default="scalar")
+    p.add_argument("--block-rows", type=int, default=256)
+    p.add_argument("--pruning", action=argparse.BooleanOptionalAction,
+                   default=False)
+    p.add_argument("--lane", choices=("short", "long"), default=None,
+                   help="force a scheduling lane (default: classified by "
+                        "estimated cost)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the digest-keyed result cache")
+    p.add_argument("--no-wait", action="store_true",
+                   help="return the job id immediately instead of waiting")
+    p.add_argument("--timeout-s", type=float, default=600.0,
+                   help="how long to wait for the result")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw job record as JSON")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "jobs", help="list a running mgsw serve's jobs and stats")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7741,
+                   help="daemon job listener port")
+    p.add_argument("--limit", type=int, default=20,
+                   help="newest jobs to list")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser("perf", help="telemetry tooling: trace export and run diffs")
     perf_sub = p.add_subparsers(dest="perf_command", required=True)

@@ -60,3 +60,8 @@ class ConfigError(ReproError):
 class ObsError(ReproError):
     """Telemetry subsystem misuse or malformed telemetry artifact
     (metric type conflicts, manifest/trace schema violations)."""
+
+
+class ServeError(ReproError):
+    """Serving-layer failure (protocol violation, unreachable daemon,
+    admission refusal — see :class:`repro.serve.jobs.AdmissionError`)."""

@@ -58,6 +58,13 @@ EVENT_KINDS = (
     "slab_rebalance",       # pool weights updated from observed rates
     "stall",                # heartbeat watchdog flagged a silent worker
     "run_end",              # the comparison finished (score, wall time)
+    # Serving-layer job lifecycle (INTERNALS.md section 14).  Each carries
+    # a ``job`` correlation id alongside the journal's run id.
+    "job_submit",           # a job passed admission and was enqueued
+    "job_reject",           # admission control refused a job (429)
+    "job_cache_hit",        # a job was answered from the result cache
+    "job_start",            # the scheduler dispatched a job onto a pool
+    "job_end",              # a job finished (status, score, latency)
 )
 
 #: Default in-memory tail length (what ``/status`` and `mgsw top` show).
@@ -91,6 +98,7 @@ class EventJournal:
         self._lock = threading.Lock()
         self._recent: deque[dict] = deque(maxlen=recent)
         self._count = 0
+        self._kind_counts: dict[str, int] = {}
         self._fh: IO[str] | None = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -126,6 +134,7 @@ class EventJournal:
         with self._lock:
             record["seq"] = self._count
             self._count += 1
+            self._kind_counts[event] = self._kind_counts.get(event, 0) + 1
             self._recent.append(record)
             if self._fh is not None:
                 self._fh.write(json.dumps(record, sort_keys=True) + "\n")
@@ -141,12 +150,16 @@ class EventJournal:
         return events if n is None else events[-n:]
 
     def count(self, event: str | None = None) -> int:
-        """Events emitted so far (total, or of one kind within the
-        retained tail — kind counts beyond the ring live on disk)."""
-        if event is None:
-            with self._lock:
+        """Events emitted so far — total, or of one *kind*.
+
+        Kind counts are maintained as lifetime counters alongside the
+        total, so they stay honest after the bounded in-memory ring has
+        evicted old records (counting the ring would silently under-report
+        on any journal older than ``recent`` events)."""
+        with self._lock:
+            if event is None:
                 return self._count
-        return sum(1 for rec in self.recent() if rec["event"] == event)
+            return self._kind_counts.get(event, 0)
 
     # -- lifecycle ------------------------------------------------------------
     def close(self) -> None:

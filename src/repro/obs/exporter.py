@@ -70,6 +70,7 @@ class StatusServer:
         self.registry = registry
         self.sampler = sampler
         self.journal = journal
+        self._routes: dict[str, object] = {}
         server = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -88,9 +89,13 @@ class StatusServer:
                     elif path == "/healthz":
                         body, ctype = b"ok\n", "text/plain"
                     else:
-                        self.send_error(404, "unknown path "
-                                        "(try /metrics, /status, /healthz)")
-                        return
+                        rendered = server.render_route(path)
+                        if rendered is None:
+                            self.send_error(404, "unknown path "
+                                            "(try /metrics, /status, /healthz)")
+                            return
+                        body = json.dumps(rendered).encode()
+                        ctype = "application/json"
                 except Exception as exc:  # pragma: no cover - defensive
                     self.send_error(500, f"telemetry render failed: {exc!r}")
                     return
@@ -108,6 +113,28 @@ class StatusServer:
         self._thread: threading.Thread | None = None
 
     # -- renderers (also the programmatic API the tests hit directly) --------
+    def register(self, prefix: str, handler) -> None:
+        """Mount *handler* under *prefix* (e.g. ``"/jobs"``).
+
+        *handler* is called as ``handler(subpath)`` where ``subpath`` is
+        the path remainder after the prefix (``None`` for the prefix
+        itself, the string after the ``/`` otherwise) and must return a
+        JSON-serialisable object, or ``None`` for a 404.  The serve
+        daemon mounts ``/jobs`` and ``/jobs/<id>`` this way.
+        """
+        if not prefix.startswith("/") or prefix.rstrip("/") != prefix:
+            raise ObsError(f"route prefix {prefix!r} must look like '/jobs'")
+        self._routes[prefix] = handler
+
+    def render_route(self, path: str):
+        """Resolve *path* against the registered routes (``None`` = 404)."""
+        for prefix, handler in self._routes.items():
+            if path == prefix:
+                return handler(None)
+            if path.startswith(prefix + "/"):
+                return handler(path[len(prefix) + 1:])
+        return None
+
     def render_metrics(self) -> str:
         return self.registry.to_prometheus() if self.registry is not None else ""
 
@@ -149,12 +176,19 @@ class StatusServer:
         return self
 
     def stop(self) -> None:
-        """Shut the listener down (idempotent)."""
-        if self._thread is None:
-            return
-        self._httpd.shutdown()
-        self._thread.join(timeout=5.0)
-        self._thread = None
+        """Shut the listener down and close the socket (idempotent).
+
+        The listening socket is bound at *construction*, not at
+        :meth:`start`, so a server that was built but never started
+        still owns the port — ``server_close()`` must run
+        unconditionally or the fd (and the port, until process exit)
+        leaks.  ``server_close()`` is idempotent, so repeated calls and
+        the never-started path are both safe.
+        """
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
         self._httpd.server_close()
 
     def __enter__(self) -> "StatusServer":

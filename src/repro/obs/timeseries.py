@@ -32,6 +32,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
 from pathlib import Path
 from typing import IO, Sequence
 
@@ -88,12 +89,28 @@ class TimelineFrame:
         return doc
 
 
+#: Constructor fields of the two frame dataclasses, for forward-compat
+#: filtering: a *newer* writer may add fields this reader does not know;
+#: they are dropped rather than blowing up ``WorkerFrame(**w)`` with a
+#: ``TypeError`` (which ``read_timeline`` would misread as a torn tail
+#: and silently drop the whole file).  Missing *known* fields still
+#: raise ``KeyError``/``TypeError`` — that really is a torn line.
+_WORKER_FIELDS = frozenset(f.name for f in dataclass_fields(WorkerFrame))
+_FRAME_FIELDS = frozenset(
+    f.name for f in dataclass_fields(TimelineFrame)) - {"workers"}
+
+
 def frame_from_json(doc: dict) -> TimelineFrame:
-    """Rebuild a :class:`TimelineFrame` from one spilled JSONL record."""
-    workers = tuple(WorkerFrame(**w) for w in doc.get("workers", ()))
-    fields = {k: doc[k] for k in (
-        "t_s", "ts_unix", "attempt", "rows_done", "rows_target", "rows_per_s",
-        "eta_s", "gcups", "prune_rate", "band_skip_rate", "restarts")}
+    """Rebuild a :class:`TimelineFrame` from one spilled JSONL record.
+
+    Tolerates fields added by a newer schema (old readers must keep
+    working on new writers' files); unknown keys at either level are
+    ignored.
+    """
+    workers = tuple(
+        WorkerFrame(**{k: v for k, v in w.items() if k in _WORKER_FIELDS})
+        for w in doc.get("workers", ()))
+    fields = {k: doc[k] for k in _FRAME_FIELDS}
     return TimelineFrame(workers=workers, **fields)
 
 

@@ -1,0 +1,52 @@
+"""Alignment-as-a-service: the `mgsw serve` daemon and its client.
+
+The serving layer (INTERNALS.md section 14) turns the persistent
+:class:`~repro.multigpu.pool.WorkerPool` engine into a long-lived
+multi-tenant service:
+
+* :mod:`repro.serve.jobs` — job model, digest cache keys, and the
+  admission-controlled :class:`JobQueue` (bounded depth, per-tenant
+  caps, 429 semantics);
+* :mod:`repro.serve.scheduler` — priority lanes + deficit-weighted
+  round robin so short jobs are not starved behind megabase runs and no
+  tenant monopolises the pools;
+* :mod:`repro.serve.cache` — SHA-256 digest-keyed LRU result cache;
+* :mod:`repro.serve.daemon` — the :class:`ServeDaemon` tying queue,
+  scheduler, cache, pools and the obs stack together behind a
+  line-JSON TCP endpoint;
+* :mod:`repro.serve.client` — :class:`ServeClient`, the `mgsw submit` /
+  `mgsw jobs` side of the wire.
+"""
+
+from .cache import DEFAULT_CACHE_ENTRIES, ResultCache
+from .client import ServeClient
+from .daemon import ServeConfig, ServeDaemon
+from .jobs import (
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_SHORT_CELLS,
+    DEFAULT_TENANT_CAP,
+    AdmissionError,
+    JobQueue,
+    JobRecord,
+    JobSpec,
+)
+from .scheduler import DEFAULT_LANE_WEIGHTS, LANES, FairScheduler, job_cost
+
+__all__ = [
+    "AdmissionError",
+    "DEFAULT_CACHE_ENTRIES",
+    "DEFAULT_LANE_WEIGHTS",
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_SHORT_CELLS",
+    "DEFAULT_TENANT_CAP",
+    "FairScheduler",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "LANES",
+    "ResultCache",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "job_cost",
+]

@@ -1,0 +1,77 @@
+"""Digest-keyed LRU result cache: the millions-of-users hot path.
+
+Popular comparisons repeat — the same two chromosomes, the same scoring
+scheme — and an alignment's answer is a pure function of the inputs the
+:meth:`~repro.serve.jobs.JobSpec.cache_key` digests (sequence content +
+scoring + tier + dtype).  Serving a repeat from this cache costs one
+dictionary lookup instead of a megabase matrix sweep, and is *provably*
+the same answer: the engines are bit-identical across kernels, backends
+and dtypes (the cross-engine differential suites), so a cached score is
+indistinguishable from a recomputed one.
+
+Entries are small (the result summary dict, never the sequences), the
+map is LRU-bounded, and staleness is a non-issue: content-addressed
+keys cannot go stale — a different input is a different key.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..errors import ConfigError
+
+#: Default entry bound; result summaries are ~200 bytes each.
+DEFAULT_CACHE_ENTRIES = 1024
+
+
+class ResultCache:
+    """Thread-safe LRU map from cache key to result summary dict."""
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+        if max_entries < 0:
+            raise ConfigError("max_entries must be non-negative")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: str) -> dict | None:
+        """The cached result summary, or ``None`` (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return dict(entry)
+
+    def put(self, key: str, result: dict) -> None:
+        with self._lock:
+            if self.max_entries == 0:
+                return
+            self._entries[key] = dict(result)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": (self._hits / lookups) if lookups else 0.0,
+            }

@@ -1,0 +1,112 @@
+"""Client side of the serve protocol: what `mgsw submit` / `mgsw jobs` use.
+
+A :class:`ServeClient` holds one TCP connection to a running daemon and
+issues request/response exchanges over it
+(:mod:`repro.serve.protocol`).  The connection is cheap to open, so the
+CLI opens one per invocation; long-lived callers can keep one around —
+exchanges are serialised per client by a lock, matching the one-line-
+in / one-line-out framing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import ServeError
+from .protocol import connect, recv_message, send_message
+
+DEFAULT_HOST = "127.0.0.1"
+
+
+class ServeClient:
+    """One connection to a serve daemon (context-manager friendly)."""
+
+    def __init__(self, host: str = DEFAULT_HOST, port: int = 0, *,
+                 timeout_s: float = 600.0) -> None:
+        if not 0 < port <= 65535:
+            raise ServeError(f"daemon port {port} outside (0, 65535]")
+        self.host = host
+        self.port = port
+        self._lock = threading.Lock()
+        self._sock = connect(host, port, timeout_s=timeout_s)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+
+    def close(self) -> None:
+        for closer in (self._rfile.close, self._wfile.close,
+                       self._sock.close):
+            try:
+                closer()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the raw exchange -----------------------------------------------------
+    def request(self, doc: dict) -> dict:
+        """One request/response exchange; raises on transport failure.
+
+        Application-level refusals (429/404/...) come back as the
+        response dict with ``ok: false`` — the caller decides whether
+        that is an error (:meth:`check` raises for it).
+        """
+        with self._lock:
+            try:
+                send_message(self._wfile, doc)
+                resp = recv_message(self._rfile)
+            except OSError as exc:
+                raise ServeError(
+                    f"lost connection to mgsw serve at "
+                    f"{self.host}:{self.port}: {exc}") from None
+        if resp is None:
+            raise ServeError("daemon closed the connection mid-exchange")
+        return resp
+
+    @staticmethod
+    def check(resp: dict) -> dict:
+        """Raise :class:`ServeError` on an ``ok: false`` response."""
+        if not resp.get("ok"):
+            code = resp.get("code", 0)
+            raise ServeError(
+                f"daemon refused the request ({code}): "
+                f"{resp.get('error', 'no detail')}")
+        return resp
+
+    # -- typed helpers --------------------------------------------------------
+    def ping(self) -> dict:
+        return self.check(self.request({"op": "ping"}))
+
+    def submit(self, **fields) -> dict:
+        """Submit one job; returns the raw response (may be a refusal).
+
+        Fields mirror the wire schema: ``seq_a``/``seq_b`` inline
+        strings or ``path_a``/``path_b`` FASTA paths, plus ``tenant``,
+        ``mode``, ``scoring`` (dict), ``kernel``, ``dp_dtype``,
+        ``band_width``, ``xdrop_x``, ``use_cache``, ``lane``...
+        """
+        return self.request({"op": "submit", **fields})
+
+    def status(self, job_id: str) -> dict:
+        return self.request({"op": "status", "id": job_id})
+
+    def wait(self, job_id: str, *, timeout_s: float | None = None) -> dict:
+        req: dict = {"op": "wait", "id": job_id}
+        if timeout_s is not None:
+            req["timeout_s"] = timeout_s
+        return self.request(req)
+
+    def jobs(self, *, limit: int | None = None) -> dict:
+        req: dict = {"op": "jobs"}
+        if limit is not None:
+            req["limit"] = limit
+        return self.request(req)
+
+    def stats(self) -> dict:
+        return self.check(self.request({"op": "stats"}))
+
+    def shutdown(self) -> dict:
+        return self.check(self.request({"op": "shutdown"}))

@@ -1,0 +1,77 @@
+"""Line-JSON-over-TCP wire protocol between `mgsw submit` and the daemon.
+
+One request = one JSON object = one ``\\n``-terminated line; the
+response mirrors it.  A connection may carry any number of
+request/response exchanges (the client keeps it open across ``submit``
+then ``wait``); either side closing the socket ends the conversation.
+Line framing keeps the protocol debuggable with ``nc`` and needs no
+length prefixes or binary parsing — megabase sequences ride as plain
+JSON strings, which at one byte per base is the same order as FASTA.
+
+Requests carry an ``op`` plus op-specific fields; responses always
+carry ``ok`` (bool) and, when ``ok`` is false, ``error`` plus an
+HTTP-style ``code`` (429 = admission refused, 404 = unknown job,
+400 = malformed request, 503 = draining).  See
+:meth:`~repro.serve.daemon.ServeDaemon.handle_request` for the op
+vocabulary (``ping``/``submit``/``status``/``wait``/``jobs``/``stats``/
+``shutdown``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from ..errors import ServeError
+
+#: Hard cap on one protocol line (64 MiB covers a ~30 Mbp chromosome
+#: pair per request; beyond that, submit file paths instead).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: accept() poll period while the server loop checks its stop flag.
+ACCEPT_POLL_S = 0.2
+
+
+def send_message(wfile, doc: dict) -> None:
+    """Write one request/response line (flushes)."""
+    line = json.dumps(doc, separators=(",", ":"))
+    if len(line) + 1 > MAX_LINE_BYTES:
+        raise ServeError(
+            f"message of {len(line)} bytes exceeds the {MAX_LINE_BYTES}-byte "
+            "line cap (submit sequence paths instead of inline sequences)")
+    wfile.write((line + "\n").encode())
+    wfile.flush()
+
+
+def recv_message(rfile) -> dict | None:
+    """Read one line; ``None`` on a clean EOF, :class:`ServeError` on junk."""
+    line = rfile.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ServeError("protocol line exceeds the line cap")
+    line = line.strip()
+    if not line:
+        return {}
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServeError(f"malformed protocol line: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ServeError("protocol line must be a JSON object")
+    return doc
+
+
+def error_response(message: str, *, code: int = 400) -> dict:
+    return {"ok": False, "code": code, "error": message}
+
+
+def connect(host: str, port: int, *, timeout_s: float = 30.0) -> socket.socket:
+    """Open one client connection to a serve daemon."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout_s)
+    except OSError as exc:
+        raise ServeError(
+            f"cannot reach mgsw serve at {host}:{port}: {exc}") from None
+    sock.settimeout(timeout_s)
+    return sock

@@ -1,0 +1,180 @@
+"""Fair-share job ordering: priority lanes + deficit round robin.
+
+Two cooperating mechanisms decide which queued job runs next
+(INTERNALS.md section 14):
+
+* **Priority lanes** — jobs are classified ``short`` or ``long`` by
+  estimated cost (:meth:`~repro.serve.jobs.JobSpec.effective_cells`).
+  The lanes are interleaved by smooth weighted round robin over lane
+  *credits*: each pick adds every non-empty lane's weight to its credit,
+  the highest-credit lane wins and pays the summed active weight.  With
+  the default 4:1 weights a backlog of short jobs yields to the long
+  lane every fifth pick and vice versa — **neither lane can starve the
+  other** as long as both have work, which is the whole scheduling
+  contract: interactive banded/X-drop traffic keeps flowing under a
+  megabase exact run, and the megabase run keeps making progress under
+  an interactive flood.
+
+* **Deficit-weighted round robin (DRR) across tenants** inside each
+  lane — every tenant accumulates a per-round quantum of cost credit
+  and may release its head-of-line job once the credit covers the job's
+  cost.  Cheap-job tenants therefore get more *jobs* through, but every
+  tenant gets the same share of *cost units*, so one tenant's burst
+  cannot monopolise a lane.
+
+The scheduler is a pure data structure — no locks, no threads; the
+:class:`~repro.serve.jobs.JobQueue` serialises access — which keeps the
+policy deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .jobs import JobRecord
+
+#: The two priority lanes, in display order.
+LANES = ("short", "long")
+
+#: Default lane weights: 4 short picks per long pick when both are busy.
+DEFAULT_LANE_WEIGHTS = {"short": 4.0, "long": 1.0}
+
+#: One DRR cost unit per million effective cells, clamped to [1, 64] so
+#: a single megabase job cannot force thousands of bookkeeping rounds
+#: (beyond ~64 units relative cost no longer changes who goes next in a
+#: meaningful way).
+COST_UNIT_CELLS = 1_000_000
+MAX_COST_UNITS = 64.0
+
+
+def job_cost(record: "JobRecord") -> float:
+    """DRR cost units charged for one job."""
+    units = record.spec.effective_cells / COST_UNIT_CELLS
+    return max(1.0, min(units, MAX_COST_UNITS))
+
+
+class _DrrLane:
+    """One lane: per-tenant FIFOs drained by deficit round robin."""
+
+    def __init__(self, quantum: float = 1.0) -> None:
+        self.quantum = quantum
+        self._queues: dict[str, deque] = {}
+        self._order: list[str] = []          # active tenants, RR order
+        self._deficit: dict[str, float] = {}
+        self._next = 0                       # RR pointer into _order
+        self._depth = 0
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def push(self, record: "JobRecord") -> None:
+        tenant = record.spec.tenant
+        q = self._queues.get(tenant)
+        if q is None:
+            q = self._queues[tenant] = deque()
+        if not q and tenant not in self._deficit:
+            # (Re-)activating tenant: join the rotation with zero credit
+            # — an idle tenant must not bank credit while away.
+            self._order.append(tenant)
+            self._deficit[tenant] = 0.0
+        q.append(record)
+        self._depth += 1
+
+    def pop(self) -> "JobRecord | None":
+        if self._depth == 0:
+            return None
+        # Terminates: every full rotation adds `quantum` to each active
+        # tenant's deficit, and job costs are capped (MAX_COST_UNITS).
+        while True:
+            if self._next >= len(self._order):
+                self._next = 0
+            tenant = self._order[self._next]
+            self._deficit[tenant] += self.quantum
+            q = self._queues[tenant]
+            if q and job_cost(q[0]) <= self._deficit[tenant]:
+                record = q.popleft()
+                self._depth -= 1
+                self._deficit[tenant] -= job_cost(record)
+                if not q:
+                    # Retire the tenant: drop banked credit so a later
+                    # burst starts from parity with everyone else.
+                    self._order.pop(self._next)
+                    del self._deficit[tenant]
+                    del self._queues[tenant]
+                else:
+                    self._next += 1
+                return record
+            if not q:
+                self._order.pop(self._next)
+                del self._deficit[tenant]
+                del self._queues[tenant]
+            else:
+                self._next += 1
+
+    def drain(self) -> list:
+        out = [rec for t in self._order for rec in self._queues[t]]
+        self._queues.clear()
+        self._order.clear()
+        self._deficit.clear()
+        self._next = 0
+        self._depth = 0
+        return out
+
+
+class FairScheduler:
+    """Two priority lanes of per-tenant DRR queues (see module docs)."""
+
+    def __init__(self, *, lane_weights: dict[str, float] | None = None,
+                 quantum: float = 1.0) -> None:
+        weights = dict(DEFAULT_LANE_WEIGHTS if lane_weights is None
+                       else lane_weights)
+        if set(weights) != set(LANES):
+            raise ConfigError(f"lane_weights must cover exactly {LANES}")
+        if any(w <= 0 for w in weights.values()):
+            raise ConfigError("lane weights must be positive")
+        if quantum <= 0:
+            raise ConfigError("quantum must be positive")
+        self.lane_weights = weights
+        self._lanes = {name: _DrrLane(quantum) for name in LANES}
+        self._credit = {name: 0.0 for name in LANES}
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def depth(self, lane: str) -> int:
+        return len(self._lanes[lane])
+
+    def push(self, record: "JobRecord") -> None:
+        if record.lane not in self._lanes:
+            raise ConfigError(f"unknown lane {record.lane!r}")
+        if len(self._lanes[record.lane]) == 0:
+            # Lane going idle->busy: forget stale credit (same argument
+            # as the per-tenant deficit reset).
+            self._credit[record.lane] = 0.0
+        self._lanes[record.lane].push(record)
+
+    def pop(self) -> "JobRecord | None":
+        active = [name for name in LANES if len(self._lanes[name])]
+        if not active:
+            return None
+        if len(active) == 1:
+            return self._lanes[active[0]].pop()
+        for name in active:
+            self._credit[name] += self.lane_weights[name]
+        # Highest credit wins; tie goes to the long lane (the one a
+        # naive scheduler starves).
+        chosen = max(active,
+                     key=lambda n: (self._credit[n], n == "long"))
+        self._credit[chosen] -= sum(self.lane_weights[n] for n in active)
+        return self._lanes[chosen].pop()
+
+    def drain(self) -> list:
+        out = []
+        for lane in self._lanes.values():
+            out.extend(lane.drain())
+        self._credit = {name: 0.0 for name in LANES}
+        return out

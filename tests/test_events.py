@@ -66,7 +66,23 @@ class TestTailAndCounts:
         tail = journal.recent()
         assert [rec["attempt"] for rec in tail] == [7, 8, 9]
         assert journal.count() == 10          # total survives the ring
-        assert journal.count("checkpoint") == 3  # kind counts see the tail
+        assert journal.count("checkpoint") == 10  # and so do kind counts
+
+    def test_kind_counts_survive_ring_eviction(self):
+        # Regression: count(kind) used to scan the bounded ring, so any
+        # journal older than `recent` events silently under-reported —
+        # count("worker_spawn") could return 0 for a run that spawned
+        # dozens of workers.
+        journal = EventJournal(recent=4)
+        for i in range(25):
+            journal.emit("worker_spawn", worker=i)
+        for i in range(7):
+            journal.emit("checkpoint", attempt=i)
+        assert journal.count("worker_spawn") == 25
+        assert journal.count("checkpoint") == 7
+        assert journal.count("run_end") == 0
+        assert journal.count() == 32
+        assert len(journal.recent()) == 4  # the ring itself stays bounded
 
     def test_recent_n_takes_newest(self):
         journal = EventJournal()
@@ -134,9 +150,11 @@ class TestSpillFile:
 
 class TestValidation:
     def test_taxonomy_is_closed_and_documented(self):
-        assert len(EVENT_KINDS) == len(set(EVENT_KINDS)) == 10
+        assert len(EVENT_KINDS) == len(set(EVENT_KINDS)) == 15
         for kind in ("run_start", "worker_death", "checkpoint", "stall",
-                     "restart_attempt", "slab_rebalance", "run_end"):
+                     "restart_attempt", "slab_rebalance", "run_end",
+                     "job_submit", "job_reject", "job_cache_hit",
+                     "job_start", "job_end"):
             assert kind in EVENT_KINDS
 
     def test_validate_event_rejects_bad_records(self):

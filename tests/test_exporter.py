@@ -123,3 +123,64 @@ class TestLifecycle:
         server.stop()
         with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
             _get(url + "/healthz")
+
+    def test_constructed_but_never_started_stop_releases_the_port(self):
+        # Regression: stop() used to return early when the serve thread
+        # had never started, skipping server_close() — the socket is
+        # bound at *construction*, so the port stayed un-rebindable for
+        # the life of the process.
+        server = StatusServer()
+        port = server.port
+        server.stop()
+        with StatusServer(port=port) as reuse:   # must not raise
+            assert reuse.port == port
+
+    def test_stop_after_start_also_releases_the_port(self):
+        server = StatusServer().start()
+        port = server.port
+        server.stop()
+        with StatusServer(port=port) as reuse:
+            assert reuse.port == port
+
+
+class TestRegisteredRoutes:
+    def test_route_serves_json_with_and_without_subpath(self):
+        server = StatusServer()
+        server.register("/jobs", lambda sub: {"sub": sub})
+        try:
+            with server:
+                _, ctype, body = _get(server.url + "/jobs")
+                assert ctype == "application/json"
+                assert json.loads(body) == {"sub": None}
+                _, _, body = _get(server.url + "/jobs/job-000001")
+                assert json.loads(body) == {"sub": "job-000001"}
+        finally:
+            server.stop()
+
+    def test_handler_none_is_404_and_unknown_path_still_404(self):
+        server = StatusServer()
+        server.register("/jobs", lambda sub: None if sub == "gone" else {})
+        try:
+            with server:
+                with pytest.raises(urllib.error.HTTPError) as exc:
+                    _get(server.url + "/jobs/gone")
+                assert exc.value.code == 404
+                with pytest.raises(urllib.error.HTTPError) as exc:
+                    _get(server.url + "/nope")
+                assert exc.value.code == 404
+                # A sibling path that merely shares the prefix string is
+                # not the route.
+                with pytest.raises(urllib.error.HTTPError):
+                    _get(server.url + "/jobsx")
+        finally:
+            server.stop()
+
+    def test_bad_prefix_rejected(self):
+        server = StatusServer()
+        try:
+            with pytest.raises(ObsError, match="must look like"):
+                server.register("jobs", lambda sub: {})
+            with pytest.raises(ObsError, match="must look like"):
+                server.register("/jobs/", lambda sub: {})
+        finally:
+            server.stop()

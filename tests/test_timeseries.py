@@ -248,3 +248,54 @@ class TestSpillAndRoundtrip:
 
     def test_read_timeline_missing_file_is_empty(self, tmp_path):
         assert read_timeline(tmp_path / "nope.jsonl") == []
+
+    def test_frame_from_json_ignores_newer_schema_fields(self):
+        # Regression: a newer writer adding a field (frame- or
+        # worker-level) made WorkerFrame(**w)/TimelineFrame(**doc) raise
+        # TypeError, which read_timeline swallowed as a "torn line" —
+        # silently dropping EVERY frame of the file, so `mgsw top` and
+        # /status rendered empty against a healthy newer daemon.
+        frame = TimelineFrame(
+            t_s=1.5, ts_unix=1e9, attempt=1, rows_done=8, rows_target=20,
+            rows_per_s=4.0, eta_s=3.0, gcups=0.001, prune_rate=0.25,
+            band_skip_rate=0.0, restarts=1,
+            workers=(WorkerFrame(0, 8, "compute", 4.0, 0.1, False),))
+        doc = frame.to_json_dict()
+        doc["power_w"] = 180.5               # hypothetical v2 frame field
+        doc["workers"][0]["sm_clock_mhz"] = 1410   # v2 worker field
+        parsed = frame_from_json(doc)
+        assert parsed == frame               # known fields all survive
+
+    def test_newer_schema_spill_still_reads_fully(self, board, tmp_path):
+        path = tmp_path / "timeline.jsonl"
+        with manual_sampler(spill=path) as sampler:
+            sampler.attach(board, rows=4, cols_per_worker=[3, 3])
+            sampler.sample_once()
+        # Rewrite the spill as a newer writer would produce it.
+        lines = path.read_text().strip().splitlines()
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                doc = json.loads(line)
+                doc["power_w"] = 42.0
+                for w in doc["workers"]:
+                    w["temperature_c"] = 61
+                fh.write(json.dumps(doc) + "\n")
+        frames = read_timeline(path)
+        assert len(frames) == len(lines)     # nothing dropped
+        assert frames[0].rows_done >= 0
+
+    def test_missing_known_field_is_still_a_torn_line(self, tmp_path):
+        # The forward-compat filter must not mask genuine corruption: a
+        # line missing a *known* field still raises and gets dropped.
+        frame = TimelineFrame(
+            t_s=1.5, ts_unix=1e9, attempt=1, rows_done=8, rows_target=20,
+            rows_per_s=4.0, eta_s=3.0, gcups=0.001, prune_rate=0.25,
+            band_skip_rate=0.0, restarts=1, workers=())
+        good = frame.to_json_dict()
+        bad = dict(good)
+        del bad["rows_done"]
+        with pytest.raises((KeyError, TypeError)):
+            frame_from_json(bad)
+        path = tmp_path / "timeline.jsonl"
+        path.write_text(json.dumps(good) + "\n" + json.dumps(bad) + "\n")
+        assert len(read_timeline(path)) == 1
